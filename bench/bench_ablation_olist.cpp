@@ -1,0 +1,101 @@
+// Ablation: the ol-list overheads of paper §2.4, measured directly:
+//   - explicit flattening cost and memory, O(N_block), vs the O(1) cost
+//     and O(tree) size of the compact (cached-fileview) representation;
+//   - file positioning: linear ol-list traversal vs O(depth) fotf
+//     navigation, as N_block scales.
+#include <benchmark/benchmark.h>
+
+#include "dtype/flatten.hpp"
+#include "dtype/serialize.hpp"
+#include "fotf/navigate.hpp"
+#include "listio/ol_walker.hpp"
+
+namespace {
+
+using namespace llio;
+
+dt::Type vector_type(Off nblock) {
+  return dt::resized(dt::hvector(nblock, 8, 16, dt::byte()), 0, 16 * nblock);
+}
+
+void BM_ExplicitFlatten(benchmark::State& state) {
+  const dt::Type t = vector_type(state.range(0));
+  for (auto _ : state) {
+    dt::OlList list = dt::flatten(t);
+    benchmark::DoNotOptimize(list.tuples().data());
+    state.counters["list_bytes"] =
+        static_cast<double>(list.memory_bytes());
+  }
+}
+
+void BM_CompactSerialize(benchmark::State& state) {
+  const dt::Type t = vector_type(state.range(0));
+  for (auto _ : state) {
+    ByteVec wire = dt::serialize(t);
+    benchmark::DoNotOptimize(wire.data());
+    state.counters["wire_bytes"] = static_cast<double>(wire.size());
+  }
+}
+
+void BM_ListPositioning(benchmark::State& state) {
+  // ROMIO's cost: position the file pointer at a random stream offset by
+  // scanning the ol-list (O(N_block/2) on average).
+  const Off nblock = state.range(0);
+  const dt::Type t = vector_type(nblock);
+  const dt::OlList list = dt::flatten(t);
+  listio::OlWalker walker(&list, t->extent());
+  Off s = 0;
+  const Off total = t->size();
+  for (auto _ : state) {
+    s = (s * 1103515245 + 12345) % total;
+    walker.position(s);
+    benchmark::DoNotOptimize(walker.mem());
+  }
+}
+
+void BM_FotfPositioning(benchmark::State& state) {
+  // Listless cost: O(depth) arithmetic, independent of N_block.
+  const Off nblock = state.range(0);
+  const dt::Type t = vector_type(nblock);
+  Off s = 0;
+  const Off total = t->size();
+  for (auto _ : state) {
+    s = (s * 1103515245 + 12345) % total;
+    benchmark::DoNotOptimize(fotf::mem_start(t, s));
+  }
+}
+
+void BM_ListInverseSearch(benchmark::State& state) {
+  const Off nblock = state.range(0);
+  const dt::Type t = vector_type(nblock);
+  const dt::OlList list = dt::flatten(t);
+  listio::OlWalker walker(&list, t->extent());
+  Off x = 0;
+  const Off span = t->extent();
+  for (auto _ : state) {
+    x = (x * 69069 + 1) % span;
+    benchmark::DoNotOptimize(walker.bytes_below(x));
+  }
+}
+
+void BM_FotfInverseSearch(benchmark::State& state) {
+  const Off nblock = state.range(0);
+  const dt::Type t = vector_type(nblock);
+  Off x = 0;
+  const Off span = t->extent();
+  for (auto _ : state) {
+    x = (x * 69069 + 1) % span;
+    benchmark::DoNotOptimize(fotf::data_below(t, x));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_ExplicitFlatten)->Arg(256)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_CompactSerialize)->Arg(256)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_ListPositioning)->Arg(256)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_FotfPositioning)->Arg(256)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_ListInverseSearch)->Arg(256)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_FotfInverseSearch)->Arg(256)->Arg(4096)->Arg(65536);
+
+BENCHMARK_MAIN();

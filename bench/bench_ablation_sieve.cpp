@@ -1,0 +1,90 @@
+// Ablation for the paper's §5 open question: data sieving vs multiple
+// direct file accesses for independent non-contiguous I/O.
+//
+// Sweeps the view's fill ratio (payload bytes / spanned bytes) and
+// measures both strategies on both engines, on a RAM-backed file and on a
+// throttled file with per-operation latency (where the many small direct
+// accesses hurt).  The crossover justifies the `llio_sieve_min_fill`
+// automatic heuristic.
+#include "bench_common.hpp"
+#include "pfs/throttled_file.hpp"
+
+using namespace llio;
+using namespace llio::bench;
+
+namespace {
+
+double measure(mpiio::Method method, mpiio::Sieving mode, Off gap_factor,
+               bool throttled) {
+  const Off sblock = 64;
+  const Off nblock = 128;
+  const Off unit = nblock * sblock;
+  const Off instances = std::max<Off>(1, (512 * 1024) / unit);
+  const Off nbytes = instances * unit;
+
+  pfs::FilePtr fs = pfs::MemFile::create();
+  if (throttled) {
+    pfs::ThrottleConfig cfg;
+    cfg.read_bandwidth_bps = 2e9;
+    cfg.write_bandwidth_bps = 2e9;
+    cfg.op_latency_s = 20e-6;  // disk-ish per-op cost
+    fs = pfs::ThrottledFile::wrap(fs, cfg);
+  }
+
+  double seconds = 0;
+  sim::Runtime::run(1, [&](sim::Comm& comm) {
+    mpiio::Options o;
+    o.method = method;
+    o.ds_write = mode;
+    mpiio::File f = mpiio::File::open(comm, fs, o);
+    const dt::Type ft = dt::resized(
+        dt::hvector(nblock, sblock, gap_factor * sblock, dt::byte()), 0,
+        nblock * gap_factor * sblock);
+    f.set_view(0, dt::byte(), ft);
+    ByteVec buf(to_size(nbytes), Byte{0x3C});
+    // Warm-up, then time enough repetitions.
+    f.write_at(0, buf.data(), nbytes, dt::byte());
+    int reps = 1;
+    {
+      WallTimer t;
+      f.write_at(0, buf.data(), nbytes, dt::byte());
+      const double once = t.seconds();
+      reps = once >= 0.1 ? 1 : static_cast<int>(0.1 / std::max(once, 1e-6)) + 1;
+    }
+    WallTimer t;
+    for (int i = 0; i < reps; ++i)
+      f.write_at(0, buf.data(), nbytes, dt::byte());
+    seconds = t.seconds() / reps;
+  });
+  return static_cast<double>(nbytes) / seconds / (1024.0 * 1024.0);
+}
+
+void sweep(bool throttled) {
+  Table table({"fill", "list sieve", "list direct", "listless sieve",
+               "listless direct"});
+  for (Off gap : {1, 2, 4, 16, 64}) {
+    std::vector<std::string> row{strprintf("1/%lld", (long long)gap)};
+    for (mpiio::Method m :
+         {mpiio::Method::ListBased, mpiio::Method::Listless}) {
+      row.push_back(
+          fmt_mbps(measure(m, mpiio::Sieving::Always, gap, throttled)));
+      row.push_back(
+          fmt_mbps(measure(m, mpiio::Sieving::Never, gap, throttled)));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::string("sieving vs direct, independent write, "
+                          "Sblock=64B, ") +
+              (throttled ? "throttled storage (2 GB/s, 20us/op)"
+                         : "RAM storage") +
+              " [MB/s per process]");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("ablation: data sieving vs direct access (paper §5 trade-off)\n");
+  sweep(/*throttled=*/false);
+  sweep(/*throttled=*/true);
+  return 0;
+}

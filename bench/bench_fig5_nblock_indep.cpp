@@ -1,0 +1,54 @@
+// Figure 5 reproduction: bandwidth per process B_pp for independent
+// write (left) and read (right) access as the vector length N_block
+// scales, S_block = 8 bytes, P = 2 (noncontig benchmark).
+//
+// Expected shape (paper): list-based stays flat and low (< 10 MB/s for
+// c-nc/nc-nc); listless is up to two orders of magnitude faster at small
+// S_block; listless never loses.
+#include "bench_common.hpp"
+
+using namespace llio;
+using namespace llio::bench;
+
+namespace {
+
+void run_side(bool write) {
+  const Off target = env_off("LLIO_BENCH_TARGET_KB", 1024) * 1024;
+  const double min_s = env_double("LLIO_BENCH_MIN_SECONDS", 0.15);
+  Table table({"Nblock", "list nc-nc", "list nc-c", "list c-nc",
+               "listless nc-nc", "listless nc-c", "listless c-nc"});
+  for (Off nblock : {16, 64, 256, 1024, 4096, 16384}) {
+    std::vector<std::string> row{std::to_string(nblock)};
+    for (mpiio::Method m : {mpiio::Method::ListBased, mpiio::Method::Listless}) {
+      for (auto [nc_mem, nc_file] :
+           {std::pair{true, true}, {true, false}, {false, true}}) {
+        NoncontigConfig cfg;
+        cfg.method = m;
+        cfg.nprocs = 2;
+        cfg.nblock = nblock;
+        cfg.sblock = 8;
+        cfg.nc_mem = nc_mem;
+        cfg.nc_file = nc_file;
+        cfg.collective = false;
+        cfg.write = write;
+        cfg.target_bytes_pp = target;
+        cfg.min_seconds = min_s;
+        row.push_back(fmt_mbps(run_noncontig(cfg).mbps_pp()));
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::string("Fig 5 (") + (write ? "left" : "right") +
+              "): independent " + (write ? "write" : "read") +
+              ", Sblock=8B, P=2, Bpp [MB/s]");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("noncontig benchmark, Figure 5: I/O bandwidth vs vector "
+              "length Nblock (independent access)\n");
+  run_side(/*write=*/true);
+  run_side(/*write=*/false);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 6 reproduction: B_pp for collective write (left) and read
+// (right) access as N_block scales; S_block = 8 bytes, P = 8.
+//
+// Expected shape (paper): list-based collective access on non-contiguous
+// files stays below ~1 MB/s (dominated by the ol-list exchange); listless
+// gains a factor of up to several hundred via fileview caching.
+#include "bench_common.hpp"
+
+using namespace llio;
+using namespace llio::bench;
+
+namespace {
+
+void run_side(bool write) {
+  const Off target = env_off("LLIO_BENCH_TARGET_KB", 512) * 1024;
+  const double min_s = env_double("LLIO_BENCH_MIN_SECONDS", 0.15);
+  Table table({"Nblock", "list nc-nc", "list nc-c", "list c-nc",
+               "listless nc-nc", "listless nc-c", "listless c-nc",
+               "list-olist-bytes/op"});
+  for (Off nblock : {16, 64, 256, 1024, 4096, 16384}) {
+    std::vector<std::string> row{std::to_string(nblock)};
+    Off olist_bytes = 0;
+    for (mpiio::Method m : {mpiio::Method::ListBased, mpiio::Method::Listless}) {
+      for (auto [nc_mem, nc_file] :
+           {std::pair{true, true}, {true, false}, {false, true}}) {
+        NoncontigConfig cfg;
+        cfg.method = m;
+        cfg.nprocs = 8;
+        cfg.nblock = nblock;
+        cfg.sblock = 8;
+        cfg.nc_mem = nc_mem;
+        cfg.nc_file = nc_file;
+        cfg.collective = true;
+        cfg.write = write;
+        cfg.target_bytes_pp = target;
+        cfg.min_seconds = min_s;
+        const BenchPoint p = run_noncontig(cfg);
+        row.push_back(fmt_mbps(p.mbps_pp()));
+        if (m == mpiio::Method::ListBased && nc_mem && nc_file)
+          olist_bytes = p.list_bytes_sent;
+      }
+    }
+    row.push_back(std::to_string(olist_bytes));
+    table.add_row(std::move(row));
+  }
+  table.print(std::string("Fig 6 (") + (write ? "left" : "right") +
+              "): collective " + (write ? "write" : "read") +
+              ", Sblock=8B, P=8, Bpp [MB/s]");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("noncontig benchmark, Figure 6: I/O bandwidth vs vector "
+              "length Nblock (collective access)\n");
+  run_side(/*write=*/true);
+  run_side(/*write=*/false);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 7 reproduction: B_pp for independent write (left) and read
+// (right) access as the vector blocksize S_block scales from 4 B to
+// 16 KiB; N_block = 8, P = 2.
+//
+// Expected shape (paper): the listless advantage shrinks as S_block
+// grows (fewer, larger copies make the per-tuple baseline competitive);
+// beyond ~1 KiB the engines converge; listless never performs worse.
+#include "bench_common.hpp"
+
+using namespace llio;
+using namespace llio::bench;
+
+namespace {
+
+void run_side(bool write) {
+  const Off target = env_off("LLIO_BENCH_TARGET_KB", 2048) * 1024;
+  const double min_s = env_double("LLIO_BENCH_MIN_SECONDS", 0.15);
+  Table table({"Sblock", "list nc-nc", "list nc-c", "list c-nc",
+               "listless nc-nc", "listless nc-c", "listless c-nc"});
+  for (Off sblock : {4, 16, 64, 256, 1024, 4096, 16384}) {
+    std::vector<std::string> row{std::to_string(sblock)};
+    for (mpiio::Method m : {mpiio::Method::ListBased, mpiio::Method::Listless}) {
+      for (auto [nc_mem, nc_file] :
+           {std::pair{true, true}, {true, false}, {false, true}}) {
+        NoncontigConfig cfg;
+        cfg.method = m;
+        cfg.nprocs = 2;
+        cfg.nblock = 8;
+        cfg.sblock = sblock;
+        cfg.nc_mem = nc_mem;
+        cfg.nc_file = nc_file;
+        cfg.collective = false;
+        cfg.write = write;
+        cfg.target_bytes_pp = target;
+        cfg.min_seconds = min_s;
+        row.push_back(fmt_mbps(run_noncontig(cfg).mbps_pp()));
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::string("Fig 7 (") + (write ? "left" : "right") +
+              "): independent " + (write ? "write" : "read") +
+              ", Nblock=8, P=2, Bpp [MB/s]");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("noncontig benchmark, Figure 7: I/O bandwidth vs vector "
+              "blocksize Sblock (independent access)\n");
+  run_side(/*write=*/true);
+  run_side(/*write=*/false);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 8 reproduction: B_pp for collective write (left) and read
+// (right) access as the process count P scales from 1 to 8;
+// S_block = 2048 bytes, N_block = 64 (the paper uses 16 < N_block < 128).
+//
+// Expected shape (paper): the listless/list ratio is roughly constant in
+// P; nc-c runs at parity (blocks are large); c-nc gains ~3-4x and nc-nc
+// ~8-10x once P > 1 because the APs' extra list-based copies disappear.
+#include "bench_common.hpp"
+
+using namespace llio;
+using namespace llio::bench;
+
+namespace {
+
+void run_side(bool write) {
+  const Off target = env_off("LLIO_BENCH_TARGET_KB", 2048) * 1024;
+  const double min_s = env_double("LLIO_BENCH_MIN_SECONDS", 0.15);
+  Table table({"P", "list nc-nc", "list nc-c", "list c-nc",
+               "listless nc-nc", "listless nc-c", "listless c-nc"});
+  for (int p : {1, 2, 4, 6, 8}) {
+    std::vector<std::string> row{std::to_string(p)};
+    for (mpiio::Method m : {mpiio::Method::ListBased, mpiio::Method::Listless}) {
+      for (auto [nc_mem, nc_file] :
+           {std::pair{true, true}, {true, false}, {false, true}}) {
+        NoncontigConfig cfg;
+        cfg.method = m;
+        cfg.nprocs = p;
+        cfg.nblock = 64;
+        cfg.sblock = 2048;
+        cfg.nc_mem = nc_mem;
+        cfg.nc_file = nc_file;
+        cfg.collective = true;
+        cfg.write = write;
+        cfg.target_bytes_pp = target;
+        cfg.min_seconds = min_s;
+        row.push_back(fmt_mbps(run_noncontig(cfg).mbps_pp()));
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::string("Fig 8 (") + (write ? "left" : "right") +
+              "): collective " + (write ? "write" : "read") +
+              ", Sblock=2048B, Nblock=64, Bpp [MB/s]");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("noncontig benchmark, Figure 8: I/O bandwidth vs process "
+              "count P (collective access)\n");
+  run_side(/*write=*/true);
+  run_side(/*write=*/false);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Mini BTIO driver: the NAS BT I/O pattern on a small grid, showing the
+// btio::Pattern API end to end — diagonal multipartitioning, per-cell
+// subarray fileviews, ghost-padded memtypes, and one collective write per
+// dump step.  Prints the access-pattern characterization (the paper's
+// Table 2 quantities) and verifies the written field.
+//
+//   build/examples/btio_mini [grid_n P steps]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "btio/pattern.hpp"
+#include "dtype/datatype.hpp"
+#include "mpiio/file.hpp"
+#include "pfs/mem_file.hpp"
+#include "simmpi/comm.hpp"
+
+using namespace llio;
+using btio::Pattern;
+
+int main(int argc, char** argv) {
+  const Off n = argc > 1 ? std::atoll(argv[1]) : 24;  // class W grid
+  const int P = argc > 2 ? std::atoi(argv[2]) : 4;
+  const int steps = argc > 3 ? std::atoi(argv[3]) : 2;
+
+  {
+    const Pattern pat(n, P, 0);
+    std::printf("BTIO mini: grid %lld^3, P=%d (q=%d), %d dump steps\n",
+                (long long)n, P, pat.q(), steps);
+    std::printf("  per step: %.2f MB total; rank 0 writes %lld blocks of "
+                "~%.0f bytes\n",
+                static_cast<double>(pat.global_step_bytes()) / 1e6,
+                (long long)pat.nblock(), pat.avg_sblock_bytes());
+  }
+
+  auto storage = pfs::MemFile::create();
+  sim::Runtime::run(P, [&](sim::Comm& comm) {
+    const Pattern pat(n, P, comm.rank(), /*ghost=*/2);
+    mpiio::File f = mpiio::File::open(comm, storage,
+                                      {.method = mpiio::Method::Listless});
+    f.set_view(0, dt::double_(), pat.filetype());
+    std::vector<double> field(to_size(pat.padded_doubles()));
+    for (int s = 0; s < steps; ++s) {
+      pat.fill(field, s);  // stands in for the BT solver update
+      f.write_at_all(s * pat.local_doubles(), field.data(), 1, pat.memtype());
+    }
+  });
+
+  // Verify the full file against the reference field.
+  bool ok = storage->size() == Off{steps} * 5 * n * n * n * 8;
+  const ByteVec img = storage->contents();
+  std::vector<double> ref(to_size(Off{5} * n * n * n));
+  for (int s = 0; s < steps && ok; ++s) {
+    Pattern::reference_step(ref, n, s);
+    const double* got = reinterpret_cast<const double*>(img.data()) +
+                        Off{s} * to_off(ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i)
+      if (got[i] != ref[i]) {
+        ok = false;
+        break;
+      }
+  }
+  std::printf("  wrote %.2f MB, field %s\n",
+              static_cast<double>(storage->size()) / 1e6,
+              ok ? "verified" : "MISMATCH");
+  return ok ? 0 : 1;
+}

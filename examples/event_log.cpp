@@ -1,0 +1,79 @@
+// Shared event log: every rank appends fixed-size records to one file
+// through the *shared file pointer* — no offsets coordinated by the
+// application.  Unordered appends (write_shared) interleave freely;
+// per-phase ordered flushes (write_ordered) serialize by rank, giving a
+// deterministic epoch layout.  Also shows opening with MPI_Info-style
+// hints.
+//
+//   build/examples/event_log [events_per_rank P]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "dtype/datatype.hpp"
+#include "mpiio/file.hpp"
+#include "pfs/mem_file.hpp"
+#include "simmpi/comm.hpp"
+
+using namespace llio;
+
+namespace {
+
+struct Event {
+  std::int32_t rank;
+  std::int32_t kind;
+  std::int64_t payload;
+};
+static_assert(sizeof(Event) == 16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Off nper = argc > 1 ? std::atoll(argv[1]) : 500;
+  const int P = argc > 2 ? std::atoi(argv[2]) : 3;
+
+  auto storage = pfs::MemFile::create();
+  sim::Runtime::run(P, [&](sim::Comm& comm) {
+    // Hints: force the list-based baseline off and size the buffers.
+    mpiio::File log = mpiio::File::open(
+        comm, storage,
+        mpiio::Info{{"llio_method", "listless"},
+                    {"cb_buffer_size", "262144"}});
+
+    // Phase 1: free-for-all appends.
+    for (Off i = 0; i < nper; ++i) {
+      Event e{comm.rank(), 1, i};
+      log.write_shared(&e, sizeof(Event), dt::byte());
+    }
+    comm.barrier();
+
+    // Phase 2: one ordered epoch marker per rank (rank order in the file).
+    Event marker{comm.rank(), 2, -1};
+    log.write_ordered(&marker, sizeof(Event), dt::byte());
+  });
+
+  // Audit the log.
+  const ByteVec img = storage->contents();
+  const auto* events = reinterpret_cast<const Event*>(img.data());
+  const std::size_t n = img.size() / sizeof(Event);
+  std::map<int, Off> per_rank;
+  bool ok = n == static_cast<std::size_t>(P) * (to_size(nper) + 1);
+  // The last P records are the ordered epoch markers, in rank order.
+  for (int r = 0; r < P && ok; ++r) {
+    const Event& e = events[n - static_cast<std::size_t>(P - r)];
+    if (e.kind != 2 || e.rank != r) ok = false;
+  }
+  for (std::size_t i = 0; i + static_cast<std::size_t>(P) < n; ++i) {
+    if (events[i].kind != 1) ok = false;
+    per_rank[events[i].rank]++;
+  }
+  for (int r = 0; r < P && ok; ++r)
+    if (per_rank[r] != nper) ok = false;
+
+  std::printf("event log: %zu records from %d ranks (%lld each + 1 ordered "
+              "marker) — %s\n",
+              n, P, (long long)nper, ok ? "verified" : "MISMATCH");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,110 @@
+// Visualization-style reads from a 3D volume: the same file, accessed "in
+// different manners" (the paper's §5 future-work scenario for complex
+// multi-dimensional filetypes).
+//
+// A float volume of n^3 voxels is written once; P ranks then collectively
+// read three access shapes through subarray fileviews:
+//   * z-slabs   - contiguous runs of whole xy-planes (large blocks),
+//   * y-slices  - one xz-plane each, strided by whole planes,
+//   * tiles     - small sub-cubes (tiny scattered runs; the nc worst case).
+// Both engines run each shape; values are verified against the generator.
+//
+//   build/examples/volume_tiles [n P]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "dtype/datatype.hpp"
+#include "mpiio/file.hpp"
+#include "pfs/mem_file.hpp"
+#include "simmpi/comm.hpp"
+
+using namespace llio;
+
+namespace {
+
+float voxel(Off x, Off y, Off z, Off n) {
+  return static_cast<float>(x + n * (y + n * z));
+}
+
+/// Subarray fileview of a [x0,x1) x [y0,y1) x [z0,z1) box of the volume
+/// (Fortran order: x fastest).
+dt::Type box_view(Off n, Off x0, Off x1, Off y0, Off y1, Off z0, Off z1) {
+  const Off sizes[] = {n, n, n};
+  const Off sub[] = {x1 - x0, y1 - y0, z1 - z0};
+  const Off starts[] = {x0, y0, z0};
+  return dt::subarray(sizes, sub, starts, dt::Order::Fortran, dt::float_());
+}
+
+struct Shape {
+  const char* name;
+  // The box rank r reads.
+  Off x0, x1, y0, y1, z0, z1;
+};
+
+bool read_shape(sim::Comm& comm, mpiio::File& f, Off n, const Shape& s,
+                double* seconds) {
+  f.set_view(0, dt::float_(), box_view(n, s.x0, s.x1, s.y0, s.y1, s.z0, s.z1));
+  const Off count = (s.x1 - s.x0) * (s.y1 - s.y0) * (s.z1 - s.z0);
+  std::vector<float> out(to_size(count), -1.0f);
+  comm.barrier();
+  WallTimer t;
+  f.read_at_all(0, out.data(), count, dt::float_());
+  const Off ns = comm.allreduce_max(static_cast<Off>(t.seconds() * 1e9));
+  *seconds = static_cast<double>(ns) / 1e9;
+  std::size_t at = 0;
+  for (Off z = s.z0; z < s.z1; ++z)
+    for (Off y = s.y0; y < s.y1; ++y)
+      for (Off x = s.x0; x < s.x1; ++x)
+        if (out[at++] != voxel(x, y, z, n)) return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Off n = argc > 1 ? std::atoll(argv[1]) : 96;
+  const int P = argc > 2 ? std::atoi(argv[2]) : 4;
+  std::printf("volume tile reader: %lld^3 float volume, P=%d\n",
+              (long long)n, P);
+
+  auto storage = pfs::MemFile::create();
+  {
+    // Produce the volume once (dense write from rank 0).
+    std::vector<float> vol(to_size(n * n * n));
+    std::size_t at = 0;
+    for (Off z = 0; z < n; ++z)
+      for (Off y = 0; y < n; ++y)
+        for (Off x = 0; x < n; ++x) vol[at++] = voxel(x, y, z, n);
+    storage->pwrite(0, ConstByteSpan(as_bytes(vol.data()), vol.size() * 4));
+  }
+
+  for (auto method : {mpiio::Method::ListBased, mpiio::Method::Listless}) {
+    sim::Runtime::run(P, [&](sim::Comm& comm) {
+      mpiio::Options o;
+      o.method = method;
+      mpiio::File f = mpiio::File::open(comm, storage, o);
+      const int r = comm.rank();
+      const Off slab = n / P;
+      const Off tile = std::max<Off>(4, n / 12);
+      const Shape shapes[] = {
+          {"z-slab", 0, n, 0, n, r * slab, (r + 1) * slab},
+          {"y-slice", 0, n, Off{r} * (n / P), Off{r} * (n / P) + 1, 0, n},
+          {"tile", Off{r} % 2 * tile, Off{r} % 2 * tile + tile,
+           Off{r} / 2 * tile, Off{r} / 2 * tile + tile, tile, 2 * tile},
+      };
+      for (const Shape& s : shapes) {
+        double secs = 0;
+        const bool ok = read_shape(comm, f, n, s, &secs);
+        if (comm.rank() == 0) {
+          std::printf("  %-10s %-8s %8.2f ms  %s\n",
+                      mpiio::method_name(method), s.name, secs * 1e3,
+                      ok ? "verified" : "MISMATCH");
+        }
+        if (!ok) std::exit(1);
+      }
+    });
+  }
+  return 0;
+}

@@ -1,0 +1,176 @@
+#include "btio/pattern.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace llio::btio {
+
+namespace {
+
+constexpr double kGhostSentinel = -9999.25;
+
+Off dim_size(Off n, Off q, Off c) {
+  const Off base = n / q;
+  const Off rem = n % q;
+  return base + (c < rem ? 1 : 0);
+}
+
+Off dim_start(Off n, Off q, Off c) {
+  const Off base = n / q;
+  const Off rem = n % q;
+  return c * base + std::min(c, rem);
+}
+
+}  // namespace
+
+Off class_grid_size(char cls) {
+  switch (cls) {
+    case 'S': return 12;
+    case 'W': return 24;
+    case 'A': return 64;
+    case 'B': return 102;
+    case 'C': return 162;
+    case 'D': return 408;
+  }
+  throw_error(Errc::InvalidArgument, "btio: unknown problem class");
+}
+
+Pattern::Pattern(Off n, int nprocs, int rank, Off ghost)
+    : n_(n), nprocs_(nprocs), rank_(rank), ghost_(ghost) {
+  LLIO_REQUIRE(n >= 1, Errc::InvalidArgument, "btio: grid size < 1");
+  LLIO_REQUIRE(ghost >= 0, Errc::InvalidArgument, "btio: negative ghost");
+  const int q = static_cast<int>(std::lround(std::sqrt(double(nprocs))));
+  LLIO_REQUIRE(q >= 1 && q * q == nprocs, Errc::InvalidArgument,
+               "btio: process count must be a square");
+  LLIO_REQUIRE(rank >= 0 && rank < nprocs, Errc::InvalidArgument,
+               "btio: bad rank");
+  LLIO_REQUIRE(Off{q} <= n, Errc::InvalidArgument,
+               "btio: more cells per dimension than grid points");
+  q_ = q;
+  const Off pi = rank % q;
+  const Off pj = rank / q;
+  cells_.reserve(to_size(Off{q}));
+  for (Off k = 0; k < q; ++k) {
+    CellGeom c;
+    c.ci = (pi + k) % q;
+    c.cj = (pj + k) % q;
+    c.ck = k;
+    c.nx = dim_size(n_, q, c.ci);
+    c.ny = dim_size(n_, q, c.cj);
+    c.nz = dim_size(n_, q, c.ck);
+    c.xs = dim_start(n_, q, c.ci);
+    c.ys = dim_start(n_, q, c.cj);
+    c.zs = dim_start(n_, q, c.ck);
+    cells_.push_back(c);
+  }
+}
+
+dt::Type Pattern::filetype() const {
+  std::vector<dt::Type> kids;
+  std::vector<Off> bls(cells_.size(), 1);
+  std::vector<Off> disps(cells_.size(), 0);
+  kids.reserve(cells_.size());
+  for (const CellGeom& c : cells_) {
+    const Off sizes[] = {5, n_, n_, n_};
+    const Off subsizes[] = {5, c.nx, c.ny, c.nz};
+    const Off starts[] = {0, c.xs, c.ys, c.zs};
+    kids.push_back(
+        dt::subarray(sizes, subsizes, starts, dt::Order::Fortran,
+                     dt::double_()));
+  }
+  return dt::struct_(bls, disps, kids);
+}
+
+dt::Type Pattern::memtype() const {
+  std::vector<dt::Type> kids;
+  std::vector<Off> bls(cells_.size(), 1);
+  std::vector<Off> disps(cells_.size());
+  Off at = 0;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const CellGeom& c = cells_[i];
+    const Off px = c.nx + 2 * ghost_;
+    const Off py = c.ny + 2 * ghost_;
+    const Off pz = c.nz + 2 * ghost_;
+    const Off sizes[] = {5, px, py, pz};
+    const Off subsizes[] = {5, c.nx, c.ny, c.nz};
+    const Off starts[] = {0, ghost_, ghost_, ghost_};
+    kids.push_back(dt::subarray(sizes, subsizes, starts, dt::Order::Fortran,
+                                dt::double_()));
+    disps[i] = at;
+    at += 5 * px * py * pz * 8;
+  }
+  return dt::struct_(bls, disps, kids);
+}
+
+Off Pattern::padded_doubles() const {
+  Off total = 0;
+  for (const CellGeom& c : cells_) {
+    total += 5 * (c.nx + 2 * ghost_) * (c.ny + 2 * ghost_) *
+             (c.nz + 2 * ghost_);
+  }
+  return total;
+}
+
+Off Pattern::local_doubles() const {
+  Off total = 0;
+  for (const CellGeom& c : cells_) total += 5 * c.nx * c.ny * c.nz;
+  return total;
+}
+
+Off Pattern::nblock() const {
+  // One contiguous run of 5*nx doubles per (y, z) line of each cell.
+  Off total = 0;
+  for (const CellGeom& c : cells_) total += c.ny * c.nz;
+  return total;
+}
+
+double Pattern::avg_sblock_bytes() const {
+  return static_cast<double>(local_doubles() * 8) /
+         static_cast<double>(nblock());
+}
+
+double Pattern::expected_value(Off c, Off x, Off y, Off z, Off n, int step) {
+  const Off lin = c + 5 * (x + n * (y + n * z));
+  return static_cast<double>(lin) + static_cast<double>(step) * 1.0e8;
+}
+
+void Pattern::reference_step(std::span<double> global, Off n, int step) {
+  LLIO_REQUIRE(to_off(global.size()) == 5 * n * n * n, Errc::InvalidArgument,
+               "btio: bad reference buffer size");
+  for (std::size_t i = 0; i < global.size(); ++i)
+    global[i] = static_cast<double>(to_off(i)) +
+                static_cast<double>(step) * 1.0e8;
+}
+
+void Pattern::fill(std::span<double> buf, int step) const {
+  LLIO_REQUIRE(to_off(buf.size()) == padded_doubles(), Errc::InvalidArgument,
+               "btio: bad local buffer size");
+  std::size_t at = 0;
+  for (const CellGeom& cell : cells_) {
+    const Off px = cell.nx + 2 * ghost_;
+    const Off py = cell.ny + 2 * ghost_;
+    const Off pz = cell.nz + 2 * ghost_;
+    // Fortran order: component fastest, then x, y, z.
+    for (Off z = 0; z < pz; ++z) {
+      for (Off y = 0; y < py; ++y) {
+        for (Off x = 0; x < px; ++x) {
+          const bool interior = x >= ghost_ && x < ghost_ + cell.nx &&
+                                y >= ghost_ && y < ghost_ + cell.ny &&
+                                z >= ghost_ && z < ghost_ + cell.nz;
+          for (Off c = 0; c < 5; ++c) {
+            buf[at++] = interior
+                            ? expected_value(c, cell.xs + x - ghost_,
+                                             cell.ys + y - ghost_,
+                                             cell.zs + z - ghost_, n_, step)
+                            : kGhostSentinel;
+          }
+        }
+      }
+    }
+  }
+  LLIO_ASSERT(at == buf.size(), "btio: fill did not cover the buffer");
+}
+
+}  // namespace llio::btio

@@ -1,0 +1,92 @@
+// The BTIO I/O pattern (NAS Parallel Benchmarks BT I/O, paper §4.2).
+//
+// BT decomposes an N^3 grid over P = q^2 processes by diagonal
+// multi-partitioning: the grid is cut into q^3 cells of ~ (N/q)^3 points;
+// process (pi, pj) owns the q cells {((pi+k) mod q, (pj+k) mod q, k)},
+// one per k-plane.  The solution field has 5 components per grid point
+// (Fortran order: component fastest, then x, y, z, all double).
+//
+// BTIO writes the whole field each dump step through MPI-IO:
+//  * the *filetype* is the union of the process's q cell subarrays of the
+//    global [5, N, N, N] array (built with MPI_Type_create_subarray),
+//  * the *memtype* is the union of q subarrays selecting the interior of
+//    the process's padded (ghost-cell) local buffers,
+//  * a single collective write_at_all per step moves everything.
+//
+// This module builds those datatypes and the paper's Table 1/2 pattern
+// characterization (N_block, S_block, D_step); the bench and tests drive
+// it through the mpiio layer.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dtype/datatype.hpp"
+
+namespace llio::btio {
+
+/// NAS problem classes (grid edge N).
+Off class_grid_size(char cls);  // 'S'=12, 'W'=24, 'A'=64, 'B'=102, 'C'=162
+
+/// One cell owned by a process.
+struct CellGeom {
+  Off ci, cj, ck;  ///< cell coordinates in the q x q x q cell grid
+  Off xs, ys, zs;  ///< global start offsets (grid points)
+  Off nx, ny, nz;  ///< cell dimensions (grid points)
+};
+
+class Pattern {
+ public:
+  /// nprocs must be a square (P = q^2); ghost is the per-side padding of
+  /// the local cell buffers (BT uses ghost cells; ghost=0 makes the
+  /// memtype contiguous, ghost>0 makes the access nc-nc).
+  Pattern(Off n, int nprocs, int rank, Off ghost = 2);
+
+  Off n() const { return n_; }
+  int q() const { return q_; }
+  Off ghost() const { return ghost_; }
+  const std::vector<CellGeom>& cells() const { return cells_; }
+
+  /// Fileview filetype: union of the q cell subarrays of [5, N, N, N].
+  dt::Type filetype() const;
+
+  /// Memtype: union of q interior subarrays of the padded local buffers.
+  dt::Type memtype() const;
+
+  /// Doubles in the padded local buffer (allocation size).
+  Off padded_doubles() const;
+
+  /// Data doubles this rank writes per step (interior only).
+  Off local_doubles() const;
+
+  /// Bytes the whole application writes per step (paper's D_step).
+  Off global_step_bytes() const { return 5 * n_ * n_ * n_ * 8; }
+
+  /// Contiguous blocks per step for this rank (paper's Table 2 N_block).
+  Off nblock() const;
+
+  /// Mean contiguous block size in bytes (paper's Table 2 S_block).
+  double avg_sblock_bytes() const;
+
+  /// Fill the padded local buffer with the deterministic solution for
+  /// `step`; ghost points are set to a sentinel that must never reach the
+  /// file.
+  void fill(std::span<double> buf, int step) const;
+
+  /// The value of component c at global point (x, y, z) in `step`.
+  static double expected_value(Off c, Off x, Off y, Off z, Off n, int step);
+
+  /// Compute the full reference field for `step` (5*n^3 doubles) — the
+  /// byte image a correct collective write must produce.
+  static void reference_step(std::span<double> global, Off n, int step);
+
+ private:
+  Off n_;
+  int nprocs_;
+  int rank_;
+  int q_;
+  Off ghost_;
+  std::vector<CellGeom> cells_;
+};
+
+}  // namespace llio::btio

@@ -1,0 +1,53 @@
+// Byte-buffer aliases and checked integer helpers shared across llio.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace llio {
+
+using Byte = std::byte;
+using ByteSpan = std::span<Byte>;
+using ConstByteSpan = std::span<const Byte>;
+using ByteVec = std::vector<Byte>;
+
+/// Signed 64-bit offset/length used throughout (mirrors MPI_Offset/MPI_Aint).
+using Off = std::int64_t;
+
+inline Byte* as_bytes(void* p) noexcept { return static_cast<Byte*>(p); }
+inline const Byte* as_bytes(const void* p) noexcept {
+  return static_cast<const Byte*>(p);
+}
+
+/// Checked narrowing from Off to std::size_t (for memcpy sizes, indices).
+inline std::size_t to_size(Off v) {
+  LLIO_REQUIRE(v >= 0, Errc::InvalidArgument, "negative size/offset");
+  return static_cast<std::size_t>(v);
+}
+
+/// Checked widening from std::size_t to Off.
+inline Off to_off(std::size_t v) {
+  LLIO_REQUIRE(v <= static_cast<std::size_t>(std::numeric_limits<Off>::max()),
+               Errc::InvalidArgument, "size overflows Off");
+  return static_cast<Off>(v);
+}
+
+/// floor(a / b) for b > 0, correct for negative a.
+constexpr Off floor_div(Off a, Off b) noexcept {
+  Off q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+/// ceil(a / b) for b > 0.
+constexpr Off ceil_div(Off a, Off b) noexcept { return floor_div(a + b - 1, b); }
+
+constexpr Off round_down(Off a, Off b) noexcept { return floor_div(a, b) * b; }
+constexpr Off round_up(Off a, Off b) noexcept { return ceil_div(a, b) * b; }
+
+}  // namespace llio

@@ -1,0 +1,26 @@
+#include "common/error.hpp"
+
+namespace llio {
+
+const char* errc_name(Errc code) noexcept {
+  switch (code) {
+    case Errc::InvalidArgument: return "InvalidArgument";
+    case Errc::InvalidDatatype: return "InvalidDatatype";
+    case Errc::InvalidView: return "InvalidView";
+    case Errc::Io: return "Io";
+    case Errc::Protocol: return "Protocol";
+    case Errc::Unsupported: return "Unsupported";
+    case Errc::Internal: return "Internal";
+  }
+  return "Unknown";
+}
+
+Error::Error(Errc code, const std::string& what)
+    : std::runtime_error(std::string(errc_name(code)) + ": " + what),
+      code_(code) {}
+
+void throw_error(Errc code, const std::string& message) {
+  throw Error(code, message);
+}
+
+}  // namespace llio

@@ -1,0 +1,52 @@
+// Error handling for llio: a single exception type carrying an error code
+// and a formatted message, plus check macros used at API boundaries.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace llio {
+
+/// Error categories roughly mirroring the MPI-IO error classes that the
+/// original ROMIO/MPI-SX code paths can raise.
+enum class Errc {
+  InvalidArgument,   ///< bad parameter (count < 0, null buffer, ...)
+  InvalidDatatype,   ///< malformed or unsupported datatype construction
+  InvalidView,       ///< fileview violates MPI-IO filetype rules
+  Io,                ///< underlying storage failure
+  Protocol,          ///< internal message-passing protocol violation
+  Unsupported,       ///< feature intentionally out of scope
+  Internal,          ///< invariant violation (library bug)
+};
+
+/// Human-readable name of an error category ("InvalidArgument", ...).
+const char* errc_name(Errc code) noexcept;
+
+/// The exception thrown by all llio components.
+class Error : public std::runtime_error {
+ public:
+  Error(Errc code, const std::string& what);
+
+  Errc code() const noexcept { return code_; }
+
+ private:
+  Errc code_;
+};
+
+[[noreturn]] void throw_error(Errc code, const std::string& message);
+
+}  // namespace llio
+
+/// Validate a user-facing precondition; throws llio::Error on failure.
+#define LLIO_REQUIRE(cond, code, msg)                  \
+  do {                                                 \
+    if (!(cond)) ::llio::throw_error((code), (msg));   \
+  } while (0)
+
+/// Validate an internal invariant; failure indicates a library bug.
+#define LLIO_ASSERT(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::llio::throw_error(::llio::Errc::Internal,                           \
+                          std::string("invariant violated: ") + (msg));     \
+  } while (0)

@@ -1,0 +1,45 @@
+#include "common/format.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+namespace llio {
+
+std::string strprintf(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args2;
+  va_copy(args2, args);
+  int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (n < 0) {
+    va_end(args2);
+    return {};
+  }
+  std::string out(static_cast<std::size_t>(n), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+  va_end(args2);
+  return out;
+}
+
+std::string human_bytes(std::int64_t bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  if (u == 0) return strprintf("%lld B", static_cast<long long>(bytes));
+  return strprintf("%.1f %s", v, units[u]);
+}
+
+std::string human_mbps(double bytes_per_second) {
+  double mbps = bytes_per_second / (1024.0 * 1024.0);
+  if (mbps >= 100.0) return strprintf("%.0f MB/s", mbps);
+  if (mbps >= 1.0) return strprintf("%.1f MB/s", mbps);
+  return strprintf("%.3f MB/s", mbps);
+}
+
+}  // namespace llio

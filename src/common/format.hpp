@@ -1,0 +1,18 @@
+// Minimal string-formatting helpers (libstdc++ 12 lacks <format>).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace llio {
+
+/// printf-style formatting into a std::string.
+std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Human-readable byte count: "8 B", "2.0 KiB", "1.5 MiB", ...
+std::string human_bytes(std::int64_t bytes);
+
+/// Human-readable rate in MB/s with sensible precision.
+std::string human_mbps(double bytes_per_second);
+
+}  // namespace llio

@@ -1,0 +1,31 @@
+#include "core/fotf_mover.hpp"
+
+#include "common/error.hpp"
+#include "fotf/pack.hpp"
+
+namespace llio::core {
+
+FotfMover::FotfMover(const void* buf, Off count, dt::Type memtype)
+    : buf_(const_cast<Byte*>(as_bytes(buf))), memtype_(std::move(memtype)),
+      count_(count), cur_(memtype_, count_) {}
+
+fotf::SegmentCursor& FotfMover::at(Off s) {
+  if (next_stream_ != s) cur_.seek(s);
+  return cur_;
+}
+
+void FotfMover::to_stream(Byte* dst, Off s, Off n) {
+  if (n <= 0) return;
+  const Off copied = fotf::transfer_pack(at(s), buf_, 0, dst, n);
+  LLIO_ASSERT(copied == n, "FotfMover::to_stream: short transfer");
+  next_stream_ = s + n;
+}
+
+void FotfMover::from_stream(const Byte* src, Off s, Off n) {
+  if (n <= 0) return;
+  const Off copied = fotf::transfer_unpack(at(s), buf_, 0, src, n);
+  LLIO_ASSERT(copied == n, "FotfMover::from_stream: short transfer");
+  next_stream_ = s + n;
+}
+
+}  // namespace llio::core

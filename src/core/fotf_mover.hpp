@@ -1,0 +1,31 @@
+// Listless StreamMover: moves data between a non-contiguous user buffer
+// and its dense stream with flattening-on-the-fly pack/unpack.
+#pragma once
+
+#include <memory>
+
+#include "fotf/cursor.hpp"
+#include "mpiio/navigator.hpp"
+
+namespace llio::core {
+
+class FotfMover final : public mpiio::StreamMover {
+ public:
+  /// `buf` holds `count` instances of `memtype`.  The const_cast is safe:
+  /// from_stream is only invoked on buffers the caller owns mutably.
+  FotfMover(const void* buf, Off count, dt::Type memtype);
+
+  void to_stream(Byte* dst, Off s, Off n) override;
+  void from_stream(const Byte* src, Off s, Off n) override;
+
+ private:
+  fotf::SegmentCursor& at(Off s);
+
+  Byte* buf_;
+  dt::Type memtype_;
+  Off count_;
+  fotf::SegmentCursor cur_;
+  Off next_stream_ = 0;  ///< cursor's current stream position
+};
+
+}  // namespace llio::core

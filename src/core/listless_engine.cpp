@@ -1,0 +1,366 @@
+#include "core/listless_engine.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "core/fotf_mover.hpp"
+#include "dtype/normalize.hpp"
+#include "dtype/serialize.hpp"
+#include "mpiio/sieve.hpp"
+#include "mpiio/twophase.hpp"
+
+namespace llio::core {
+
+using mpiio::AccessRange;
+using mpiio::Domain;
+using mpiio::SieveContext;
+using mpiio::View;
+
+namespace {
+
+void put_off(ByteVec& out, Off v) {
+  Byte raw[sizeof(Off)];
+  std::memcpy(raw, &v, sizeof(Off));
+  out.insert(out.end(), raw, raw + sizeof(Off));
+}
+
+Off get_off(ConstByteSpan data, std::size_t at) {
+  LLIO_REQUIRE(at + sizeof(Off) <= data.size(), Errc::Protocol,
+               "short message");
+  Off v;
+  std::memcpy(&v, data.data() + at, sizeof(Off));
+  return v;
+}
+
+}  // namespace
+
+void ListlessEngine::set_view(const View& v) {
+  validate_view(v);
+  view_ = v;
+  // Normalize once: the cursor then sees the largest regular strata, and
+  // the cached wire form shrinks.  The typemap is provably unchanged.
+  const dt::Type ft = dt::normalize(v.filetype);
+  nav_ = std::make_unique<ListlessNav>(ft);
+
+  // Fileview caching (§3.2.3): exchange the compact representation once.
+  ByteVec blob;
+  put_off(blob, v.disp);
+  const ByteVec enc = dt::serialize(ft);
+  blob.insert(blob.end(), enc.begin(), enc.end());
+  auto all = comm_->allgather(blob, sim::MsgClass::Meta);
+
+  cached_.clear();
+  cached_.reserve(all.size());
+  for (auto& raw : all) {
+    CachedView cv;
+    cv.disp = get_off(raw, 0);
+    cv.filetype = dt::deserialize(
+        ConstByteSpan(raw.data() + sizeof(Off), raw.size() - sizeof(Off)));
+    cv.nav = std::make_unique<ListlessNav>(cv.filetype);
+    cached_.push_back(std::move(cv));
+  }
+}
+
+std::unique_ptr<mpiio::StreamMover> ListlessEngine::make_nc_mover(
+    const void* buf, Off count, const dt::Type& mt) {
+  return std::make_unique<FotfMover>(buf, count, mt);
+}
+
+Off ListlessEngine::do_write_at(Off stream_lo, const void* buf, Off count,
+                                const dt::Type& mt) {
+  const Off nbytes = count * mt->size();
+  if (nbytes == 0) return 0;
+  auto mover = make_mover(buf, count, mt);
+  return indep_write(*nav_, stream_lo, nbytes, *mover);
+}
+
+Off ListlessEngine::do_read_at(Off stream_lo, void* buf, Off count,
+                               const dt::Type& mt) {
+  const Off nbytes = count * mt->size();
+  if (nbytes == 0) return 0;
+  auto mover = make_mover(buf, count, mt);
+  return indep_read(*nav_, stream_lo, nbytes, *mover);
+}
+
+Off ListlessEngine::do_write_at_all(Off stream_lo, const void* buf, Off count,
+                                    const dt::Type& mt) {
+  if (!opts_.cb_write) {  // collective buffering disabled (hint)
+    const Off n = do_write_at(stream_lo, buf, count, mt);
+    comm_->barrier();
+    return n;
+  }
+  const Off nbytes = count * mt->size();
+  const int p = comm_->size();
+  const int niops = mpiio::effective_iops(opts_.io_procs, p);
+  const Off fbs = opts_.file_buffer_size;
+
+  // Phase 0: exchange access ranges (tiny, Meta).
+  AccessRange mine{stream_lo, nbytes, 0, 0};
+  if (nbytes > 0) {
+    mine.abs_lo = view_.disp + nav_->stream_to_file_start(stream_lo);
+    mine.abs_hi = view_.disp + nav_->stream_to_file_end(stream_lo + nbytes);
+  }
+  StopWatch xw;
+  xw.start();
+  auto ranges = mpiio::exchange_ranges(*comm_, mine);
+  xw.stop();
+  stats_.exchange_s += xw.seconds();
+
+  const auto g = mpiio::global_range(ranges);
+  if (!g.any) {
+    comm_->barrier();
+    return 0;
+  }
+  const auto domains = mpiio::partition_domains(g, niops, fbs);
+
+  // Phase 1 (AP side): for each IOP, ship the slice of my packed stream
+  // that falls into its file domain.  Header: [s_lo][s_hi], then data.
+  std::unique_ptr<mpiio::StreamMover> mover;
+  if (nbytes > 0) mover = make_mover(buf, count, mt);
+  std::vector<ByteVec> outgoing(to_size(Off{p}));
+  if (nbytes > 0) {
+    for (int i = 0; i < niops; ++i) {
+      const Domain& d = domains[to_size(Off{i})];
+      const Off lo = std::max(d.lo, mine.abs_lo);
+      const Off hi = std::min(d.hi, mine.abs_hi);
+      if (hi <= lo) continue;
+      const Off s1 = std::clamp(nav_->file_to_stream(lo - view_.disp),
+                                stream_lo, stream_lo + nbytes);
+      const Off s2 = std::clamp(nav_->file_to_stream(hi - view_.disp),
+                                stream_lo, stream_lo + nbytes);
+      if (s2 <= s1) continue;
+      ByteVec& msg = outgoing[to_size(Off{i})];
+      put_off(msg, s1);
+      put_off(msg, s2);
+      const std::size_t hdr = msg.size();
+      msg.resize(hdr + to_size(s2 - s1));
+      StopWatch cw;
+      cw.start();
+      mover->to_stream(msg.data() + hdr, s1 - stream_lo, s2 - s1);
+      cw.stop();
+      stats_.copy_s += cw.seconds();
+      stats_.data_bytes_sent += s2 - s1;
+    }
+  }
+  xw.reset();
+  xw.start();
+  auto incoming = comm_->alltoall(std::move(outgoing), sim::MsgClass::Data);
+  xw.stop();
+  stats_.exchange_s += xw.seconds();
+
+  // Phase 2 (IOP side): patch file blocks with the received stream slices
+  // driven by the cached fileviews.
+  const int rank = comm_->rank();
+  if (rank < niops && !domains[to_size(Off{rank})].empty()) {
+    const Domain dom = domains[to_size(Off{rank})];
+    SieveContext ctx{*file_, *locks_, opts_, stats_};
+    ByteVec fbuf(to_size(std::min(fbs, dom.hi - dom.lo)));
+    struct Incoming {
+      int src;
+      Off s_lo, s_hi;
+      const Byte* data;
+      ListlessNav* nav;
+      Off disp;
+    };
+    std::vector<Incoming> srcs;
+    for (int r = 0; r < p; ++r) {
+      const ByteVec& msg = incoming[to_size(Off{r})];
+      if (msg.empty()) continue;
+      Incoming in;
+      in.src = r;
+      in.s_lo = get_off(msg, 0);
+      in.s_hi = get_off(msg, sizeof(Off));
+      in.data = msg.data() + 2 * sizeof(Off);
+      in.nav = cached_[to_size(Off{r})].nav.get();
+      in.disp = cached_[to_size(Off{r})].disp;
+      LLIO_REQUIRE(msg.size() == 2 * sizeof(Off) + to_size(in.s_hi - in.s_lo),
+                   Errc::Protocol, "write_at_all: bad payload size");
+      srcs.push_back(in);
+    }
+    for (Off pos = dom.lo; pos < dom.hi; pos += fbs) {
+      const Off win_hi = std::min(dom.hi, pos + fbs);
+      const Off win = win_hi - pos;
+      // Mergeview coverage test: stream bytes all ranks contribute here.
+      struct Slice {
+        const Incoming* in;
+        Off s1, s2;
+      };
+      std::vector<Slice> slices;
+      Off covered = 0;
+      for (const Incoming& in : srcs) {
+        const Off s1 = std::clamp(in.nav->file_to_stream(pos - in.disp),
+                                  in.s_lo, in.s_hi);
+        const Off s2 = std::clamp(in.nav->file_to_stream(win_hi - in.disp),
+                                  in.s_lo, in.s_hi);
+        if (s2 <= s1) continue;
+        slices.push_back({&in, s1, s2});
+        covered += s2 - s1;
+      }
+      if (slices.empty()) continue;
+      pfs::ScopedRangeLock lock(*locks_, pos, win_hi);
+      const bool full = covered == win && opts_.collective_merge_opt;
+      if (!full)
+        mpiio::timed_pread_zero_fill(ctx, pos,
+                                     ByteSpan(fbuf.data(), to_size(win)));
+      StopWatch cw;
+      cw.start();
+      for (const Slice& sl : slices) {
+        sl.in->nav->scatter(fbuf.data(), pos - sl.in->disp, sl.s1,
+                            sl.in->data + (sl.s1 - sl.in->s_lo), sl.s2 - sl.s1);
+      }
+      cw.stop();
+      stats_.copy_s += cw.seconds();
+      mpiio::timed_pwrite(ctx, pos, ConstByteSpan(fbuf.data(), to_size(win)));
+    }
+  }
+  comm_->barrier();
+  stats_.bytes_moved += nbytes;
+  return nbytes;
+}
+
+Off ListlessEngine::do_read_at_all(Off stream_lo, void* buf, Off count,
+                                   const dt::Type& mt) {
+  if (!opts_.cb_read) {
+    const Off n = do_read_at(stream_lo, buf, count, mt);
+    comm_->barrier();
+    return n;
+  }
+  const Off nbytes = count * mt->size();
+  const int p = comm_->size();
+  const int rank = comm_->rank();
+  const int niops = mpiio::effective_iops(opts_.io_procs, p);
+  const Off fbs = opts_.file_buffer_size;
+
+  AccessRange mine{stream_lo, nbytes, 0, 0};
+  if (nbytes > 0) {
+    mine.abs_lo = view_.disp + nav_->stream_to_file_start(stream_lo);
+    mine.abs_hi = view_.disp + nav_->stream_to_file_end(stream_lo + nbytes);
+  }
+  StopWatch xw;
+  xw.start();
+  auto ranges = mpiio::exchange_ranges(*comm_, mine);
+  xw.stop();
+  stats_.exchange_s += xw.seconds();
+
+  const auto g = mpiio::global_range(ranges);
+  if (!g.any) {
+    comm_->barrier();
+    return 0;
+  }
+  const auto domains = mpiio::partition_domains(g, niops, fbs);
+
+  // Phase 1: request the stream slice [s1, s2) from each IOP (Meta).
+  std::vector<ByteVec> requests(to_size(Off{p}));
+  std::vector<std::pair<Off, Off>> my_slices(to_size(Off{p}), {0, 0});
+  if (nbytes > 0) {
+    for (int i = 0; i < niops; ++i) {
+      const Domain& d = domains[to_size(Off{i})];
+      const Off lo = std::max(d.lo, mine.abs_lo);
+      const Off hi = std::min(d.hi, mine.abs_hi);
+      if (hi <= lo) continue;
+      const Off s1 = std::clamp(nav_->file_to_stream(lo - view_.disp),
+                                stream_lo, stream_lo + nbytes);
+      const Off s2 = std::clamp(nav_->file_to_stream(hi - view_.disp),
+                                stream_lo, stream_lo + nbytes);
+      if (s2 <= s1) continue;
+      my_slices[to_size(Off{i})] = {s1, s2};
+      ByteVec& msg = requests[to_size(Off{i})];
+      put_off(msg, s1);
+      put_off(msg, s2);
+    }
+  }
+  xw.reset();
+  xw.start();
+  auto reqs = comm_->alltoall(std::move(requests), sim::MsgClass::Meta);
+  xw.stop();
+  stats_.exchange_s += xw.seconds();
+
+  // Phase 2 (IOP side): read my domain blockwise, gather each AP's slice
+  // through its cached fileview, reply with pure data.
+  std::vector<ByteVec> replies(to_size(Off{p}));
+  if (rank < niops && !domains[to_size(Off{rank})].empty()) {
+    const Domain dom = domains[to_size(Off{rank})];
+    SieveContext ctx{*file_, *locks_, opts_, stats_};
+    ByteVec fbuf(to_size(std::min(fbs, dom.hi - dom.lo)));
+    struct Req {
+      Off s_lo, s_hi;
+      ListlessNav* nav;
+      Off disp;
+      ByteVec* reply;
+    };
+    std::vector<Req> active;
+    for (int r = 0; r < p; ++r) {
+      const ByteVec& msg = reqs[to_size(Off{r})];
+      if (msg.empty()) continue;
+      Req rq;
+      rq.s_lo = get_off(msg, 0);
+      rq.s_hi = get_off(msg, sizeof(Off));
+      rq.nav = cached_[to_size(Off{r})].nav.get();
+      rq.disp = cached_[to_size(Off{r})].disp;
+      rq.reply = &replies[to_size(Off{r})];
+      rq.reply->resize(to_size(rq.s_hi - rq.s_lo));
+      active.push_back(rq);
+    }
+    for (Off pos = dom.lo; pos < dom.hi; pos += fbs) {
+      const Off win_hi = std::min(dom.hi, pos + fbs);
+      const Off win = win_hi - pos;
+      bool any = false;
+      for (const Req& rq : active) {
+        const Off s1 = std::clamp(rq.nav->file_to_stream(pos - rq.disp),
+                                  rq.s_lo, rq.s_hi);
+        const Off s2 = std::clamp(rq.nav->file_to_stream(win_hi - rq.disp),
+                                  rq.s_lo, rq.s_hi);
+        if (s2 > s1) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) continue;
+      mpiio::timed_pread_zero_fill(ctx, pos,
+                                   ByteSpan(fbuf.data(), to_size(win)));
+      StopWatch cw;
+      cw.start();
+      for (const Req& rq : active) {
+        const Off s1 = std::clamp(rq.nav->file_to_stream(pos - rq.disp),
+                                  rq.s_lo, rq.s_hi);
+        const Off s2 = std::clamp(rq.nav->file_to_stream(win_hi - rq.disp),
+                                  rq.s_lo, rq.s_hi);
+        if (s2 <= s1) continue;
+        rq.nav->gather(rq.reply->data() + (s1 - rq.s_lo), fbuf.data(),
+                       pos - rq.disp, s1, s2 - s1);
+      }
+      cw.stop();
+      stats_.copy_s += cw.seconds();
+    }
+    for (const Req& rq : active) stats_.data_bytes_sent += rq.s_hi - rq.s_lo;
+  }
+  xw.reset();
+  xw.start();
+  auto incoming = comm_->alltoall(std::move(replies), sim::MsgClass::Data);
+  xw.stop();
+  stats_.exchange_s += xw.seconds();
+
+  // Phase 3 (AP side): unpack each IOP's reply into the user buffer.
+  if (nbytes > 0) {
+    auto mover = make_mover(buf, count, mt);
+    StopWatch cw;
+    cw.start();
+    for (int i = 0; i < niops; ++i) {
+      const auto [s1, s2] = my_slices[to_size(Off{i})];
+      if (s2 <= s1) continue;
+      const ByteVec& reply = incoming[to_size(Off{i})];
+      LLIO_REQUIRE(reply.size() == to_size(s2 - s1), Errc::Protocol,
+                   "read_at_all: bad reply size");
+      mover->from_stream(reply.data(), s1 - stream_lo, s2 - s1);
+    }
+    cw.stop();
+    stats_.copy_s += cw.seconds();
+  }
+  comm_->barrier();
+  stats_.bytes_moved += nbytes;
+  return nbytes;
+}
+
+}  // namespace llio::core

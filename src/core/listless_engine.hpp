@@ -1,0 +1,56 @@
+// The listless I/O engine (paper §3): independent access via the shared
+// sieving skeleton with fotf navigation, and collective two-phase access
+// with *fileview caching* — each rank's (disp, filetype) is exchanged in
+// compact form exactly once, at set_view, so collective operations move
+// only file data, never ol-lists.
+//
+// The *mergeview* write optimization (§3.2.3): before pre-reading a file
+// block for read-modify-write, the IOP computes how many stream bytes the
+// combined cached fileviews (clamped to the ranks' actual access ranges)
+// contribute to the block; when that equals the block size the pre-read
+// is skipped.  This is semantically the paper's
+// "MPIR_Type_ff_size(mergetype, ...) >= extent" test, evaluated as a sum
+// over the cached views (our navigation requires monotone types, and the
+// merge struct interleaves its children).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/listless_nav.hpp"
+#include "mpiio/engine.hpp"
+
+namespace llio::core {
+
+class ListlessEngine final : public mpiio::IoEngine {
+ public:
+  using mpiio::IoEngine::IoEngine;
+
+  void set_view(const mpiio::View& v) override;
+
+ protected:
+  Off do_read_at(Off stream_lo, void* buf, Off count,
+                 const dt::Type& mt) override;
+  Off do_write_at(Off stream_lo, const void* buf, Off count,
+                  const dt::Type& mt) override;
+  Off do_read_at_all(Off stream_lo, void* buf, Off count,
+                     const dt::Type& mt) override;
+  Off do_write_at_all(Off stream_lo, const void* buf, Off count,
+                      const dt::Type& mt) override;
+
+  std::unique_ptr<mpiio::StreamMover> make_nc_mover(
+      const void* buf, Off count, const dt::Type& mt) override;
+
+ private:
+  /// Cached remote fileview (fileview caching, §3.2.3).
+  struct CachedView {
+    Off disp = 0;
+    dt::Type filetype;
+    std::unique_ptr<ListlessNav> nav;
+  };
+
+  std::unique_ptr<ListlessNav> nav_;        ///< my own view
+  std::vector<CachedView> cached_;          ///< one per rank, incl. self
+};
+
+}  // namespace llio::core

@@ -1,0 +1,65 @@
+#include "core/listless_nav.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "fotf/navigate.hpp"
+#include "fotf/pack.hpp"
+
+namespace llio::core {
+
+ListlessNav::ListlessNav(dt::Type filetype) : ft_(std::move(filetype)) {
+  LLIO_REQUIRE(ft_ != nullptr && ft_->size() > 0, Errc::InvalidDatatype,
+               "ListlessNav: bad filetype");
+}
+
+Off ListlessNav::stream_to_file_start(Off s) { return fotf::mem_start(ft_, s); }
+
+Off ListlessNav::stream_to_file_end(Off s) { return fotf::mem_end(ft_, s); }
+
+Off ListlessNav::file_to_stream(Off mem) { return fotf::data_below(ft_, mem); }
+
+fotf::SegmentCursor& ListlessNav::at(Off s, Off hi) {
+  const Off need = ceil_div(hi, ft_->size()) + 1;
+  if (!cur_ || cur_instances_ < need) {
+    // Grow geometrically so sequential accesses rarely reconstruct.
+    cur_instances_ = std::max<Off>(need * 2, 16);
+    cur_ = std::make_unique<fotf::SegmentCursor>(ft_, cur_instances_);
+    next_stream_ = -1;
+  }
+  if (next_stream_ != s) cur_->seek(s);
+  return *cur_;
+}
+
+void ListlessNav::scatter(Byte* win, Off bias, Off s, const Byte* src,
+                          Off n) {
+  if (n <= 0) return;
+  fotf::SegmentCursor& cur = at(s, s + n);
+  const Off copied = fotf::transfer_unpack(cur, win, bias, src, n);
+  LLIO_ASSERT(copied == n, "ListlessNav::scatter: short transfer");
+  next_stream_ = s + n;
+}
+
+void ListlessNav::for_each_segment(
+    Off s, Off n, const std::function<void(Off, Off, Off)>& fn) {
+  if (n <= 0) return;
+  fotf::SegmentCursor& cur = at(s, s + n);
+  Off done = 0;
+  while (done < n) {
+    const Off len = std::min(cur.run_len(), n - done);
+    fn(cur.run_mem(), s + done, len);
+    cur.consume(len);
+    done += len;
+  }
+  next_stream_ = s + n;
+}
+
+void ListlessNav::gather(Byte* dst, const Byte* win, Off bias, Off s, Off n) {
+  if (n <= 0) return;
+  fotf::SegmentCursor& cur = at(s, s + n);
+  const Off copied = fotf::transfer_pack(cur, win, bias, dst, n);
+  LLIO_ASSERT(copied == n, "ListlessNav::gather: short transfer");
+  next_stream_ = s + n;
+}
+
+}  // namespace llio::core

@@ -1,0 +1,36 @@
+// Listless ViewNav: fileview navigation and data movement via
+// flattening-on-the-fly (paper §3).  All positioning is O(depth) and all
+// copying is proportional to the bytes moved — no ol-lists anywhere.
+#pragma once
+
+#include <memory>
+
+#include "fotf/cursor.hpp"
+#include "mpiio/navigator.hpp"
+
+namespace llio::core {
+
+class ListlessNav final : public mpiio::ViewNav {
+ public:
+  explicit ListlessNav(dt::Type filetype);
+
+  Off stream_to_file_start(Off s) override;
+  Off stream_to_file_end(Off s) override;
+  Off file_to_stream(Off mem) override;
+  void scatter(Byte* win, Off bias, Off s, const Byte* src, Off n) override;
+  void gather(Byte* dst, const Byte* win, Off bias, Off s, Off n) override;
+  void for_each_segment(
+      Off s, Off n, const std::function<void(Off, Off, Off)>& fn) override;
+
+ private:
+  /// Ensure the cursor covers stream bytes up to `hi` and is positioned
+  /// at `s` (re-seeks only on non-sequential access).
+  fotf::SegmentCursor& at(Off s, Off hi);
+
+  dt::Type ft_;
+  std::unique_ptr<fotf::SegmentCursor> cur_;
+  Off cur_instances_ = 0;
+  Off next_stream_ = -1;  ///< stream position the cursor currently sits at
+};
+
+}  // namespace llio::core

@@ -1,0 +1,101 @@
+#include "dtype/flatten.hpp"
+
+#include "common/error.hpp"
+
+namespace llio::dt {
+
+OlList::OlList(std::vector<OlTuple> tuples) : tuples_(std::move(tuples)) {
+  for (const OlTuple& t : tuples_) total_bytes_ += t.len;
+}
+
+namespace {
+
+void emit(std::vector<OlTuple>& out, Off off, Off len, bool coalesce) {
+  if (len <= 0) return;
+  if (coalesce && !out.empty() && out.back().off + out.back().len == off) {
+    out.back().len += len;
+    return;
+  }
+  out.push_back({off, len});
+}
+
+void walk(const Node& n, Off base, std::vector<OlTuple>& out, bool coalesce) {
+  if (n.size() == 0) return;
+  switch (n.kind()) {
+    case Kind::Basic:
+      emit(out, base, n.size(), coalesce);
+      break;
+    case Kind::Contiguous: {
+      const Node& c = *n.child();
+      if (c.is_contiguous()) {
+        // Dense child: the whole repetition is one run of data.
+        emit(out, base + c.true_lb(), n.count() * c.size(), coalesce);
+        break;
+      }
+      for (Off i = 0; i < n.count(); ++i)
+        walk(c, base + i * c.extent(), out, coalesce);
+      break;
+    }
+    case Kind::Vector: {
+      const Node& c = *n.child();
+      for (Off i = 0; i < n.count(); ++i) {
+        const Off bbase = base + i * n.stride_bytes();
+        if (c.is_contiguous()) {
+          emit(out, bbase + c.true_lb(), n.blocklen() * c.size(), coalesce);
+        } else {
+          for (Off j = 0; j < n.blocklen(); ++j)
+            walk(c, bbase + j * c.extent(), out, coalesce);
+        }
+      }
+      break;
+    }
+    case Kind::Indexed: {
+      const Node& c = *n.child();
+      const auto bls = n.blocklens();
+      const auto ds = n.disps_bytes();
+      for (std::size_t i = 0; i < bls.size(); ++i) {
+        const Off bbase = base + ds[i];
+        if (c.is_contiguous()) {
+          emit(out, bbase + c.true_lb(), bls[i] * c.size(), coalesce);
+        } else {
+          for (Off j = 0; j < bls[i]; ++j)
+            walk(c, bbase + j * c.extent(), out, coalesce);
+        }
+      }
+      break;
+    }
+    case Kind::Struct: {
+      const auto bls = n.blocklens();
+      const auto ds = n.disps_bytes();
+      const auto kids = n.children();
+      for (std::size_t i = 0; i < kids.size(); ++i) {
+        const Node& c = *kids[i];
+        const Off bbase = base + ds[i];
+        if (c.size() == 0) continue;
+        if (c.is_contiguous()) {
+          emit(out, bbase + c.true_lb(), bls[i] * c.size(), coalesce);
+        } else {
+          for (Off j = 0; j < bls[i]; ++j)
+            walk(c, bbase + j * c.extent(), out, coalesce);
+        }
+      }
+      break;
+    }
+    case Kind::Resized:
+      walk(*n.child(), base, out, coalesce);
+      break;
+  }
+}
+
+}  // namespace
+
+OlList flatten(const Type& t, bool coalesce) {
+  LLIO_REQUIRE(t != nullptr, Errc::InvalidDatatype, "flatten: null type");
+  std::vector<OlTuple> out;
+  if (t->block_count() > 0)
+    out.reserve(static_cast<std::size_t>(t->block_count()));
+  walk(*t, 0, out, coalesce);
+  return OlList(std::move(out));
+}
+
+}  // namespace llio::dt

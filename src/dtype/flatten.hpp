@@ -1,0 +1,50 @@
+// Explicit ("list-based") flattening of datatypes into ol-lists of
+// <offset, length> tuples — the ROMIO representation the paper's Section 2
+// analyzes.  The list-based baseline engine is built on this; the listless
+// engine never calls it.
+#pragma once
+
+#include <vector>
+
+#include "dtype/datatype.hpp"
+
+namespace llio::dt {
+
+/// One contiguous block of a flattened datatype: `len` data bytes at typemap
+/// offset `off`.  16 bytes per tuple, exactly the memory cost quoted in the
+/// paper (sizeof(MPI_Aint) + sizeof(MPI_Offset)).
+struct OlTuple {
+  Off off;
+  Off len;
+
+  friend bool operator==(const OlTuple&, const OlTuple&) = default;
+};
+
+/// The ol-list of one datatype instance, in typemap order.
+class OlList {
+ public:
+  OlList() = default;
+  explicit OlList(std::vector<OlTuple> tuples);
+
+  const std::vector<OlTuple>& tuples() const noexcept { return tuples_; }
+  std::size_t block_count() const noexcept { return tuples_.size(); }
+  Off total_bytes() const noexcept { return total_bytes_; }
+
+  /// Bytes of heap memory consumed by the explicit representation.
+  Off memory_bytes() const noexcept {
+    return static_cast<Off>(tuples_.size() * sizeof(OlTuple));
+  }
+
+  bool empty() const noexcept { return tuples_.empty(); }
+
+ private:
+  std::vector<OlTuple> tuples_;
+  Off total_bytes_ = 0;
+};
+
+/// Explicitly flatten one instance of `t` into an ol-list.  With `coalesce`
+/// (the default, matching ROMIO) exactly-adjacent blocks are merged.
+/// Cost: O(block_count) time and memory — the bottleneck the paper removes.
+OlList flatten(const Type& t, bool coalesce = true);
+
+}  // namespace llio::dt

@@ -1,0 +1,108 @@
+#include "dtype/normalize.hpp"
+
+#include <vector>
+
+namespace llio::dt {
+
+namespace {
+
+bool same_bounds(const Type& a, const Type& b) {
+  return a->lb() == b->lb() && a->ub() == b->ub();
+}
+
+Type norm(const Type& t);
+
+Type norm_contiguous(const Node& n) {
+  const Type child = norm(n.child());
+  if (n.count() == 1) return child;
+  if (child->kind() == Kind::Contiguous) {
+    const Type grand = child->child();
+    // Nested counts collapse only when the inner tiling is at the
+    // grandchild extent, which contiguous guarantees.
+    return contiguous(n.count() * child->count(), grand);
+  }
+  return contiguous(n.count(), child);
+}
+
+Type norm_vector(const Node& n) {
+  const Type child = norm(n.child());
+  const Off block_span = n.blocklen() * child->extent();
+  if (n.count() == 1) return norm(contiguous(n.blocklen(), child));
+  if (n.stride_bytes() == block_span) {
+    // Dense stride: blocks tile seamlessly.
+    return norm(contiguous(n.count() * n.blocklen(), child));
+  }
+  if (n.blocklen() == 1 && child->kind() == Kind::Contiguous) {
+    // hvector(c, 1, s, contiguous(m, g)) -> hvector(c, m, s, g): exposes
+    // the basic-leaf block directly to the strided-copy kernels.
+    return hvector(n.count(), child->count(), n.stride_bytes(),
+                   child->child());
+  }
+  return hvector(n.count(), n.blocklen(), n.stride_bytes(), child);
+}
+
+Type norm_indexed(const Node& n) {
+  const Type child = norm(n.child());
+  const auto bls = n.blocklens();
+  const auto ds = n.disps_bytes();
+  if (bls.size() == 1 && ds[0] == 0)
+    return norm(contiguous(bls[0], child));
+  // Equal blocks at a uniform positive stride starting at 0 -> hvector.
+  if (bls.size() >= 2 && ds[0] == 0) {
+    bool uniform = true;
+    const Off stride = ds[1] - ds[0];
+    for (std::size_t i = 0; i < bls.size() && uniform; ++i) {
+      if (bls[i] != bls[0]) uniform = false;
+      if (i > 0 && ds[i] - ds[i - 1] != stride) uniform = false;
+    }
+    if (uniform && stride > 0) {
+      return norm(
+          hvector(static_cast<Off>(bls.size()), bls[0], stride, child));
+    }
+  }
+  return hindexed(bls, ds, child);
+}
+
+Type norm_struct(const Node& n) {
+  const auto bls = n.blocklens();
+  const auto ds = n.disps_bytes();
+  std::vector<Type> kids;
+  kids.reserve(n.children().size());
+  for (const Type& c : n.children()) kids.push_back(norm(c));
+  if (kids.size() == 1 && bls[0] == 1 && ds[0] == 0) return kids[0];
+  return struct_(bls, ds, kids);
+}
+
+Type norm(const Type& t) {
+  switch (t->kind()) {
+    case Kind::Basic:
+      return t;
+    case Kind::Contiguous:
+      return norm_contiguous(*t);
+    case Kind::Vector:
+      return norm_vector(*t);
+    case Kind::Indexed:
+      return norm_indexed(*t);
+    case Kind::Struct:
+      return norm_struct(*t);
+    case Kind::Resized: {
+      const Type child = norm(t->child());
+      if (child->lb() == t->lb() && child->ub() == t->ub()) return child;
+      return resized(child, t->lb(), t->extent());
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+Type normalize(const Type& t) {
+  LLIO_REQUIRE(t != nullptr, Errc::InvalidDatatype, "normalize: null type");
+  Type out = norm(t);
+  // Any rewrite must preserve the marker bounds; wrap if a collapse
+  // changed them (e.g. dropping a resized that a parent relied on).
+  if (!same_bounds(out, t)) out = resized(out, t->lb(), t->extent());
+  return out;
+}
+
+}  // namespace llio::dt

@@ -1,0 +1,27 @@
+// Datatype tree simplification (the analogue of MPICH's dataloop
+// optimization): rewrites a type into an equivalent, usually shallower
+// tree so the flattening-on-the-fly cursor sees larger regular strata.
+//
+// normalize() preserves the typemap exactly — same data bytes at the same
+// offsets in the same order — and the lb/ub markers, so it is safe to
+// apply to fileviews and memtypes alike.  The listless engine normalizes
+// filetypes at set_view.
+#pragma once
+
+#include "dtype/datatype.hpp"
+
+namespace llio::dt {
+
+/// Equivalent simplified type.  Rewrites applied bottom-up:
+///  - contiguous(1, t)              -> t
+///  - contiguous(n, contiguous(m))  -> contiguous(n*m)
+///  - vector with dense stride      -> contiguous
+///  - vector(1, bl, s, t)           -> contiguous(bl, t)
+///  - hvector of a contiguous child -> hvector over the merged child
+///  - hindexed([n @ 0], t)          -> contiguous(n, t)
+///  - hindexed with equal blocks at a uniform stride from 0 -> hvector
+///  - struct of one block of count 1 at displacement 0 -> the child
+///  - resized matching the child's bounds -> the child
+Type normalize(const Type& t);
+
+}  // namespace llio::dt

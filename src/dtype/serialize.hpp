@@ -1,0 +1,22 @@
+// Compact wire representation of datatypes.
+//
+// This is the "compact representation of MPI datatypes" that listless I/O
+// exchanges once per fileview (fileview caching, paper §3.2.3) instead of
+// shipping ol-lists on every collective access.  The encoding size is
+// proportional to the *tree* size of the type (a handful of bytes per
+// constructor), not to block_count.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "dtype/datatype.hpp"
+
+namespace llio::dt {
+
+/// Encode `t` into a self-delimiting byte string.
+ByteVec serialize(const Type& t);
+
+/// Decode a type previously produced by serialize().  Throws
+/// Errc::InvalidDatatype on malformed input.
+Type deserialize(ConstByteSpan data);
+
+}  // namespace llio::dt

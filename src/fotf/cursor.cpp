@@ -1,0 +1,209 @@
+#include "fotf/cursor.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace llio::fotf {
+
+using dt::Kind;
+using dt::Node;
+
+SegmentCursor::SegmentCursor(Type t, Off count) : type_(std::move(t)), count_(count) {
+  LLIO_REQUIRE(type_ != nullptr, Errc::InvalidDatatype, "cursor: null type");
+  LLIO_REQUIRE(count >= 0, Errc::InvalidArgument, "cursor: count < 0");
+  total_ = count_ * type_->size();
+  seek(0);
+}
+
+Off SegmentCursor::nblocks_of(const Frame& f) const {
+  if (f.node == nullptr) return 1;  // synthetic root: one block of count_ elems
+  switch (f.node->kind()) {
+    case Kind::Basic: return 0;  // never framed: contiguous, emitted by parent
+    case Kind::Contiguous: return 1;
+    case Kind::Resized: return 1;
+    case Kind::Vector: return f.node->count();
+    case Kind::Indexed:
+    case Kind::Struct: return static_cast<Off>(f.node->blocklens().size());
+  }
+  return 0;
+}
+
+SegmentCursor::Block SegmentCursor::block_of(const Frame& f, Off i) const {
+  if (f.node == nullptr) return {type_.get(), 0, count_};
+  const Node& n = *f.node;
+  switch (n.kind()) {
+    case Kind::Contiguous: return {n.child().get(), 0, n.count()};
+    case Kind::Resized: return {n.child().get(), 0, 1};
+    case Kind::Vector:
+      return {n.child().get(), i * n.stride_bytes(), n.blocklen()};
+    case Kind::Indexed:
+      return {n.child().get(), n.disps_bytes()[to_size(i)],
+              n.blocklens()[to_size(i)]};
+    case Kind::Struct:
+      return {n.children()[to_size(i)].get(), n.disps_bytes()[to_size(i)],
+              n.blocklens()[to_size(i)]};
+    case Kind::Basic: break;
+  }
+  LLIO_ASSERT(false, "block_of: bad node kind");
+  return {};
+}
+
+void SegmentCursor::emit_run(Frame& f, const Block& b, Off ielem, Off rem) {
+  const Node& c = *b.child;
+  run_mem_ = f.base + b.base + ielem * c.extent() + c.true_lb() + rem;
+  run_len_ = (b.elems - ielem) * c.size() - rem;
+  run_is_full_block_ = (ielem == 0 && rem == 0);
+  f.ielem = b.elems;  // the run covers the rest of this block
+}
+
+void SegmentCursor::seek(Off skip) {
+  LLIO_REQUIRE(skip >= 0 && skip <= total_, Errc::InvalidArgument,
+               "cursor: seek out of range");
+  stack_.clear();
+  run_mem_ = 0;
+  run_len_ = 0;
+  stream_ = skip;
+  run_is_full_block_ = false;
+  if (skip == total_) return;  // at end (also covers total_ == 0)
+
+  stack_.push_back({nullptr, 0, 0, 0});
+  for (;;) {
+    Frame& f = stack_.back();
+    // Locate the block and element containing `skip` within this frame.
+    Off iblock = 0;
+    Off rem = skip;
+    const Node* n = f.node;
+    if (n != nullptr &&
+        (n->kind() == Kind::Indexed || n->kind() == Kind::Struct)) {
+      const auto prefix = n->prefix();
+      // Last i with prefix[i] <= skip < prefix[i+1].
+      const auto it =
+          std::upper_bound(prefix.begin(), prefix.end(), skip) - 1;
+      iblock = it - prefix.begin();
+      rem = skip - *it;
+    } else if (n != nullptr && n->kind() == Kind::Vector) {
+      const Off bd = n->blocklen() * n->child()->size();
+      iblock = skip / bd;
+      rem = skip % bd;
+    }
+    const Block b = block_of(f, iblock);
+    const Off csz = b.child->size();
+    LLIO_ASSERT(csz > 0, "seek landed in a zero-size block");
+    const Off ielem = rem / csz;
+    rem = rem % csz;
+    f.iblock = iblock;
+    f.ielem = ielem;
+    if (b.child->is_contiguous()) {
+      emit_run(f, b, ielem, rem);
+      return;
+    }
+    stack_.push_back({b.child, f.base + b.base + ielem * b.child->extent(),
+                      0, 0});
+    skip = rem;
+  }
+}
+
+void SegmentCursor::advance() {
+  run_is_full_block_ = false;
+  while (!stack_.empty()) {
+    Frame& f = stack_.back();
+    const Off nb = nblocks_of(f);
+    bool descended = false;
+    while (f.iblock < nb) {
+      const Block b = block_of(f, f.iblock);
+      if (b.elems <= 0 || b.child->size() == 0 || f.ielem >= b.elems) {
+        ++f.iblock;
+        f.ielem = 0;
+        continue;
+      }
+      if (b.child->is_contiguous()) {
+        emit_run(f, b, f.ielem, 0);
+        return;
+      }
+      stack_.push_back(
+          {b.child, f.base + b.base + f.ielem * b.child->extent(), 0, 0});
+      descended = true;
+      break;
+    }
+    if (descended) continue;
+    stack_.pop_back();
+    if (!stack_.empty()) ++stack_.back().ielem;
+  }
+  run_len_ = 0;  // end of stream
+}
+
+void SegmentCursor::consume(Off n) {
+  LLIO_REQUIRE(n >= 0 && n <= run_len_, Errc::InvalidArgument,
+               "cursor: consume beyond current run");
+  run_mem_ += n;
+  run_len_ -= n;
+  stream_ += n;
+  run_is_full_block_ = false;
+  if (run_len_ == 0) advance();
+}
+
+bool SegmentCursor::vec_run(VecRun& out) const {
+  if (!run_is_full_block_ || stack_.empty()) return false;
+  const Frame& f = stack_.back();
+  if (f.node == nullptr || f.node->kind() != Kind::Vector) return false;
+  const Node& n = *f.node;
+  const Node& c = *n.child();
+  // emit_run guaranteed c contiguous and the run covering block f.iblock.
+  const Off block_bytes = n.blocklen() * c.size();
+  if (run_len_ != block_bytes) return false;
+  out.mem = run_mem_;
+  out.seg_bytes = block_bytes;
+  out.stride = n.stride_bytes();
+  out.nsegs = n.count() - f.iblock;
+
+  // Extend the run across enclosing repetitions while the tiling is
+  // seamless: a level's elements may be absorbed when the element extent
+  // equals the span of the strided pattern below it (then the gap across
+  // the boundary is exactly `stride` again).  This resolves the
+  // repetition-count trade-off of the paper's §4.1 in favour of one big
+  // gather/scatter.
+  Off span = n.count() * n.stride_bytes();
+  Off segs_full = n.count();  // segments per full instance of the subtree
+  for (std::size_t i = stack_.size() - 1; i-- > 0;) {
+    const Frame& p = stack_[i];
+    const Block b = block_of(p, p.iblock);
+    if (b.elems > 1 && b.child->extent() != span) break;
+    const Off extra = b.elems - p.ielem - 1;
+    if (extra > 0) out.nsegs += extra * segs_full;
+    if (nblocks_of(p) != 1) break;  // sibling blocks break uniformity
+    segs_full *= b.elems;
+    span *= b.elems;
+  }
+  return true;
+}
+
+void SegmentCursor::consume_vec_segments(Off k) {
+  LLIO_ASSERT(run_is_full_block_ && !stack_.empty(), "no vec run active");
+  Frame& f = stack_.back();
+  const Node& n = *f.node;
+  LLIO_ASSERT(n.kind() == Kind::Vector, "vec run on non-vector frame");
+  LLIO_REQUIRE(k >= 1, Errc::InvalidArgument,
+               "consume_vec_segments: k < 1");
+  const Off seg_bytes = n.blocklen() * n.child()->size();
+  if (k <= n.count() - f.iblock) {
+    stream_ += k * seg_bytes;
+    f.iblock += k;
+    f.ielem = 0;
+    if (f.iblock < n.count()) {
+      const Block b = block_of(f, f.iblock);
+      emit_run(f, b, 0, 0);
+    } else {
+      advance();
+    }
+    return;
+  }
+  // The run extended past this frame: re-seek at the new stream position
+  // (O(depth), amortized over the k segments just copied).
+  const Off target = stream_ + k * seg_bytes;
+  LLIO_REQUIRE(target <= total_, Errc::InvalidArgument,
+               "consume_vec_segments: k out of range");
+  seek(target);
+}
+
+}  // namespace llio::fotf

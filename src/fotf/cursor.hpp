@@ -1,0 +1,110 @@
+// Segment cursor: the engine behind flattening-on-the-fly.
+//
+// A SegmentCursor walks the contiguous segments of `count` instances of a
+// datatype (instance i based at i*extent) in packed-stream order, without
+// ever materializing an ol-list:
+//
+//  * seek(skip) positions at an arbitrary packed-stream offset in
+//    O(depth * log k) — division for regular constructs, binary search over
+//    cached prefix sums for indexed/struct.  This replaces ROMIO's
+//    O(N_block/2) linear list traversal.
+//  * advancing from one segment to the next is amortized O(1).
+//  * runs of evenly spaced equal-size segments (vector blocks) are exposed
+//    via vec_run() so that the pack/unpack loop can hand them to a single
+//    strided-copy kernel — the scalar stand-in for the SX gather/scatter
+//    operations the paper exploits.
+#pragma once
+
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "dtype/datatype.hpp"
+
+namespace llio::fotf {
+
+using dt::Type;
+
+class SegmentCursor {
+ public:
+  /// Cursor over `count` instances of `t`.
+  SegmentCursor(Type t, Off count);
+
+  /// Total data bytes covered (count * size(t)).
+  Off total_bytes() const noexcept { return total_; }
+
+  /// Position at packed-stream offset `skip` in [0, total_bytes()].
+  void seek(Off skip);
+
+  /// True when the stream is exhausted.
+  bool at_end() const noexcept { return run_len_ == 0; }
+
+  /// Memory offset (relative to the buffer origin) of the current run.
+  Off run_mem() const noexcept { return run_mem_; }
+
+  /// Remaining bytes in the current contiguous run (0 iff at_end()).
+  Off run_len() const noexcept { return run_len_; }
+
+  /// Consume n <= run_len() bytes; advances to the next run when the
+  /// current one is exhausted.
+  void consume(Off n);
+
+  /// A run of equally spaced, equal-size segments (vector blocks).
+  struct VecRun {
+    Off mem;        ///< memory offset of the first segment
+    Off seg_bytes;  ///< bytes per segment
+    Off stride;     ///< distance between segment starts
+    Off nsegs;      ///< number of segments available
+  };
+
+  /// If the current position is at the start of a full vector block and
+  /// more equally spaced blocks follow, describe them.  The run is
+  /// extended across enclosing repetitions whenever the tiling is
+  /// seamless (each level's extent equals the span of the strided
+  /// pattern), so e.g. N instances of a resized vector expose one run of
+  /// N*count segments — the repetition-count trade-off discussed in the
+  /// paper's §4.1.  Returns false when no vectorizable run is available.
+  bool vec_run(VecRun& out) const;
+
+  /// Consume k full segments of the VecRun previously returned by
+  /// vec_run(); k in [1, nsegs].
+  void consume_vec_segments(Off k);
+
+  /// Packed-stream position of the current run start.
+  Off stream_pos() const noexcept { return stream_; }
+
+ private:
+  struct Frame {
+    const dt::Node* node;  ///< nullptr = synthetic root (count instances)
+    Off base;              ///< memory offset of this node instance
+    Off iblock;            ///< current block index
+    Off ielem;             ///< current element within the block
+  };
+
+  struct Block {
+    const dt::Node* child;
+    Off base;   ///< offset of the block relative to the frame base
+    Off elems;  ///< child instances in the block, tiled at child extent
+  };
+
+  Off nblocks_of(const Frame& f) const;
+  Block block_of(const Frame& f, Off i) const;
+
+  /// Emit the leaf run for (frame, block b, element ielem, byte rem inside
+  /// the element) where b.child is contiguous; marks the block consumed.
+  void emit_run(Frame& f, const Block& b, Off ielem, Off rem);
+
+  /// Find the next run after the current frame state, popping/advancing
+  /// frames as needed.  Sets run_len_ = 0 at end of stream.
+  void advance();
+
+  Type type_;
+  Off count_ = 0;
+  Off total_ = 0;
+  std::vector<Frame> stack_;
+  Off run_mem_ = 0;
+  Off run_len_ = 0;
+  Off stream_ = 0;  ///< packed-stream offset of the current position
+  bool run_is_full_block_ = false;
+};
+
+}  // namespace llio::fotf

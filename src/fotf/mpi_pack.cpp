@@ -1,0 +1,41 @@
+#include "fotf/mpi_pack.hpp"
+
+#include "common/error.hpp"
+#include "fotf/pack.hpp"
+
+namespace llio::fotf {
+
+Off pack_size(Off count, const dt::Type& datatype) {
+  LLIO_REQUIRE(count >= 0, Errc::InvalidArgument, "pack_size: count < 0");
+  LLIO_REQUIRE(datatype != nullptr, Errc::InvalidDatatype,
+               "pack_size: null datatype");
+  return count * datatype->size();
+}
+
+void pack(const void* inbuf, Off incount, const dt::Type& datatype,
+          void* outbuf, Off outsize, Off* position) {
+  LLIO_REQUIRE(position != nullptr && *position >= 0, Errc::InvalidArgument,
+               "pack: bad position");
+  const Off need = pack_size(incount, datatype);
+  LLIO_REQUIRE(*position + need <= outsize, Errc::InvalidArgument,
+               "pack: output buffer too small");
+  const Off copied = ff_pack(inbuf, incount, datatype, 0,
+                             as_bytes(outbuf) + *position, need);
+  LLIO_ASSERT(copied == need, "pack: short copy");
+  *position += need;
+}
+
+void unpack(const void* inbuf, Off insize, Off* position, void* outbuf,
+            Off outcount, const dt::Type& datatype) {
+  LLIO_REQUIRE(position != nullptr && *position >= 0, Errc::InvalidArgument,
+               "unpack: bad position");
+  const Off need = pack_size(outcount, datatype);
+  LLIO_REQUIRE(*position + need <= insize, Errc::InvalidArgument,
+               "unpack: input buffer too small");
+  const Off copied = ff_unpack(as_bytes(inbuf) + *position, need, outbuf,
+                               outcount, datatype, 0);
+  LLIO_ASSERT(copied == need, "unpack: short copy");
+  *position += need;
+}
+
+}  // namespace llio::fotf

@@ -1,0 +1,25 @@
+// MPI_Pack-style public convenience API over flattening-on-the-fly.
+//
+// Unlike the internal ff_pack/ff_unpack (which address the packed stream
+// by skipbytes and may move partial data), these follow the MPI calling
+// convention: whole (count, datatype) units, a caller-maintained
+// `position`, and hard errors when the buffer is too small.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "dtype/datatype.hpp"
+
+namespace llio::fotf {
+
+/// Bytes MPI_Pack would need for count instances (MPI_Pack_size).
+Off pack_size(Off count, const dt::Type& datatype);
+
+/// Append count instances from inbuf to outbuf at *position, advancing it.
+void pack(const void* inbuf, Off incount, const dt::Type& datatype,
+          void* outbuf, Off outsize, Off* position);
+
+/// Extract count instances from inbuf at *position into outbuf.
+void unpack(const void* inbuf, Off insize, Off* position, void* outbuf,
+            Off outcount, const dt::Type& datatype);
+
+}  // namespace llio::fotf

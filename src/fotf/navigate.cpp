@@ -1,0 +1,193 @@
+#include "fotf/navigate.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "fotf/cursor.hpp"
+
+namespace llio::fotf {
+
+using dt::Kind;
+using dt::Node;
+
+namespace {
+
+Off below_node(const Node& n, Off x);
+
+/// Bytes below x for `count` instances of `child` tiled at `spacing`.
+Off tiled_below(const Node& child, Off count, Off spacing, Off x) {
+  if (count <= 0 || child.size() == 0) return 0;
+  if (x <= child.true_lb()) return 0;
+  if (count == 1) return below_node(child, x);
+  LLIO_ASSERT(spacing > 0, "tiled_below: non-positive spacing");
+  Off i = floor_div(x - child.true_lb(), spacing);
+  if (i < 0) return 0;
+  if (i >= count) return count * child.size();
+  return i * child.size() + below_node(child, x - i * spacing);
+}
+
+/// Data bytes of one instance of n with layout offset strictly below x.
+/// Requires n monotone; cost O(depth * log nblocks).
+Off below_node(const Node& n, Off x) {
+  if (n.size() == 0 || x <= n.true_lb()) return 0;
+  if (x >= n.true_ub()) return n.size();
+  if (n.block_count() <= 1) {
+    // Single dense segment [true_lb, true_ub).
+    return std::clamp<Off>(x - n.true_lb(), 0, n.size());
+  }
+  switch (n.kind()) {
+    case Kind::Basic:
+      return std::clamp<Off>(x - n.true_lb(), 0, n.size());
+    case Kind::Resized:
+      return below_node(*n.child(), x);
+    case Kind::Contiguous:
+      return tiled_below(*n.child(), n.count(), n.child()->extent(), x);
+    case Kind::Vector: {
+      const Node& c = *n.child();
+      const Off block_tlb = c.true_lb();
+      const Off block_size = n.blocklen() * c.size();
+      if (n.count() == 1)
+        return tiled_below(c, n.blocklen(), c.extent(), x);
+      LLIO_ASSERT(n.stride_bytes() > 0, "below_node: non-positive stride");
+      Off i = floor_div(x - block_tlb, n.stride_bytes());
+      if (i < 0) return 0;
+      if (i >= n.count()) return n.count() * block_size;
+      return i * block_size +
+             tiled_below(c, n.blocklen(), c.extent(), x - i * n.stride_bytes());
+    }
+    case Kind::Indexed: {
+      const Node& c = *n.child();
+      const auto ds = n.disps_bytes();
+      const auto bls = n.blocklens();
+      const Off nb = static_cast<Off>(ds.size());
+      // Last block i with data start <= x (blocks are nonempty and sorted
+      // for navigable types; enforced by file_navigable()).
+      Off lo = 0, hi = nb - 1;
+      while (lo < hi) {
+        const Off mid = (lo + hi + 1) / 2;
+        if (ds[to_size(mid)] + c.true_lb() <= x)
+          lo = mid;
+        else
+          hi = mid - 1;
+      }
+      return n.prefix()[to_size(lo)] +
+             tiled_below(c, bls[to_size(lo)], c.extent(), x - ds[to_size(lo)]);
+    }
+    case Kind::Struct: {
+      const auto ds = n.disps_bytes();
+      const auto bls = n.blocklens();
+      const auto kids = n.children();
+      const Off nb = static_cast<Off>(ds.size());
+      Off lo = 0, hi = nb - 1;
+      while (lo < hi) {
+        const Off mid = (lo + hi + 1) / 2;
+        if (ds[to_size(mid)] + kids[to_size(mid)]->true_lb() <= x)
+          lo = mid;
+        else
+          hi = mid - 1;
+      }
+      return n.prefix()[to_size(lo)] +
+             tiled_below(*kids[to_size(lo)], bls[to_size(lo)],
+                         kids[to_size(lo)]->extent(), x - ds[to_size(lo)]);
+    }
+  }
+  LLIO_ASSERT(false, "below_node: bad kind");
+  return 0;
+}
+
+/// No Indexed/Struct node may carry an empty block (navigation binary
+/// search relies on every block having data).
+bool blocks_nonempty(const Node& n) {
+  switch (n.kind()) {
+    case Kind::Basic:
+      return true;
+    case Kind::Contiguous:
+    case Kind::Resized:
+      return blocks_nonempty(*n.child());
+    case Kind::Vector:
+      return n.blocklen() > 0 && blocks_nonempty(*n.child());
+    case Kind::Indexed: {
+      if (n.child()->size() == 0) return false;
+      for (Off b : n.blocklens())
+        if (b <= 0) return false;
+      return blocks_nonempty(*n.child());
+    }
+    case Kind::Struct: {
+      for (std::size_t i = 0; i < n.children().size(); ++i) {
+        if (n.blocklens()[i] <= 0 || n.children()[i]->size() == 0)
+          return false;
+        if (!blocks_nonempty(*n.children()[i])) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Off mem_start(const Type& t, Off skip) {
+  LLIO_REQUIRE(t != nullptr, Errc::InvalidDatatype, "mem_start: null type");
+  LLIO_REQUIRE(skip >= 0, Errc::InvalidArgument, "mem_start: negative skip");
+  const Off s = t->size();
+  if (s == 0) return 0;
+  const Off i = skip / s;
+  const Off rem = skip % s;
+  SegmentCursor cur(t, 1);
+  cur.seek(rem);
+  return i * t->extent() + cur.run_mem();
+}
+
+Off mem_end(const Type& t, Off skip) {
+  LLIO_REQUIRE(t != nullptr, Errc::InvalidDatatype, "mem_end: null type");
+  LLIO_REQUIRE(skip >= 0, Errc::InvalidArgument, "mem_end: negative skip");
+  if (skip == 0) return mem_start(t, 0);
+  const Off s = t->size();
+  LLIO_REQUIRE(s > 0, Errc::InvalidArgument, "mem_end: zero-size type");
+  const Off last = skip - 1;
+  const Off i = last / s;
+  const Off rem = last % s;
+  SegmentCursor cur(t, 1);
+  cur.seek(rem);
+  return i * t->extent() + cur.run_mem() + 1;
+}
+
+Off ff_extent(const Type& t, Off skipbytes, Off size) {
+  if (size <= 0) return 0;
+  return mem_end(t, skipbytes + size) - mem_start(t, skipbytes);
+}
+
+Off data_below(const Type& t, Off mem) {
+  LLIO_REQUIRE(t != nullptr, Errc::InvalidDatatype, "data_below: null type");
+  const Off s = t->size();
+  if (s == 0) return 0;
+  const Off e = t->extent();
+  LLIO_ASSERT(e > 0, "data_below: non-positive extent");
+  if (mem <= t->true_lb()) return 0;
+  const Off i = floor_div(mem - t->true_lb(), e);
+  if (i < 0) return 0;
+  return i * s + below_node(*t, mem - i * e);
+}
+
+Off data_in_window(const Type& t, Off lo, Off hi) {
+  if (hi <= lo) return 0;
+  return data_below(t, hi) - data_below(t, lo);
+}
+
+Off ff_size(const Type& t, Off skipbytes, Off extent) {
+  if (extent <= 0) return 0;
+  const Off a = mem_start(t, skipbytes);
+  const Off b = data_below(t, a + extent);
+  return std::max<Off>(0, b - skipbytes);
+}
+
+bool file_navigable(const Type& t) {
+  if (!t || t->size() <= 0) return false;
+  if (!t->is_monotone()) return false;
+  if (t->true_lb() < 0) return false;
+  if (t->extent() <= 0) return false;
+  if (t->true_ub() - t->true_lb() > t->extent()) return false;
+  return blocks_nonempty(*t);
+}
+
+}  // namespace llio::fotf

@@ -1,0 +1,52 @@
+// Datatype navigation (paper §3.2.1, Figure 2).
+//
+// These functions let the MPI-IO layer toggle between positions in the
+// *packed data stream* of a fileview (skipbytes) and positions in the
+// *file* (memory-layout offsets of the filetype, tiled at its extent),
+// in O(depth) time — replacing ROMIO's O(N_block/2) ol-list traversals.
+//
+// Conventions (for a type t tiled unboundedly at extent(t), instance i
+// based at i*extent):
+//   mem_start(t, s) - file-layout offset of packed-stream byte s; for s at
+//                     a segment boundary this is the start of the *next*
+//                     segment (where the next byte will go).
+//   mem_end(t, s)   - offset one past packed-stream byte s-1;
+//                     mem_end(t, 0) == mem_start(t, 0).
+//   data_below(t,x) - packed-stream bytes whose layout offset is < x.
+//                     Requires a monotone type (the MPI-IO filetype rule).
+#pragma once
+
+#include "common/bytes.hpp"
+#include "dtype/datatype.hpp"
+
+namespace llio::fotf {
+
+using dt::Type;
+
+/// Layout offset of packed-stream byte `skip` (start convention).
+Off mem_start(const Type& t, Off skip);
+
+/// Layout offset one past packed-stream byte `skip - 1` (end convention).
+Off mem_end(const Type& t, Off skip);
+
+/// Paper's MPIR_Type_ff_extent: the layout extent spanned when `size`
+/// stream bytes are transferred after skipping `skipbytes`.
+Off ff_extent(const Type& t, Off skipbytes, Off size);
+
+/// Paper's MPIR_Type_ff_size: the number of stream bytes contained in a
+/// layout window of `extent` bytes starting at the position of stream byte
+/// `skipbytes`.  Requires a monotone type.
+Off ff_size(const Type& t, Off skipbytes, Off extent);
+
+/// Stream bytes with layout offset strictly below `mem` (monotone types).
+Off data_below(const Type& t, Off mem);
+
+/// Stream bytes with layout offset in [lo, hi) (monotone types).
+Off data_in_window(const Type& t, Off lo, Off hi);
+
+/// True when t satisfies the MPI-IO filetype rules our navigation relies
+/// on: monotonically increasing non-overlapping segments, non-negative
+/// offsets, and instances tiled at extent(t) without interleaving.
+bool file_navigable(const Type& t);
+
+}  // namespace llio::fotf

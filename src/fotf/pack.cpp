@@ -1,0 +1,142 @@
+#include "fotf/pack.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace llio::fotf {
+
+namespace {
+
+template <std::size_t B>
+void gather_fixed(Byte* dst, const Byte* src, Off stride, Off n) {
+  for (Off i = 0; i < n; ++i)
+    std::memcpy(dst + i * static_cast<Off>(B), src + i * stride, B);
+}
+
+template <std::size_t B>
+void scatter_fixed(Byte* dst, Off stride, const Byte* src, Off n) {
+  for (Off i = 0; i < n; ++i)
+    std::memcpy(dst + i * stride, src + i * static_cast<Off>(B), B);
+}
+
+}  // namespace
+
+void strided_gather(Byte* dst, const Byte* src, Off seg_bytes, Off stride,
+                    Off n) {
+  switch (seg_bytes) {
+    case 1: gather_fixed<1>(dst, src, stride, n); return;
+    case 2: gather_fixed<2>(dst, src, stride, n); return;
+    case 4: gather_fixed<4>(dst, src, stride, n); return;
+    case 8: gather_fixed<8>(dst, src, stride, n); return;
+    case 16: gather_fixed<16>(dst, src, stride, n); return;
+    case 32: gather_fixed<32>(dst, src, stride, n); return;
+    case 64: gather_fixed<64>(dst, src, stride, n); return;
+    case 128: gather_fixed<128>(dst, src, stride, n); return;
+    default:
+      for (Off i = 0; i < n; ++i)
+        std::memcpy(dst + i * seg_bytes, src + i * stride, to_size(seg_bytes));
+  }
+}
+
+void strided_scatter(Byte* dst, Off stride, const Byte* src, Off seg_bytes,
+                     Off n) {
+  switch (seg_bytes) {
+    case 1: scatter_fixed<1>(dst, stride, src, n); return;
+    case 2: scatter_fixed<2>(dst, stride, src, n); return;
+    case 4: scatter_fixed<4>(dst, stride, src, n); return;
+    case 8: scatter_fixed<8>(dst, stride, src, n); return;
+    case 16: scatter_fixed<16>(dst, stride, src, n); return;
+    case 32: scatter_fixed<32>(dst, stride, src, n); return;
+    case 64: scatter_fixed<64>(dst, stride, src, n); return;
+    case 128: scatter_fixed<128>(dst, stride, src, n); return;
+    default:
+      for (Off i = 0; i < n; ++i)
+        std::memcpy(dst + i * stride, src + i * seg_bytes, to_size(seg_bytes));
+  }
+}
+
+namespace {
+
+/// One transfer loop shared by pack and unpack; `ToPack` selects direction.
+template <bool ToPack>
+Off transfer(SegmentCursor& cur, Byte* typed_base, Off mem_bias, Byte* pack,
+             Off packsize) {
+  LLIO_REQUIRE(packsize >= 0, Errc::InvalidArgument, "negative pack size");
+  Off done = 0;
+  while (done < packsize && !cur.at_end()) {
+    SegmentCursor::VecRun vr;
+    if (cur.vec_run(vr) && vr.nsegs >= 2 &&
+        packsize - done >= 2 * vr.seg_bytes) {
+      // A run of equally spaced blocks: one strided kernel call moves k
+      // full segments (the gather/scatter fast path).
+      const Off k = std::min(vr.nsegs, (packsize - done) / vr.seg_bytes);
+      Byte* typed = typed_base + (vr.mem - mem_bias);
+      if constexpr (ToPack)
+        strided_gather(pack + done, typed, vr.seg_bytes, vr.stride, k);
+      else
+        strided_scatter(typed, vr.stride, pack + done, vr.seg_bytes, k);
+      done += k * vr.seg_bytes;
+      cur.consume_vec_segments(k);
+      continue;
+    }
+    const Off n = std::min(cur.run_len(), packsize - done);
+    Byte* typed = typed_base + (cur.run_mem() - mem_bias);
+    if constexpr (ToPack)
+      std::memcpy(pack + done, typed, to_size(n));
+    else
+      std::memcpy(typed, pack + done, to_size(n));
+    done += n;
+    cur.consume(n);
+  }
+  return done;
+}
+
+}  // namespace
+
+Off transfer_pack(SegmentCursor& cur, const Byte* typed_base, Off mem_bias,
+                  Byte* packbuf, Off packsize) {
+  return transfer<true>(cur, const_cast<Byte*>(typed_base), mem_bias, packbuf,
+                        packsize);
+}
+
+Off transfer_unpack(SegmentCursor& cur, Byte* typed_base, Off mem_bias,
+                    const Byte* packbuf, Off packsize) {
+  return transfer<false>(cur, typed_base, mem_bias, const_cast<Byte*>(packbuf),
+                         packsize);
+}
+
+Off ff_pack_window(const void* window_buf, Off mem_bias, Off count,
+                   const Type& datatype, Off skipbytes, void* packbuf,
+                   Off packsize) {
+  SegmentCursor cur(datatype, count);
+  LLIO_REQUIRE(skipbytes >= 0, Errc::InvalidArgument, "negative skipbytes");
+  cur.seek(std::min(skipbytes, cur.total_bytes()));
+  return transfer_pack(cur, as_bytes(window_buf), mem_bias,
+                       as_bytes(packbuf), packsize);
+}
+
+Off ff_unpack_window(const void* packbuf, Off packsize, void* window_buf,
+                     Off mem_bias, Off count, const Type& datatype,
+                     Off skipbytes) {
+  SegmentCursor cur(datatype, count);
+  LLIO_REQUIRE(skipbytes >= 0, Errc::InvalidArgument, "negative skipbytes");
+  cur.seek(std::min(skipbytes, cur.total_bytes()));
+  return transfer_unpack(cur, as_bytes(window_buf), mem_bias,
+                         as_bytes(packbuf), packsize);
+}
+
+Off ff_pack(const void* srcbuf, Off count, const Type& datatype, Off skipbytes,
+            void* packbuf, Off packsize) {
+  return ff_pack_window(srcbuf, 0, count, datatype, skipbytes, packbuf,
+                        packsize);
+}
+
+Off ff_unpack(const void* packbuf, Off packsize, void* dstbuf, Off count,
+              const Type& datatype, Off skipbytes) {
+  return ff_unpack_window(packbuf, packsize, dstbuf, 0, count, datatype,
+                          skipbytes);
+}
+
+}  // namespace llio::fotf

@@ -1,0 +1,60 @@
+// Flattening-on-the-fly pack/unpack (paper §3.1).
+//
+// ff_pack / ff_unpack mirror the MPIR_ff_pack / MPIR_ff_unpack internal
+// interface of MPI/SX: they move bytes [skipbytes, skipbytes+packsize) of
+// the packed stream of `count` instances of `datatype` between a typed
+// (possibly non-contiguous) buffer and a contiguous pack buffer.  Both
+// return the number of bytes actually copied (may be < packsize at the end
+// of the stream).
+//
+// Cost: proportional to the bytes moved plus O(depth) for the initial seek
+// — independent of skipbytes and of any repetition counts, which is the
+// paper's headline complexity claim.
+//
+// The *_window variants address the buffer-limit problem of §3.2.2: when
+// the typed buffer is a bounded file buffer holding only the slice of the
+// fileview at memory offsets [mem_bias, mem_bias + window), the caller
+// passes the file buffer pointer and mem_bias, and every segment lands at
+// buffer + (segment_offset - mem_bias).  This is the "virtual file buffer"
+// adjustment implemented without forming out-of-range pointers.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "dtype/datatype.hpp"
+#include "fotf/cursor.hpp"
+
+namespace llio::fotf {
+
+/// Pack non-contiguous data from `srcbuf` (count instances of datatype)
+/// into contiguous `packbuf`, skipping `skipbytes` of the packed stream.
+Off ff_pack(const void* srcbuf, Off count, const Type& datatype,
+            Off skipbytes, void* packbuf, Off packsize);
+
+/// Unpack contiguous `packbuf` into non-contiguous `dstbuf`.
+Off ff_unpack(const void* packbuf, Off packsize, void* dstbuf, Off count,
+              const Type& datatype, Off skipbytes);
+
+/// Window variants: the typed buffer pointer addresses memory offset
+/// `mem_bias` of the datatype's memory layout instead of offset 0.
+Off ff_pack_window(const void* window_buf, Off mem_bias, Off count,
+                   const Type& datatype, Off skipbytes, void* packbuf,
+                   Off packsize);
+Off ff_unpack_window(const void* packbuf, Off packsize, void* window_buf,
+                     Off mem_bias, Off count, const Type& datatype,
+                     Off skipbytes);
+
+/// Pack/unpack driven by an existing cursor (streaming across calls
+/// without re-seeking).  Returns bytes copied and advances the cursor.
+Off transfer_pack(SegmentCursor& cur, const Byte* typed_base, Off mem_bias,
+                  Byte* packbuf, Off packsize);
+Off transfer_unpack(SegmentCursor& cur, Byte* typed_base, Off mem_bias,
+                    const Byte* packbuf, Off packsize);
+
+/// Strided copy kernels (scalar stand-ins for SX gather/scatter):
+/// copy n segments of seg_bytes each between a strided and a dense buffer.
+void strided_gather(Byte* dst, const Byte* src, Off seg_bytes, Off stride,
+                    Off n);
+void strided_scatter(Byte* dst, Off stride, const Byte* src, Off seg_bytes,
+                     Off n);
+
+}  // namespace llio::fotf

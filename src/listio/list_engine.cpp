@@ -1,0 +1,446 @@
+#include "listio/list_engine.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "listio/list_mover.hpp"
+#include "mpiio/sieve.hpp"
+#include "mpiio/twophase.hpp"
+
+namespace llio::listio {
+
+using mpiio::AccessRange;
+using mpiio::Domain;
+using mpiio::SieveContext;
+using mpiio::View;
+
+namespace {
+
+void put_off(ByteVec& out, Off v) {
+  Byte raw[sizeof(Off)];
+  std::memcpy(raw, &v, sizeof(Off));
+  out.insert(out.end(), raw, raw + sizeof(Off));
+}
+
+Off get_off(ConstByteSpan data, std::size_t at) {
+  LLIO_REQUIRE(at + sizeof(Off) <= data.size(), Errc::Protocol,
+               "short message");
+  Off v;
+  std::memcpy(&v, data.data() + at, sizeof(Off));
+  return v;
+}
+
+/// Received collective request: absolute tuples + data cursor state.
+struct RecvList {
+  Off s_lo = 0, s_hi = 0;
+  std::vector<dt::OlTuple> tuples;
+  const Byte* data = nullptr;  ///< packed stream (write path)
+  Byte* reply = nullptr;       ///< reply buffer (read path)
+  std::size_t idx = 0;         ///< current tuple
+  Off within = 0;              ///< bytes consumed of the current tuple
+  Off data_off = 0;            ///< bytes consumed of the data stream
+};
+
+/// Parse the Meta message [s_lo][s_hi][n][tuples...].
+bool parse_meta(const ByteVec& msg, RecvList& out) {
+  if (msg.empty()) return false;
+  out.s_lo = get_off(msg, 0);
+  out.s_hi = get_off(msg, sizeof(Off));
+  const Off n = get_off(msg, 2 * sizeof(Off));
+  LLIO_REQUIRE(n >= 0 &&
+                   msg.size() == (3 + 2 * to_size(n)) * sizeof(Off),
+               Errc::Protocol, "collective list message malformed");
+  out.tuples.resize(to_size(n));
+  std::memcpy(out.tuples.data(), msg.data() + 3 * sizeof(Off),
+              to_size(n) * sizeof(dt::OlTuple));
+  return n > 0;
+}
+
+/// One copy unit inside a window.
+struct WinSpan {
+  Off off;       ///< absolute file offset
+  Off len;
+  RecvList* src;
+  Off data_off;  ///< offset into src->data / src->reply
+};
+
+/// Advance `r` through window [pos, win_hi), emitting clipped spans.
+void collect_window_spans(RecvList& r, Off pos, Off win_hi,
+                          std::vector<WinSpan>& out) {
+  while (r.idx < r.tuples.size()) {
+    const dt::OlTuple& t = r.tuples[r.idx];
+    const Off off = t.off + r.within;
+    const Off len = t.len - r.within;
+    if (off >= win_hi) break;
+    LLIO_ASSERT(off >= pos, "collective tuple behind current window");
+    const Off cut = std::min(len, win_hi - off);
+    out.push_back({off, cut, &r, r.data_off});
+    r.data_off += cut;
+    r.within += cut;
+    if (r.within == t.len) {
+      ++r.idx;
+      r.within = 0;
+    }
+    if (off + cut == win_hi) break;
+  }
+}
+
+/// Union length of (possibly unsorted) spans — the list-merge coverage
+/// test of §2.3.  O(k log k).
+Off merged_coverage(std::vector<WinSpan>& spans) {
+  std::sort(spans.begin(), spans.end(),
+            [](const WinSpan& a, const WinSpan& b) { return a.off < b.off; });
+  Off covered = 0;
+  Off end = -1;
+  for (const WinSpan& s : spans) {
+    const Off lo = std::max(s.off, end);
+    const Off hi = s.off + s.len;
+    if (hi > lo) covered += hi - lo;
+    end = std::max(end, hi);
+  }
+  return covered;
+}
+
+}  // namespace
+
+void ListEngine::set_view(const View& v) {
+  validate_view(v);
+  view_ = v;
+  stats_ = mpiio::IoOpStats{};
+  // Explicit flattening (§2.1): build and store the filetype ol-list.
+  WallTimer t;
+  ft_list_ = dt::flatten(v.filetype);
+  view_flatten_s_ = t.seconds();
+  stats_.list_build_s += view_flatten_s_;
+  stats_.list_mem_bytes = ft_list_.memory_bytes();
+  nav_ = std::make_unique<OlViewNav>(&ft_list_, v.ft_extent(), &stats_);
+  // No fileview caching: nothing is exchanged here (ROMIO behaviour);
+  // keep ranks loosely synchronized like the collective MPI call would.
+  comm_->barrier();
+}
+
+std::unique_ptr<mpiio::StreamMover> ListEngine::make_nc_mover(
+    const void* buf, Off count, const dt::Type& mt) {
+  return std::make_unique<ListMover>(buf, count, mt, &stats_);
+}
+
+Off ListEngine::do_write_at(Off stream_lo, const void* buf, Off count,
+                            const dt::Type& mt) {
+  const Off nbytes = count * mt->size();
+  if (nbytes == 0) return 0;
+  auto mover = make_mover(buf, count, mt);
+  return indep_write(*nav_, stream_lo, nbytes, *mover);
+}
+
+Off ListEngine::do_read_at(Off stream_lo, void* buf, Off count,
+                           const dt::Type& mt) {
+  const Off nbytes = count * mt->size();
+  if (nbytes == 0) return 0;
+  auto mover = make_mover(buf, count, mt);
+  return indep_read(*nav_, stream_lo, nbytes, *mover);
+}
+
+std::vector<ListEngine::ClippedList> ListEngine::clip_lists(
+    Off stream_lo, Off nbytes, const std::vector<Domain>& doms) {
+  // The N_coll expansion (§2.3): walk my access tuple by tuple across
+  // filetype instances and clip every block against the IOP domains.
+  // Cost and memory are O(S_access / S_extent * N_block) in total.
+  WallTimer t;
+  std::vector<ClippedList> out(doms.size());
+  for (auto& cl : out) cl.s_lo = cl.s_hi = -1;
+  if (nbytes > 0 && view_.dense()) {
+    // Contiguous fileview: the access is one file range; one tuple per
+    // domain (ROMIO treats contiguous filetypes with plain offsets).
+    OlWalker w(&ft_list_, view_.ft_extent());
+    w.position(stream_lo);
+    const Off a0 = view_.disp + w.mem();
+    for (std::size_t di = 0; di < doms.size(); ++di) {
+      const Off lo = std::max(doms[di].lo, a0);
+      const Off hi = std::min(doms[di].hi, a0 + nbytes);
+      if (hi <= lo) continue;
+      out[di].tuples.push_back({lo, hi - lo});
+      out[di].s_lo = stream_lo + (lo - a0);
+      out[di].s_hi = stream_lo + (hi - a0);
+    }
+  } else if (nbytes > 0) {
+    OlWalker w(&ft_list_, view_.ft_extent());
+    w.position(stream_lo);
+    Off s = stream_lo;
+    const Off s_end = stream_lo + nbytes;
+    std::size_t di = 0;
+    while (s < s_end) {
+      Off seg_mem = view_.disp + w.run_mem();
+      Off seg_len = std::min(w.run_len(), s_end - s);
+      w.consume(seg_len);
+      while (seg_len > 0) {
+        while (di < doms.size() &&
+               (doms[di].empty() || doms[di].hi <= seg_mem))
+          ++di;
+        LLIO_ASSERT(di < doms.size() && seg_mem >= doms[di].lo,
+                    "clip_lists: segment outside all domains");
+        const Off cut = std::min(seg_len, doms[di].hi - seg_mem);
+        ClippedList& cl = out[di];
+        if (!cl.tuples.empty() &&
+            cl.tuples.back().off + cl.tuples.back().len == seg_mem) {
+          cl.tuples.back().len += cut;
+        } else {
+          cl.tuples.push_back({seg_mem, cut});
+        }
+        if (cl.s_lo < 0) cl.s_lo = s;
+        cl.s_hi = s + cut;
+        seg_mem += cut;
+        seg_len -= cut;
+        s += cut;
+      }
+    }
+  }
+  Off list_mem = 0;
+  for (const auto& cl : out)
+    list_mem += to_off(cl.tuples.size() * sizeof(dt::OlTuple));
+  stats_.list_build_s += t.seconds();
+  stats_.list_mem_bytes = std::max(stats_.list_mem_bytes, list_mem);
+  return out;
+}
+
+Off ListEngine::do_write_at_all(Off stream_lo, const void* buf, Off count,
+                                const dt::Type& mt) {
+  if (!opts_.cb_write) {  // collective buffering disabled (hint)
+    const Off n = do_write_at(stream_lo, buf, count, mt);
+    comm_->barrier();
+    return n;
+  }
+  const Off nbytes = count * mt->size();
+  const int p = comm_->size();
+  const int rank = comm_->rank();
+  const int niops = mpiio::effective_iops(opts_.io_procs, p);
+  const Off fbs = opts_.file_buffer_size;
+
+  AccessRange mine{stream_lo, nbytes, 0, 0};
+  if (nbytes > 0) {
+    mine.abs_lo = view_.disp + nav_->stream_to_file_start(stream_lo);
+    mine.abs_hi = view_.disp + nav_->stream_to_file_end(stream_lo + nbytes);
+  }
+  StopWatch xw;
+  xw.start();
+  auto ranges = mpiio::exchange_ranges(*comm_, mine);
+  xw.stop();
+  stats_.exchange_s += xw.seconds();
+
+  const auto g = mpiio::global_range(ranges);
+  if (!g.any) {
+    comm_->barrier();
+    return 0;
+  }
+  const auto domains = mpiio::partition_domains(g, niops, fbs);
+
+  // AP phase 1: build and ship per-IOP ol-lists (Meta) ...
+  auto clipped = clip_lists(stream_lo, nbytes, domains);
+  std::vector<ByteVec> meta(to_size(Off{p}));
+  for (int i = 0; i < niops; ++i) {
+    const ClippedList& cl = clipped[to_size(Off{i})];
+    if (cl.tuples.empty()) continue;
+    ByteVec& msg = meta[to_size(Off{i})];
+    put_off(msg, cl.s_lo);
+    put_off(msg, cl.s_hi);
+    put_off(msg, to_off(cl.tuples.size()));
+    const std::size_t at = msg.size();
+    msg.resize(at + cl.tuples.size() * sizeof(dt::OlTuple));
+    std::memcpy(msg.data() + at, cl.tuples.data(),
+                cl.tuples.size() * sizeof(dt::OlTuple));
+    stats_.list_bytes_sent += to_off(cl.tuples.size() * sizeof(dt::OlTuple));
+  }
+  xw.reset();
+  xw.start();
+  auto meta_in = comm_->alltoall(std::move(meta), sim::MsgClass::Meta);
+  xw.stop();
+  stats_.exchange_s += xw.seconds();
+
+  // ... and the corresponding data slices (Data), packed via the
+  // per-access memtype ol-list.
+  std::unique_ptr<mpiio::StreamMover> mover;
+  if (nbytes > 0) mover = make_mover(buf, count, mt);
+  std::vector<ByteVec> data_out(to_size(Off{p}));
+  for (int i = 0; i < niops; ++i) {
+    const ClippedList& cl = clipped[to_size(Off{i})];
+    if (cl.tuples.empty()) continue;
+    ByteVec& msg = data_out[to_size(Off{i})];
+    msg.resize(to_size(cl.s_hi - cl.s_lo));
+    StopWatch cw;
+    cw.start();
+    mover->to_stream(msg.data(), cl.s_lo - stream_lo, cl.s_hi - cl.s_lo);
+    cw.stop();
+    stats_.copy_s += cw.seconds();
+    stats_.data_bytes_sent += cl.s_hi - cl.s_lo;
+  }
+  xw.reset();
+  xw.start();
+  auto data_in = comm_->alltoall(std::move(data_out), sim::MsgClass::Data);
+  xw.stop();
+  stats_.exchange_s += xw.seconds();
+
+  // IOP phase 2: merge lists per block, patch and write back.
+  if (rank < niops && !domains[to_size(Off{rank})].empty()) {
+    const Domain dom = domains[to_size(Off{rank})];
+    SieveContext ctx{*file_, *locks_, opts_, stats_};
+    ByteVec fbuf(to_size(std::min(fbs, dom.hi - dom.lo)));
+    std::vector<RecvList> recvs;
+    for (int r = 0; r < p; ++r) {
+      RecvList rl;
+      if (!parse_meta(meta_in[to_size(Off{r})], rl)) continue;
+      const ByteVec& d = data_in[to_size(Off{r})];
+      LLIO_REQUIRE(d.size() == to_size(rl.s_hi - rl.s_lo), Errc::Protocol,
+                   "write_at_all: data/list size mismatch");
+      recvs.push_back(std::move(rl));
+      recvs.back().data = data_in[to_size(Off{r})].data();
+    }
+    std::vector<WinSpan> spans;
+    for (Off pos = dom.lo; pos < dom.hi; pos += fbs) {
+      const Off win_hi = std::min(dom.hi, pos + fbs);
+      const Off win = win_hi - pos;
+      spans.clear();
+      for (RecvList& rl : recvs) collect_window_spans(rl, pos, win_hi, spans);
+      if (spans.empty()) continue;
+      pfs::ScopedRangeLock lock(*locks_, pos, win_hi);
+      StopWatch mw;
+      mw.start();
+      const Off covered = merged_coverage(spans);
+      mw.stop();
+      stats_.list_build_s += mw.seconds();
+      const bool full = covered == win && opts_.collective_merge_opt;
+      if (!full)
+        mpiio::timed_pread_zero_fill(ctx, pos,
+                                     ByteSpan(fbuf.data(), to_size(win)));
+      StopWatch cw;
+      cw.start();
+      for (const WinSpan& sp : spans) {
+        std::memcpy(fbuf.data() + (sp.off - pos), sp.src->data + sp.data_off,
+                    to_size(sp.len));
+      }
+      cw.stop();
+      stats_.copy_s += cw.seconds();
+      mpiio::timed_pwrite(ctx, pos, ConstByteSpan(fbuf.data(), to_size(win)));
+    }
+  }
+  comm_->barrier();
+  stats_.bytes_moved += nbytes;
+  return nbytes;
+}
+
+Off ListEngine::do_read_at_all(Off stream_lo, void* buf, Off count,
+                               const dt::Type& mt) {
+  if (!opts_.cb_read) {
+    const Off n = do_read_at(stream_lo, buf, count, mt);
+    comm_->barrier();
+    return n;
+  }
+  const Off nbytes = count * mt->size();
+  const int p = comm_->size();
+  const int rank = comm_->rank();
+  const int niops = mpiio::effective_iops(opts_.io_procs, p);
+  const Off fbs = opts_.file_buffer_size;
+
+  AccessRange mine{stream_lo, nbytes, 0, 0};
+  if (nbytes > 0) {
+    mine.abs_lo = view_.disp + nav_->stream_to_file_start(stream_lo);
+    mine.abs_hi = view_.disp + nav_->stream_to_file_end(stream_lo + nbytes);
+  }
+  StopWatch xw;
+  xw.start();
+  auto ranges = mpiio::exchange_ranges(*comm_, mine);
+  xw.stop();
+  stats_.exchange_s += xw.seconds();
+
+  const auto g = mpiio::global_range(ranges);
+  if (!g.any) {
+    comm_->barrier();
+    return 0;
+  }
+  const auto domains = mpiio::partition_domains(g, niops, fbs);
+
+  // AP phase 1: ship per-IOP request ol-lists (Meta only).
+  auto clipped = clip_lists(stream_lo, nbytes, domains);
+  std::vector<ByteVec> meta(to_size(Off{p}));
+  for (int i = 0; i < niops; ++i) {
+    const ClippedList& cl = clipped[to_size(Off{i})];
+    if (cl.tuples.empty()) continue;
+    ByteVec& msg = meta[to_size(Off{i})];
+    put_off(msg, cl.s_lo);
+    put_off(msg, cl.s_hi);
+    put_off(msg, to_off(cl.tuples.size()));
+    const std::size_t at = msg.size();
+    msg.resize(at + cl.tuples.size() * sizeof(dt::OlTuple));
+    std::memcpy(msg.data() + at, cl.tuples.data(),
+                cl.tuples.size() * sizeof(dt::OlTuple));
+    stats_.list_bytes_sent += to_off(cl.tuples.size() * sizeof(dt::OlTuple));
+  }
+  xw.reset();
+  xw.start();
+  auto meta_in = comm_->alltoall(std::move(meta), sim::MsgClass::Meta);
+  xw.stop();
+  stats_.exchange_s += xw.seconds();
+
+  // IOP phase 2: read blocks, gather each AP's tuples into its reply.
+  std::vector<ByteVec> replies(to_size(Off{p}));
+  if (rank < niops && !domains[to_size(Off{rank})].empty()) {
+    const Domain dom = domains[to_size(Off{rank})];
+    SieveContext ctx{*file_, *locks_, opts_, stats_};
+    ByteVec fbuf(to_size(std::min(fbs, dom.hi - dom.lo)));
+    std::vector<RecvList> recvs;
+    for (int r = 0; r < p; ++r) {
+      RecvList rl;
+      if (!parse_meta(meta_in[to_size(Off{r})], rl)) continue;
+      ByteVec& reply = replies[to_size(Off{r})];
+      reply.resize(to_size(rl.s_hi - rl.s_lo));
+      rl.reply = reply.data();
+      recvs.push_back(std::move(rl));
+      stats_.data_bytes_sent += recvs.back().s_hi - recvs.back().s_lo;
+    }
+    std::vector<WinSpan> spans;
+    for (Off pos = dom.lo; pos < dom.hi; pos += fbs) {
+      const Off win_hi = std::min(dom.hi, pos + fbs);
+      const Off win = win_hi - pos;
+      spans.clear();
+      for (RecvList& rl : recvs) collect_window_spans(rl, pos, win_hi, spans);
+      if (spans.empty()) continue;
+      mpiio::timed_pread_zero_fill(ctx, pos,
+                                   ByteSpan(fbuf.data(), to_size(win)));
+      StopWatch cw;
+      cw.start();
+      for (const WinSpan& sp : spans) {
+        std::memcpy(sp.src->reply + sp.data_off, fbuf.data() + (sp.off - pos),
+                    to_size(sp.len));
+      }
+      cw.stop();
+      stats_.copy_s += cw.seconds();
+    }
+  }
+  xw.reset();
+  xw.start();
+  auto data_in = comm_->alltoall(std::move(replies), sim::MsgClass::Data);
+  xw.stop();
+  stats_.exchange_s += xw.seconds();
+
+  // AP phase 3: unpack replies through the memtype ol-list.
+  if (nbytes > 0) {
+    auto mover = make_mover(buf, count, mt);
+    StopWatch cw;
+    cw.start();
+    for (int i = 0; i < niops; ++i) {
+      const ClippedList& cl = clipped[to_size(Off{i})];
+      if (cl.tuples.empty()) continue;
+      const ByteVec& reply = data_in[to_size(Off{i})];
+      LLIO_REQUIRE(reply.size() == to_size(cl.s_hi - cl.s_lo), Errc::Protocol,
+                   "read_at_all: bad reply size");
+      mover->from_stream(reply.data(), cl.s_lo - stream_lo, cl.s_hi - cl.s_lo);
+    }
+    cw.stop();
+    stats_.copy_s += cw.seconds();
+  }
+  comm_->barrier();
+  stats_.bytes_moved += nbytes;
+  return nbytes;
+}
+
+}  // namespace llio::listio

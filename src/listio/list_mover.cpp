@@ -1,0 +1,63 @@
+#include "listio/list_mover.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace llio::listio {
+
+namespace {
+dt::OlList timed_flatten(const dt::Type& t, mpiio::IoOpStats* stats) {
+  StopWatch w;
+  w.start();
+  dt::OlList list = dt::flatten(t);
+  w.stop();
+  if (stats != nullptr) {
+    stats->list_build_s += w.seconds();
+    stats->list_mem_bytes =
+        std::max(stats->list_mem_bytes, list.memory_bytes());
+  }
+  return list;
+}
+}  // namespace
+
+ListMover::ListMover(const void* buf, Off count, const dt::Type& memtype,
+                     mpiio::IoOpStats* stats)
+    : buf_(const_cast<Byte*>(as_bytes(buf))),
+      list_(timed_flatten(memtype, stats)),
+      walker_(&list_, memtype->extent()) {
+  LLIO_REQUIRE(count >= 0, Errc::InvalidArgument, "ListMover: count < 0");
+}
+
+void ListMover::copy_position(Off s) {
+  if (next_stream_ != s) walker_.position(s);
+}
+
+void ListMover::to_stream(Byte* dst, Off s, Off n) {
+  if (n <= 0) return;
+  copy_position(s);
+  Off done = 0;
+  while (done < n) {
+    const Off len = std::min(walker_.run_len(), n - done);
+    std::memcpy(dst + done, buf_ + walker_.run_mem(), to_size(len));
+    walker_.consume(len);
+    done += len;
+  }
+  next_stream_ = s + n;
+}
+
+void ListMover::from_stream(const Byte* src, Off s, Off n) {
+  if (n <= 0) return;
+  copy_position(s);
+  Off done = 0;
+  while (done < n) {
+    const Off len = std::min(walker_.run_len(), n - done);
+    std::memcpy(buf_ + walker_.run_mem(), src + done, to_size(len));
+    walker_.consume(len);
+    done += len;
+  }
+  next_stream_ = s + n;
+}
+
+}  // namespace llio::listio

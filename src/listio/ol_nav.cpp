@@ -1,0 +1,72 @@
+#include "listio/ol_nav.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace llio::listio {
+
+OlViewNav::OlViewNav(const dt::OlList* list, Off ft_extent,
+                     mpiio::IoOpStats* stats)
+    : walker_(list, ft_extent), stats_(stats) {}
+
+Off OlViewNav::stream_to_file_start(Off s) {
+  walker_.position(s);
+  next_stream_ = -1;  // navigation moved the walker
+  return walker_.mem();
+}
+
+Off OlViewNav::stream_to_file_end(Off s) {
+  next_stream_ = -1;
+  return walker_.mem_end_of(s);
+}
+
+Off OlViewNav::file_to_stream(Off mem) { return walker_.bytes_below(mem); }
+
+void OlViewNav::copy_position(Off s) {
+  if (next_stream_ != s) walker_.position(s);
+}
+
+void OlViewNav::scatter(Byte* win, Off bias, Off s, const Byte* src, Off n) {
+  if (n <= 0) return;
+  copy_position(s);
+  Off done = 0;
+  while (done < n) {
+    // One tuple fetch + one memcpy per contiguous block: the per-block
+    // overhead of the list-based representation.
+    const Off len = std::min(walker_.run_len(), n - done);
+    std::memcpy(win + (walker_.run_mem() - bias), src + done, to_size(len));
+    walker_.consume(len);
+    done += len;
+  }
+  next_stream_ = s + n;
+}
+
+void OlViewNav::for_each_segment(
+    Off s, Off n, const std::function<void(Off, Off, Off)>& fn) {
+  if (n <= 0) return;
+  copy_position(s);
+  Off done = 0;
+  while (done < n) {
+    const Off len = std::min(walker_.run_len(), n - done);
+    fn(walker_.run_mem(), s + done, len);
+    walker_.consume(len);
+    done += len;
+  }
+  next_stream_ = s + n;
+}
+
+void OlViewNav::gather(Byte* dst, const Byte* win, Off bias, Off s, Off n) {
+  if (n <= 0) return;
+  copy_position(s);
+  Off done = 0;
+  while (done < n) {
+    const Off len = std::min(walker_.run_len(), n - done);
+    std::memcpy(dst + done, win + (walker_.run_mem() - bias), to_size(len));
+    walker_.consume(len);
+    done += len;
+  }
+  next_stream_ = s + n;
+}
+
+}  // namespace llio::listio

@@ -1,0 +1,41 @@
+// List-based ViewNav (the ROMIO baseline, paper §2): navigation traverses
+// the explicit ol-list linearly and every contiguous block is copied with
+// an individual memcpy preceded by a tuple fetch — no batched strided
+// copies, no O(depth) positioning.
+#pragma once
+
+#include <memory>
+
+#include "dtype/flatten.hpp"
+#include "listio/ol_walker.hpp"
+#include "mpiio/io_stats.hpp"
+#include "mpiio/navigator.hpp"
+
+namespace llio::listio {
+
+class OlViewNav final : public mpiio::ViewNav {
+ public:
+  /// `list` is the stored flattened filetype (flattened at set_view, as
+  /// ROMIO does); `stats` accumulates traversal/copy cost accounting.
+  OlViewNav(const dt::OlList* list, Off ft_extent, mpiio::IoOpStats* stats);
+
+  Off stream_to_file_start(Off s) override;
+  Off stream_to_file_end(Off s) override;
+  Off file_to_stream(Off mem) override;
+  void scatter(Byte* win, Off bias, Off s, const Byte* src, Off n) override;
+  void gather(Byte* dst, const Byte* win, Off bias, Off s, Off n) override;
+  void for_each_segment(
+      Off s, Off n, const std::function<void(Off, Off, Off)>& fn) override;
+
+  OlWalker& walker() { return walker_; }
+
+ private:
+  /// Position for a copy at stream s (linear when non-sequential).
+  void copy_position(Off s);
+
+  OlWalker walker_;
+  mpiio::IoOpStats* stats_;
+  Off next_stream_ = -1;
+};
+
+}  // namespace llio::listio

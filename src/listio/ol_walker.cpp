@@ -1,0 +1,98 @@
+#include "listio/ol_walker.hpp"
+
+#include "common/error.hpp"
+
+namespace llio::listio {
+
+OlWalker::OlWalker(const dt::OlList* list, Off unit_extent)
+    : list_(list), extent_(unit_extent) {
+  LLIO_REQUIRE(list_ != nullptr && !list_->empty(), Errc::InvalidArgument,
+               "OlWalker: empty ol-list");
+  LLIO_REQUIRE(unit_extent > 0, Errc::InvalidArgument,
+               "OlWalker: non-positive extent");
+}
+
+void OlWalker::skip_empty() {
+  const auto& ts = list_->tuples();
+  while (tuple_ < ts.size() && within_ >= ts[tuple_].len) {
+    within_ -= ts[tuple_].len;
+    ++tuple_;
+  }
+  if (tuple_ >= ts.size()) {
+    // Wrap to the next instance.
+    ++instance_;
+    tuple_ = 0;
+    // within_ already reduced to the leftover (0 on exact boundaries).
+  }
+}
+
+void OlWalker::position(Off s) {
+  LLIO_REQUIRE(s >= 0, Errc::InvalidArgument, "OlWalker: negative stream");
+  const Off sz = unit_size();
+  instance_ = s / sz;
+  Off rem = s % sz;
+  stream_ = s;
+  tuple_ = 0;
+  within_ = 0;
+  // The baseline cost: scan tuples linearly until rem is inside one.
+  const auto& ts = list_->tuples();
+  while (tuple_ < ts.size() && rem >= ts[tuple_].len) {
+    rem -= ts[tuple_].len;
+    ++tuple_;
+  }
+  within_ = rem;
+  if (tuple_ >= ts.size()) {
+    // s was exactly an instance boundary multiple; start of next instance.
+    LLIO_ASSERT(rem == 0, "OlWalker: position overflow");
+    ++instance_;
+    tuple_ = 0;
+    within_ = 0;
+  }
+}
+
+Off OlWalker::mem() const {
+  const auto& ts = list_->tuples();
+  return instance_ * extent_ + ts[tuple_].off + within_;
+}
+
+Off OlWalker::mem_end_of(Off s) {
+  if (s == 0) {
+    position(0);
+    return mem();
+  }
+  position(s - 1);
+  return mem() + 1;
+}
+
+Off OlWalker::run_len() const {
+  return list_->tuples()[tuple_].len - within_;
+}
+
+Off OlWalker::run_mem() const { return mem(); }
+
+void OlWalker::consume(Off n) {
+  LLIO_REQUIRE(n >= 0 && n <= run_len(), Errc::InvalidArgument,
+               "OlWalker: consume beyond block");
+  within_ += n;
+  stream_ += n;
+  skip_empty();
+}
+
+Off OlWalker::bytes_below(Off m) const {
+  const Off sz = unit_size();
+  const auto& ts = list_->tuples();
+  const Off first_off = ts.front().off;
+  if (m <= first_off) return 0;
+  Off k = floor_div(m - first_off, extent_);
+  if (k < 0) return 0;
+  Off below = k * sz;
+  const Off local = m - k * extent_;
+  // Linear tuple scan — the list-based positioning cost.
+  for (const dt::OlTuple& t : ts) {
+    if (local <= t.off) break;
+    below += std::min(t.len, local - t.off);
+  }
+  return below;
+}
+
+}  // namespace llio::listio

@@ -1,0 +1,55 @@
+// Sequential walker over an explicit ol-list (the list-based baseline's
+// equivalent of the fotf segment cursor, with the baseline's costs):
+// positioning scans the list linearly from the start of the containing
+// filetype instance — the O(N_block/2) average the paper attributes to
+// ROMIO — and segment iteration touches one tuple per contiguous block.
+#pragma once
+
+#include "dtype/flatten.hpp"
+
+namespace llio::listio {
+
+class OlWalker {
+ public:
+  /// Walk the stream of unbounded instances of a type whose single-instance
+  /// ol-list is `list`; instance k is based at k * unit_extent.
+  OlWalker(const dt::OlList* list, Off unit_extent);
+
+  Off unit_size() const noexcept { return list_->total_bytes(); }
+
+  /// Linear positioning at stream offset s (tuple scan from list start).
+  void position(Off s);
+
+  Off stream() const noexcept { return stream_; }
+
+  /// Memory offset of the current stream byte (start convention: at a
+  /// block boundary this is the next block's start).
+  Off mem() const;
+
+  /// Memory offset one past stream byte s-1 (end convention).
+  Off mem_end_of(Off s);
+
+  /// Remaining bytes of the current contiguous block.
+  Off run_len() const;
+
+  /// Memory offset of the current position within the current block.
+  Off run_mem() const;
+
+  /// Advance by n <= run_len() bytes.
+  void consume(Off n);
+
+  /// Stream bytes with memory offset strictly below `m` (linear scan).
+  Off bytes_below(Off m) const;
+
+ private:
+  void skip_empty();  ///< move past zero remaining-length positions
+
+  const dt::OlList* list_;
+  Off extent_;
+  Off stream_ = 0;    ///< current stream offset
+  Off instance_ = 0;  ///< current filetype instance
+  std::size_t tuple_ = 0;
+  Off within_ = 0;  ///< bytes consumed of the current tuple
+};
+
+}  // namespace llio::listio

@@ -1,0 +1,143 @@
+#include "mpiio/engine.hpp"
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "mpiio/sieve.hpp"
+
+namespace llio::mpiio {
+
+IoEngine::IoEngine(sim::Comm* comm, pfs::FilePtr file,
+                   std::shared_ptr<pfs::RangeLock> locks, const Options& opts)
+    : comm_(comm), file_(std::move(file)), locks_(std::move(locks)),
+      opts_(opts), view_(default_view()) {
+  LLIO_REQUIRE(comm_ != nullptr, Errc::InvalidArgument, "engine: null comm");
+  LLIO_REQUIRE(file_ != nullptr, Errc::InvalidArgument, "engine: null file");
+  LLIO_REQUIRE(opts_.file_buffer_size > 0 && opts_.pack_buffer_size > 0,
+               Errc::InvalidArgument, "engine: non-positive buffer size");
+}
+
+Off IoEngine::check_access(Off offset_etypes, const void* buf, Off count,
+                           const dt::Type& mt) const {
+  LLIO_REQUIRE(offset_etypes >= 0, Errc::InvalidArgument,
+               "access: negative offset");
+  LLIO_REQUIRE(count >= 0, Errc::InvalidArgument, "access: negative count");
+  LLIO_REQUIRE(mt != nullptr, Errc::InvalidDatatype, "access: null memtype");
+  LLIO_REQUIRE(buf != nullptr || count * mt->size() == 0,
+               Errc::InvalidArgument, "access: null buffer");
+  return offset_etypes * view_.etype->size();
+}
+
+namespace {
+/// Atomic mode: hold one lock over the whole access span.
+class WholeRangeLock {
+ public:
+  WholeRangeLock(bool enabled, pfs::RangeLock& locks, Off lo, Off hi)
+      : enabled_(enabled), locks_(locks), lo_(lo), hi_(hi) {
+    if (enabled_) locks_.lock(lo_, hi_);
+  }
+  ~WholeRangeLock() {
+    if (enabled_) locks_.unlock(lo_, hi_);
+  }
+  WholeRangeLock(const WholeRangeLock&) = delete;
+  WholeRangeLock& operator=(const WholeRangeLock&) = delete;
+
+ private:
+  bool enabled_;
+  pfs::RangeLock& locks_;
+  Off lo_, hi_;
+};
+}  // namespace
+
+Off IoEngine::indep_write(ViewNav& nav, Off stream_lo, Off nbytes,
+                          StreamMover& src) {
+  if (nbytes <= 0) return 0;
+  SieveContext ctx{*file_, *locks_, opts_, stats_, atomic_};
+  const Off abs_lo = view_.disp + nav.stream_to_file_start(stream_lo);
+  if (view_.dense()) {
+    WholeRangeLock lock(atomic_, *locks_, abs_lo, abs_lo + nbytes);
+    return dense_write(ctx, abs_lo, nbytes, src);
+  }
+  const Off abs_hi = view_.disp + nav.stream_to_file_end(stream_lo + nbytes);
+  WholeRangeLock lock(atomic_, *locks_, abs_lo, abs_hi);
+  if (choose_sieving(opts_, /*writing=*/true, nbytes, abs_lo, abs_hi))
+    return sieve_write(ctx, nav, view_.disp, stream_lo, nbytes, src);
+  return direct_write(ctx, nav, view_.disp, stream_lo, nbytes, src);
+}
+
+Off IoEngine::indep_read(ViewNav& nav, Off stream_lo, Off nbytes,
+                         StreamMover& dst) {
+  if (nbytes <= 0) return 0;
+  SieveContext ctx{*file_, *locks_, opts_, stats_, atomic_};
+  const Off abs_lo = view_.disp + nav.stream_to_file_start(stream_lo);
+  if (view_.dense()) {
+    WholeRangeLock lock(atomic_, *locks_, abs_lo, abs_lo + nbytes);
+    return dense_read(ctx, abs_lo, nbytes, dst);
+  }
+  const Off abs_hi = view_.disp + nav.stream_to_file_end(stream_lo + nbytes);
+  WholeRangeLock lock(atomic_, *locks_, abs_lo, abs_hi);
+  if (choose_sieving(opts_, /*writing=*/false, nbytes, abs_lo, abs_hi))
+    return sieve_read(ctx, nav, view_.disp, stream_lo, nbytes, dst);
+  return direct_read(ctx, nav, view_.disp, stream_lo, nbytes, dst);
+}
+
+std::unique_ptr<StreamMover> IoEngine::make_mover(const void* buf, Off count,
+                                                  const dt::Type& mt) {
+  if (mt->is_contiguous())
+    return std::make_unique<ContigMover>(buf, mt->true_lb());
+  return make_nc_mover(buf, count, mt);
+}
+
+namespace {
+/// Times the whole operation into stats.total_s and folds the finished
+/// per-op record into the cumulative counters.
+class OpTimer {
+ public:
+  OpTimer(IoOpStats& stats, IoOpStats& cumulative)
+      : stats_(stats), cumulative_(cumulative) {
+    stats_ = IoOpStats{};
+  }
+  ~OpTimer() {
+    stats_.total_s = timer_.seconds();
+    cumulative_ += stats_;
+  }
+
+ private:
+  IoOpStats& stats_;
+  IoOpStats& cumulative_;
+  WallTimer timer_;
+};
+}  // namespace
+
+Off IoEngine::read_at(Off offset_etypes, void* buf, Off count,
+                      const dt::Type& mt) {
+  const Off stream_lo = check_access(offset_etypes, buf, count, mt);
+  std::lock_guard op_lock(op_mu_);
+  OpTimer op(stats_, cumulative_);
+  return do_read_at(stream_lo, buf, count, mt);
+}
+
+Off IoEngine::write_at(Off offset_etypes, const void* buf, Off count,
+                       const dt::Type& mt) {
+  const Off stream_lo = check_access(offset_etypes, buf, count, mt);
+  std::lock_guard op_lock(op_mu_);
+  OpTimer op(stats_, cumulative_);
+  return do_write_at(stream_lo, buf, count, mt);
+}
+
+Off IoEngine::read_at_all(Off offset_etypes, void* buf, Off count,
+                          const dt::Type& mt) {
+  const Off stream_lo = check_access(offset_etypes, buf, count, mt);
+  std::lock_guard op_lock(op_mu_);
+  OpTimer op(stats_, cumulative_);
+  return do_read_at_all(stream_lo, buf, count, mt);
+}
+
+Off IoEngine::write_at_all(Off offset_etypes, const void* buf, Off count,
+                           const dt::Type& mt) {
+  const Off stream_lo = check_access(offset_etypes, buf, count, mt);
+  std::lock_guard op_lock(op_mu_);
+  OpTimer op(stats_, cumulative_);
+  return do_write_at_all(stream_lo, buf, count, mt);
+}
+
+}  // namespace llio::mpiio

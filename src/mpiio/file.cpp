@@ -1,0 +1,358 @@
+#include "mpiio/file.hpp"
+
+#include <map>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "core/listless_engine.hpp"
+#include "listio/list_engine.hpp"
+
+namespace llio::mpiio {
+
+/// Shared-file-pointer state: one per backend among concurrently open
+/// handles (rank-threads share the address space).
+struct File::SharedFp {
+  std::mutex mu;
+  Off etypes = 0;
+
+  Off load() {
+    std::lock_guard lock(mu);
+    return etypes;
+  }
+
+  void store(Off v) {
+    std::lock_guard lock(mu);
+    etypes = v;
+  }
+
+  Off fetch_add(Off v) {
+    std::lock_guard lock(mu);
+    const Off old = etypes;
+    etypes += v;
+    return old;
+  }
+};
+
+namespace {
+
+/// Per-open shared state: the range-lock table protecting sieving
+/// read-modify-write and the shared file pointer.  Created by rank 0 and
+/// distributed collectively — rank-threads share the address space, so a
+/// broadcast of the owner's shared_ptr (copied before rank 0 leaves the
+/// closing barrier) hands every rank the same instance.
+struct OpenShared {
+  std::shared_ptr<pfs::RangeLock> locks;
+  std::shared_ptr<File::SharedFp> fp;
+};
+
+OpenShared exchange_open_shared(sim::Comm& comm) {
+  OpenShared mine;
+  if (comm.rank() == 0) {
+    mine.locks = std::make_shared<pfs::RangeLock>();
+    mine.fp = std::make_shared<File::SharedFp>();
+    const OpenShared* self = &mine;
+    ByteVec raw(sizeof(self));
+    std::memcpy(raw.data(), &self, sizeof(self));
+    comm.bcast(0, raw);
+    comm.barrier();  // keep `mine` alive until every rank copied it
+  } else {
+    const ByteVec raw = comm.bcast(0, {});
+    LLIO_REQUIRE(raw.size() == sizeof(const OpenShared*), Errc::Protocol,
+                 "open: bad shared-state broadcast");
+    const OpenShared* remote;
+    std::memcpy(&remote, raw.data(), sizeof(remote));
+    mine = *remote;  // shared_ptr copies; refcounts are thread-safe
+    comm.barrier();
+  }
+  return mine;
+}
+
+std::unique_ptr<IoEngine> make_engine(sim::Comm& comm, pfs::FilePtr backend,
+                                      std::shared_ptr<pfs::RangeLock> locks,
+                                      const Options& opts) {
+  switch (opts.method) {
+    case Method::ListBased:
+      return std::make_unique<listio::ListEngine>(&comm, std::move(backend),
+                                                  std::move(locks), opts);
+    case Method::Listless:
+      return std::make_unique<core::ListlessEngine>(&comm, std::move(backend),
+                                                    std::move(locks), opts);
+  }
+  throw_error(Errc::InvalidArgument, "open: unknown method");
+}
+
+}  // namespace
+
+File::File(std::unique_ptr<IoEngine> engine, pfs::FilePtr backend)
+    : engine_(std::move(engine)), backend_(std::move(backend)) {}
+
+File::File(File&&) noexcept = default;
+File& File::operator=(File&&) noexcept = default;
+File::~File() = default;
+
+File File::open(sim::Comm& comm, pfs::FilePtr backend, const Options& opts) {
+  LLIO_REQUIRE(backend != nullptr, Errc::InvalidArgument,
+               "open: null backend");
+  OpenShared shared = exchange_open_shared(comm);
+  auto engine = make_engine(comm, backend, std::move(shared.locks), opts);
+  engine->set_view(default_view());
+  File f(std::move(engine), std::move(backend));
+  f.shared_fp_ = std::move(shared.fp);
+  return f;
+}
+
+File File::open(sim::Comm& comm, pfs::FilePtr backend, const Info& info,
+                const Options& base) {
+  return open(comm, std::move(backend), apply_info(info, base));
+}
+
+void File::set_view(Off disp, const dt::Type& etype,
+                    const dt::Type& filetype) {
+  engine_->set_view(View{disp, etype, filetype});
+  pointer_etypes_ = 0;
+  // MPI_File_set_view resets the shared pointer as well (collective).
+  engine_->comm().barrier();
+  if (engine_->comm().rank() == 0) shared_fp_->store(0);
+  engine_->comm().barrier();
+}
+
+const View& File::view() const { return engine_->view(); }
+
+Off File::read_at(Off offset, void* buf, Off count, const dt::Type& mt) {
+  return engine_->read_at(offset, buf, count, mt);
+}
+
+Off File::write_at(Off offset, const void* buf, Off count,
+                   const dt::Type& mt) {
+  return engine_->write_at(offset, buf, count, mt);
+}
+
+Off File::read_at_all(Off offset, void* buf, Off count, const dt::Type& mt) {
+  return engine_->read_at_all(offset, buf, count, mt);
+}
+
+Off File::write_at_all(Off offset, const void* buf, Off count,
+                       const dt::Type& mt) {
+  return engine_->write_at_all(offset, buf, count, mt);
+}
+
+void File::seek(Off offset_etypes, Whence whence) {
+  Off base = 0;
+  switch (whence) {
+    case Whence::Set: base = 0; break;
+    case Whence::Cur: base = pointer_etypes_; break;
+    case Whence::End: {
+      // End of the *view*: etypes visible below the current file size.
+      const Off esz = engine_->view().etype->size();
+      base = size() / esz;  // conservative byte-based bound
+      break;
+    }
+  }
+  const Off target = base + offset_etypes;
+  LLIO_REQUIRE(target >= 0, Errc::InvalidArgument, "seek: negative position");
+  pointer_etypes_ = target;
+}
+
+Off File::tell() const { return pointer_etypes_; }
+
+void File::advance(Off bytes) {
+  const Off esz = engine_->view().etype->size();
+  LLIO_REQUIRE(bytes % esz == 0, Errc::InvalidArgument,
+               "file-pointer access must move a whole number of etypes");
+  pointer_etypes_ += bytes / esz;
+}
+
+Off File::read(void* buf, Off count, const dt::Type& mt) {
+  const Off n = engine_->read_at(pointer_etypes_, buf, count, mt);
+  advance(n);
+  return n;
+}
+
+Off File::write(const void* buf, Off count, const dt::Type& mt) {
+  const Off n = engine_->write_at(pointer_etypes_, buf, count, mt);
+  advance(n);
+  return n;
+}
+
+Off File::read_all(void* buf, Off count, const dt::Type& mt) {
+  const Off n = engine_->read_at_all(pointer_etypes_, buf, count, mt);
+  advance(n);
+  return n;
+}
+
+Off File::write_all(const void* buf, Off count, const dt::Type& mt) {
+  const Off n = engine_->write_at_all(pointer_etypes_, buf, count, mt);
+  advance(n);
+  return n;
+}
+
+Request File::iread_at(Off offset, void* buf, Off count, const dt::Type& mt) {
+  IoEngine* engine = engine_.get();
+  return Request(std::async(std::launch::async, [=]() {
+    return engine->read_at(offset, buf, count, mt);
+  }));
+}
+
+Request File::iwrite_at(Off offset, const void* buf, Off count,
+                        const dt::Type& mt) {
+  IoEngine* engine = engine_.get();
+  return Request(std::async(std::launch::async, [=]() {
+    return engine->write_at(offset, buf, count, mt);
+  }));
+}
+
+void File::write_at_all_begin(Off offset, const void* buf, Off count,
+                              const dt::Type& mt) {
+  LLIO_REQUIRE(split_state_ == SplitState::Idle, Errc::InvalidArgument,
+               "write_at_all_begin: a split collective is already pending");
+  split_result_ = engine_->write_at_all(offset, buf, count, mt);
+  split_state_ = SplitState::Writing;
+  split_buf_ = buf;
+}
+
+Off File::write_at_all_end(const void* buf) {
+  LLIO_REQUIRE(split_state_ == SplitState::Writing && buf == split_buf_,
+               Errc::InvalidArgument,
+               "write_at_all_end: no matching write_at_all_begin");
+  split_state_ = SplitState::Idle;
+  split_buf_ = nullptr;
+  return split_result_;
+}
+
+void File::read_at_all_begin(Off offset, void* buf, Off count,
+                             const dt::Type& mt) {
+  LLIO_REQUIRE(split_state_ == SplitState::Idle, Errc::InvalidArgument,
+               "read_at_all_begin: a split collective is already pending");
+  split_result_ = engine_->read_at_all(offset, buf, count, mt);
+  split_state_ = SplitState::Reading;
+  split_buf_ = buf;
+}
+
+Off File::read_at_all_end(void* buf) {
+  LLIO_REQUIRE(split_state_ == SplitState::Reading && buf == split_buf_,
+               Errc::InvalidArgument,
+               "read_at_all_end: no matching read_at_all_begin");
+  split_state_ = SplitState::Idle;
+  split_buf_ = nullptr;
+  return split_result_;
+}
+
+Off File::etypes_of(Off bytes) const {
+  const Off esz = engine_->view().etype->size();
+  LLIO_REQUIRE(bytes % esz == 0, Errc::InvalidArgument,
+               "shared-pointer access must move a whole number of etypes");
+  return bytes / esz;
+}
+
+Off File::tell_shared() const { return shared_fp_->load(); }
+
+void File::seek_shared(Off offset_etypes, Whence whence) {
+  sim::Comm& comm = engine_->comm();
+  comm.barrier();
+  if (comm.rank() == 0) {
+    Off base = 0;
+    switch (whence) {
+      case Whence::Set: base = 0; break;
+      case Whence::Cur: base = shared_fp_->load(); break;
+      case Whence::End:
+        base = size() / engine_->view().etype->size();
+        break;
+    }
+    const Off target = base + offset_etypes;
+    LLIO_REQUIRE(target >= 0, Errc::InvalidArgument,
+                 "seek_shared: negative position");
+    shared_fp_->store(target);
+  }
+  comm.barrier();
+}
+
+Off File::read_shared(void* buf, Off count, const dt::Type& mt) {
+  const Off et = etypes_of(count * mt->size());
+  const Off at = shared_fp_->fetch_add(et);
+  return engine_->read_at(at, buf, count, mt);
+}
+
+Off File::write_shared(const void* buf, Off count, const dt::Type& mt) {
+  const Off et = etypes_of(count * mt->size());
+  const Off at = shared_fp_->fetch_add(et);
+  return engine_->write_at(at, buf, count, mt);
+}
+
+Off File::read_ordered(void* buf, Off count, const dt::Type& mt) {
+  sim::Comm& comm = engine_->comm();
+  const Off et = etypes_of(count * mt->size());
+  comm.barrier();  // quiesce pending shared-pointer updates
+  const Off base = shared_fp_->load();
+  const Off pre = comm.exscan_sum(et);
+  const Off n = engine_->read_at(base + pre, buf, count, mt);
+  const Off total = comm.allreduce_sum(et);
+  comm.barrier();
+  if (comm.rank() == 0) shared_fp_->store(base + total);
+  comm.barrier();
+  return n;
+}
+
+Off File::write_ordered(const void* buf, Off count, const dt::Type& mt) {
+  sim::Comm& comm = engine_->comm();
+  const Off et = etypes_of(count * mt->size());
+  comm.barrier();
+  const Off base = shared_fp_->load();
+  const Off pre = comm.exscan_sum(et);
+  const Off n = engine_->write_at(base + pre, buf, count, mt);
+  const Off total = comm.allreduce_sum(et);
+  comm.barrier();
+  if (comm.rank() == 0) shared_fp_->store(base + total);
+  comm.barrier();
+  return n;
+}
+
+Off File::size() const { return backend_->size(); }
+
+void File::set_size(Off bytes) {
+  LLIO_REQUIRE(bytes >= 0, Errc::InvalidArgument, "set_size: negative size");
+  sim::Comm& comm = engine_->comm();
+  comm.barrier();
+  if (comm.rank() == 0) backend_->resize(bytes);
+  comm.barrier();
+}
+
+void File::preallocate(Off bytes) {
+  LLIO_REQUIRE(bytes >= 0, Errc::InvalidArgument,
+               "preallocate: negative size");
+  sim::Comm& comm = engine_->comm();
+  comm.barrier();
+  if (comm.rank() == 0 && backend_->size() < bytes) backend_->resize(bytes);
+  comm.barrier();
+}
+
+void File::sync() {
+  sim::Comm& comm = engine_->comm();
+  comm.barrier();
+  if (comm.rank() == 0) backend_->sync();
+  comm.barrier();
+}
+
+void File::set_atomicity(bool atomic) {
+  sim::Comm& comm = engine_->comm();
+  comm.barrier();
+  engine_->set_atomicity(atomic);
+  comm.barrier();
+}
+
+bool File::atomicity() const { return engine_->atomicity(); }
+
+const IoOpStats& File::last_stats() const { return engine_->last_stats(); }
+
+const IoOpStats& File::cumulative_stats() const {
+  return engine_->cumulative_stats();
+}
+
+void File::reset_cumulative_stats() { engine_->reset_cumulative_stats(); }
+
+const Options& File::options() const { return engine_->options(); }
+
+Info File::info() const { return options_to_info(engine_->options()); }
+
+IoEngine& File::engine() { return *engine_; }
+
+}  // namespace llio::mpiio

@@ -1,0 +1,114 @@
+#include "mpiio/info.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+
+namespace llio::mpiio {
+
+namespace {
+
+Off parse_bytes(const std::string& key, const std::string& v) {
+  char* end = nullptr;
+  const long long n = std::strtoll(v.c_str(), &end, 10);
+  LLIO_REQUIRE(end != v.c_str() && *end == '\0' && n > 0,
+               Errc::InvalidArgument, "hint " + key + ": bad byte count");
+  return static_cast<Off>(n);
+}
+
+int parse_int(const std::string& key, const std::string& v) {
+  char* end = nullptr;
+  const long n = std::strtol(v.c_str(), &end, 10);
+  LLIO_REQUIRE(end != v.c_str() && *end == '\0' && n >= 0,
+               Errc::InvalidArgument, "hint " + key + ": bad integer");
+  return static_cast<int>(n);
+}
+
+bool parse_enable(const std::string& key, const std::string& v) {
+  if (v == "enable" || v == "true") return true;
+  if (v == "disable" || v == "false") return false;
+  throw_error(Errc::InvalidArgument,
+              "hint " + key + ": expected enable/disable");
+}
+
+Sieving parse_sieving(const std::string& key, const std::string& v) {
+  if (v == "enable") return Sieving::Always;
+  if (v == "disable") return Sieving::Never;
+  if (v == "automatic") return Sieving::Automatic;
+  throw_error(Errc::InvalidArgument,
+              "hint " + key + ": expected enable/disable/automatic");
+}
+
+}  // namespace
+
+Options apply_info(const Info& info, Options base) {
+  for (const auto& [key, value] : info.entries()) {
+    if (key == "llio_method") {
+      if (value == "listless")
+        base.method = Method::Listless;
+      else if (value == "list-based")
+        base.method = Method::ListBased;
+      else
+        throw_error(Errc::InvalidArgument,
+                    "hint llio_method: expected listless/list-based");
+    } else if (key == "cb_buffer_size" || key == "ind_rd_buffer_size" ||
+               key == "ind_wr_buffer_size") {
+      base.file_buffer_size = parse_bytes(key, value);
+    } else if (key == "pack_buffer_size") {
+      base.pack_buffer_size = parse_bytes(key, value);
+    } else if (key == "cb_nodes") {
+      base.io_procs = parse_int(key, value);
+    } else if (key == "romio_cb_write") {
+      base.cb_write = value == "automatic" ? true : parse_enable(key, value);
+    } else if (key == "romio_cb_read") {
+      base.cb_read = value == "automatic" ? true : parse_enable(key, value);
+    } else if (key == "romio_ds_write") {
+      base.ds_write = parse_sieving(key, value);
+    } else if (key == "romio_ds_read") {
+      base.ds_read = parse_sieving(key, value);
+    } else if (key == "llio_sieve_min_fill") {
+      char* end = nullptr;
+      const double f = std::strtod(value.c_str(), &end);
+      LLIO_REQUIRE(end != value.c_str() && *end == '\0' && f >= 0.0 &&
+                       f <= 1.0,
+                   Errc::InvalidArgument,
+                   "hint llio_sieve_min_fill: expected a ratio in [0, 1]");
+      base.sieve_min_fill = f;
+    } else if (key == "llio_merge_opt") {
+      base.collective_merge_opt = parse_enable(key, value);
+    }
+    // Unknown keys are ignored, as MPI_Info requires.
+  }
+  return base;
+}
+
+namespace {
+const char* sieving_name(Sieving s) {
+  switch (s) {
+    case Sieving::Always: return "enable";
+    case Sieving::Never: return "disable";
+    case Sieving::Automatic: return "automatic";
+  }
+  return "enable";
+}
+}  // namespace
+
+Info options_to_info(const Options& o) {
+  Info info;
+  info.set("llio_method",
+           o.method == Method::Listless ? "listless" : "list-based");
+  info.set("cb_buffer_size", strprintf("%lld", (long long)o.file_buffer_size));
+  info.set("pack_buffer_size",
+           strprintf("%lld", (long long)o.pack_buffer_size));
+  info.set("cb_nodes", strprintf("%d", o.io_procs));
+  info.set("romio_cb_write", o.cb_write ? "enable" : "disable");
+  info.set("romio_cb_read", o.cb_read ? "enable" : "disable");
+  info.set("romio_ds_write", sieving_name(o.ds_write));
+  info.set("romio_ds_read", sieving_name(o.ds_read));
+  info.set("llio_sieve_min_fill", strprintf("%.3f", o.sieve_min_fill));
+  info.set("llio_merge_opt", o.collective_merge_opt ? "enable" : "disable");
+  return info;
+}
+
+}  // namespace llio::mpiio

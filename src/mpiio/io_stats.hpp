@@ -1,0 +1,46 @@
+// Per-operation statistics: the overhead decomposition of paper §2.4/§3.3.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace llio::mpiio {
+
+struct IoOpStats {
+  double total_s = 0;       ///< wall time of the whole operation
+  double list_build_s = 0;  ///< ol-list flatten / clip / merge time
+  double copy_s = 0;        ///< pack/unpack/per-tuple copy time
+  double file_s = 0;        ///< time in pread/pwrite
+  double exchange_s = 0;    ///< time in communication calls
+
+  Off bytes_moved = 0;       ///< user payload bytes
+  Off file_read_bytes = 0;   ///< bytes actually read from storage
+  Off file_write_bytes = 0;  ///< bytes actually written to storage
+  std::uint64_t file_read_ops = 0;
+  std::uint64_t file_write_ops = 0;
+
+  Off list_bytes_sent = 0;  ///< ol-list exchange volume (list-based only)
+  Off data_bytes_sent = 0;  ///< data exchange volume (collective)
+  Off list_mem_bytes = 0;   ///< peak ol-list memory this operation
+
+  IoOpStats& operator+=(const IoOpStats& o) {
+    total_s += o.total_s;
+    list_build_s += o.list_build_s;
+    copy_s += o.copy_s;
+    file_s += o.file_s;
+    exchange_s += o.exchange_s;
+    bytes_moved += o.bytes_moved;
+    file_read_bytes += o.file_read_bytes;
+    file_write_bytes += o.file_write_bytes;
+    file_read_ops += o.file_read_ops;
+    file_write_ops += o.file_write_ops;
+    list_bytes_sent += o.list_bytes_sent;
+    data_bytes_sent += o.data_bytes_sent;
+    list_mem_bytes = list_mem_bytes > o.list_mem_bytes ? list_mem_bytes
+                                                       : o.list_mem_bytes;
+    return *this;
+  }
+};
+
+}  // namespace llio::mpiio

@@ -1,0 +1,60 @@
+// Open-time options for an llio file handle.
+#pragma once
+
+#include "common/bytes.hpp"
+
+namespace llio::mpiio {
+
+/// Which non-contiguous-access implementation a file handle uses.
+enum class Method {
+  ListBased,  ///< ROMIO-style ol-lists (paper §2, the baseline)
+  Listless,   ///< flattening-on-the-fly (paper §3, the contribution)
+};
+
+/// Independent non-contiguous access strategy (paper §5 discusses the
+/// trade-off between data sieving and multiple direct file accesses).
+enum class Sieving {
+  Automatic,  ///< sieve when the access fills >= sieve_min_fill of its span
+  Always,     ///< always sieve (the ROMIO default the paper measures)
+  Never,      ///< one file access per contiguous block
+};
+
+struct Options {
+  Method method = Method::Listless;
+
+  /// Data-sieving / two-phase file buffer size (ROMIO's ind_rd_buffer_size
+  /// and cb_buffer_size analogue).
+  Off file_buffer_size = 4 << 20;
+
+  /// Pack buffer used when both memtype and filetype are non-contiguous.
+  Off pack_buffer_size = 1 << 20;
+
+  /// Number of I/O processes for collective access; 0 = every rank is an
+  /// IOP (the common configuration in the paper's experiments).
+  int io_procs = 0;
+
+  /// Collective-write contiguity optimization: skip the pre-read of a file
+  /// block when the combined accesses fully cover it (paper §2.3 / §3.2.3).
+  bool collective_merge_opt = true;
+
+  /// Independent writes: skip the sieving pre-read when the window is
+  /// fully covered by the access.
+  bool sieve_skip_covered_read = true;
+
+  /// Collective buffering (two-phase) on/off per direction; when off,
+  /// collective calls degrade to independent accesses plus a barrier
+  /// (ROMIO's romio_cb_write/read = disable).
+  bool cb_write = true;
+  bool cb_read = true;
+
+  /// Independent access strategy per direction (romio_ds_write/read).
+  Sieving ds_write = Sieving::Always;
+  Sieving ds_read = Sieving::Always;
+
+  /// Automatic mode: sieve when accessed bytes / spanned bytes >= this.
+  double sieve_min_fill = 0.2;
+};
+
+const char* method_name(Method m) noexcept;
+
+}  // namespace llio::mpiio

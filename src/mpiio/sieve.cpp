@@ -1,0 +1,266 @@
+#include "mpiio/sieve.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace llio::mpiio {
+
+void timed_pread_zero_fill(SieveContext& ctx, Off pos, ByteSpan buf) {
+  StopWatch w;
+  w.start();
+  const Off got = ctx.file.pread(pos, buf);
+  w.stop();
+  ctx.stats.file_s += w.seconds();
+  ctx.stats.file_read_bytes += got;
+  ctx.stats.file_read_ops += 1;
+  if (to_size(got) < buf.size())
+    std::memset(buf.data() + got, 0, buf.size() - to_size(got));
+}
+
+void timed_pwrite(SieveContext& ctx, Off pos, ConstByteSpan buf) {
+  StopWatch w;
+  w.start();
+  ctx.file.pwrite(pos, buf);
+  w.stop();
+  ctx.stats.file_s += w.seconds();
+  ctx.stats.file_write_bytes += to_off(buf.size());
+  ctx.stats.file_write_ops += 1;
+}
+
+Off sieve_write(SieveContext& ctx, ViewNav& nav, Off disp, Off stream_lo,
+                Off nbytes, StreamMover& src) {
+  if (nbytes <= 0) return 0;
+  const Off abs_lo = disp + nav.stream_to_file_start(stream_lo);
+  const Off abs_hi = disp + nav.stream_to_file_end(stream_lo + nbytes);
+  const Off fbs = ctx.opts.file_buffer_size;
+  ByteVec fbuf(to_size(std::min(fbs, abs_hi - abs_lo)));
+  ByteVec packbuf;
+
+  Off done = 0;
+  Off pos = abs_lo;
+  while (pos < abs_hi) {
+    const Off win_hi = std::min(abs_hi, pos + fbs);
+    const Off win = win_hi - pos;
+    const Off avail = nav.file_to_stream(win_hi - disp) - (stream_lo + done);
+    LLIO_ASSERT(avail >= 0 && avail <= nbytes - done,
+                "sieve_write: bad window stream count");
+    if (avail == 0) {
+      pos = win_hi;
+      continue;
+    }
+    std::optional<pfs::ScopedRangeLock> lock;
+    if (!ctx.whole_range_locked) lock.emplace(ctx.locks, pos, win_hi);
+    const bool covered = avail == win;
+    if (!covered || !ctx.opts.sieve_skip_covered_read)
+      timed_pread_zero_fill(ctx, pos, ByteSpan(fbuf.data(), to_size(win)));
+
+    StopWatch copy;
+    copy.start();
+    if (const Byte* direct = src.direct(done, avail)) {
+      nav.scatter(fbuf.data(), pos - disp, stream_lo + done, direct, avail);
+    } else {
+      if (packbuf.empty())
+        packbuf.resize(to_size(ctx.opts.pack_buffer_size));
+      Off sub = 0;
+      while (sub < avail) {
+        const Off n =
+            std::min<Off>(to_off(packbuf.size()), avail - sub);
+        src.to_stream(packbuf.data(), done + sub, n);
+        nav.scatter(fbuf.data(), pos - disp, stream_lo + done + sub,
+                    packbuf.data(), n);
+        sub += n;
+      }
+    }
+    copy.stop();
+    ctx.stats.copy_s += copy.seconds();
+
+    timed_pwrite(ctx, pos, ConstByteSpan(fbuf.data(), to_size(win)));
+    done += avail;
+    pos = win_hi;
+  }
+  LLIO_ASSERT(done == nbytes, "sieve_write: stream not exhausted");
+  ctx.stats.bytes_moved += nbytes;
+  return nbytes;
+}
+
+Off sieve_read(SieveContext& ctx, ViewNav& nav, Off disp, Off stream_lo,
+               Off nbytes, StreamMover& dst) {
+  if (nbytes <= 0) return 0;
+  const Off abs_lo = disp + nav.stream_to_file_start(stream_lo);
+  const Off abs_hi = disp + nav.stream_to_file_end(stream_lo + nbytes);
+  const Off fbs = ctx.opts.file_buffer_size;
+  ByteVec fbuf(to_size(std::min(fbs, abs_hi - abs_lo)));
+  ByteVec packbuf;
+
+  Off done = 0;
+  Off pos = abs_lo;
+  while (pos < abs_hi) {
+    const Off win_hi = std::min(abs_hi, pos + fbs);
+    const Off win = win_hi - pos;
+    const Off avail = nav.file_to_stream(win_hi - disp) - (stream_lo + done);
+    LLIO_ASSERT(avail >= 0 && avail <= nbytes - done,
+                "sieve_read: bad window stream count");
+    if (avail == 0) {
+      pos = win_hi;
+      continue;
+    }
+    timed_pread_zero_fill(ctx, pos, ByteSpan(fbuf.data(), to_size(win)));
+
+    StopWatch copy;
+    copy.start();
+    if (Byte* direct = dst.direct_mut(done, avail)) {
+      nav.gather(direct, fbuf.data(), pos - disp, stream_lo + done, avail);
+    } else {
+      if (packbuf.empty())
+        packbuf.resize(to_size(ctx.opts.pack_buffer_size));
+      Off sub = 0;
+      while (sub < avail) {
+        const Off n =
+            std::min<Off>(to_off(packbuf.size()), avail - sub);
+        nav.gather(packbuf.data(), fbuf.data(), pos - disp,
+                   stream_lo + done + sub, n);
+        dst.from_stream(packbuf.data(), done + sub, n);
+        sub += n;
+      }
+    }
+    copy.stop();
+    ctx.stats.copy_s += copy.seconds();
+
+    done += avail;
+    pos = win_hi;
+  }
+  LLIO_ASSERT(done == nbytes, "sieve_read: stream not exhausted");
+  ctx.stats.bytes_moved += nbytes;
+  return nbytes;
+}
+
+bool choose_sieving(const Options& opts, bool writing, Off nbytes, Off abs_lo,
+                    Off abs_hi) {
+  const Sieving mode = writing ? opts.ds_write : opts.ds_read;
+  switch (mode) {
+    case Sieving::Always: return true;
+    case Sieving::Never: return false;
+    case Sieving::Automatic: {
+      const Off span = abs_hi - abs_lo;
+      if (span <= 0) return true;
+      const double fill =
+          static_cast<double>(nbytes) / static_cast<double>(span);
+      return fill >= opts.sieve_min_fill;
+    }
+  }
+  return true;
+}
+
+Off direct_write(SieveContext& ctx, ViewNav& nav, Off disp, Off stream_lo,
+                 Off nbytes, StreamMover& src) {
+  if (nbytes <= 0) return 0;
+  ByteVec packbuf;
+  StopWatch copy;
+  nav.for_each_segment(
+      stream_lo, nbytes, [&](Off mem, Off stream, Off len) {
+        const Off rel = stream - stream_lo;
+        if (const Byte* direct = src.direct(rel, len)) {
+          timed_pwrite(ctx, disp + mem, ConstByteSpan(direct, to_size(len)));
+          return;
+        }
+        if (to_off(packbuf.size()) < std::min(len, ctx.opts.pack_buffer_size))
+          packbuf.resize(to_size(ctx.opts.pack_buffer_size));
+        Off sub = 0;
+        while (sub < len) {
+          const Off n = std::min<Off>(to_off(packbuf.size()), len - sub);
+          copy.start();
+          src.to_stream(packbuf.data(), rel + sub, n);
+          copy.stop();
+          timed_pwrite(ctx, disp + mem + sub,
+                       ConstByteSpan(packbuf.data(), to_size(n)));
+          sub += n;
+        }
+      });
+  ctx.stats.copy_s += copy.seconds();
+  ctx.stats.bytes_moved += nbytes;
+  return nbytes;
+}
+
+Off direct_read(SieveContext& ctx, ViewNav& nav, Off disp, Off stream_lo,
+                Off nbytes, StreamMover& dst) {
+  if (nbytes <= 0) return 0;
+  ByteVec packbuf;
+  StopWatch copy;
+  nav.for_each_segment(
+      stream_lo, nbytes, [&](Off mem, Off stream, Off len) {
+        const Off rel = stream - stream_lo;
+        if (Byte* direct = dst.direct_mut(rel, len)) {
+          timed_pread_zero_fill(ctx, disp + mem,
+                                ByteSpan(direct, to_size(len)));
+          return;
+        }
+        if (to_off(packbuf.size()) < std::min(len, ctx.opts.pack_buffer_size))
+          packbuf.resize(to_size(ctx.opts.pack_buffer_size));
+        Off sub = 0;
+        while (sub < len) {
+          const Off n = std::min<Off>(to_off(packbuf.size()), len - sub);
+          timed_pread_zero_fill(ctx, disp + mem + sub,
+                                ByteSpan(packbuf.data(), to_size(n)));
+          copy.start();
+          dst.from_stream(packbuf.data(), rel + sub, n);
+          copy.stop();
+          sub += n;
+        }
+      });
+  ctx.stats.copy_s += copy.seconds();
+  ctx.stats.bytes_moved += nbytes;
+  return nbytes;
+}
+
+Off dense_write(SieveContext& ctx, Off abs_lo, Off nbytes, StreamMover& src) {
+  if (nbytes <= 0) return 0;
+  if (const Byte* direct = src.direct(0, nbytes)) {
+    timed_pwrite(ctx, abs_lo, ConstByteSpan(direct, to_size(nbytes)));
+  } else {
+    ByteVec packbuf(to_size(std::min(ctx.opts.pack_buffer_size, nbytes)));
+    Off done = 0;
+    while (done < nbytes) {
+      const Off n = std::min<Off>(to_off(packbuf.size()), nbytes - done);
+      StopWatch copy;
+      copy.start();
+      src.to_stream(packbuf.data(), done, n);
+      copy.stop();
+      ctx.stats.copy_s += copy.seconds();
+      timed_pwrite(ctx, abs_lo + done,
+                   ConstByteSpan(packbuf.data(), to_size(n)));
+      done += n;
+    }
+  }
+  ctx.stats.bytes_moved += nbytes;
+  return nbytes;
+}
+
+Off dense_read(SieveContext& ctx, Off abs_lo, Off nbytes, StreamMover& dst) {
+  if (nbytes <= 0) return 0;
+  if (Byte* direct = dst.direct_mut(0, nbytes)) {
+    timed_pread_zero_fill(ctx, abs_lo, ByteSpan(direct, to_size(nbytes)));
+  } else {
+    ByteVec packbuf(to_size(std::min(ctx.opts.pack_buffer_size, nbytes)));
+    Off done = 0;
+    while (done < nbytes) {
+      const Off n = std::min<Off>(to_off(packbuf.size()), nbytes - done);
+      timed_pread_zero_fill(ctx, abs_lo + done,
+                      ByteSpan(packbuf.data(), to_size(n)));
+      StopWatch copy;
+      copy.start();
+      dst.from_stream(packbuf.data(), done, n);
+      copy.stop();
+      ctx.stats.copy_s += copy.seconds();
+      done += n;
+    }
+  }
+  ctx.stats.bytes_moved += nbytes;
+  return nbytes;
+}
+
+}  // namespace llio::mpiio

@@ -1,0 +1,60 @@
+// Independent non-contiguous access: the data-sieving skeleton (paper
+// §2.2) and the dense fast path, shared by both engines.  The engine
+// differences live entirely in the ViewNav / StreamMover implementations
+// passed in.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "mpiio/io_stats.hpp"
+#include "mpiio/navigator.hpp"
+#include "mpiio/options.hpp"
+#include "pfs/file_backend.hpp"
+#include "pfs/range_lock.hpp"
+
+namespace llio::mpiio {
+
+struct SieveContext {
+  pfs::FileBackend& file;
+  pfs::RangeLock& locks;
+  const Options& opts;
+  IoOpStats& stats;
+  /// True when the caller already holds a lock covering the whole access
+  /// (atomic mode); the sieving loop must then skip its window locks.
+  bool whole_range_locked = false;
+};
+
+/// Write `nbytes` of the user stream through a non-contiguous view whose
+/// stream starts at `stream_lo` (= offset_etypes * size(etype)).
+/// Returns bytes written.
+Off sieve_write(SieveContext& ctx, ViewNav& nav, Off disp, Off stream_lo,
+                Off nbytes, StreamMover& src);
+
+/// Read counterpart; short data beyond EOF reads back as zeros.
+Off sieve_read(SieveContext& ctx, ViewNav& nav, Off disp, Off stream_lo,
+               Off nbytes, StreamMover& dst);
+
+/// Dense-view fast paths: the access maps to one contiguous file range
+/// starting at `abs_lo`.
+Off dense_write(SieveContext& ctx, Off abs_lo, Off nbytes, StreamMover& src);
+Off dense_read(SieveContext& ctx, Off abs_lo, Off nbytes, StreamMover& dst);
+
+/// Direct (non-sieving) non-contiguous access: one file access per
+/// contiguous run.  This is the other side of the sieving trade-off the
+/// paper's §5 marks as future work — better when the view is sparse
+/// (sieving would read/write mostly gaps), worse when runs are tiny.
+Off direct_write(SieveContext& ctx, ViewNav& nav, Off disp, Off stream_lo,
+                 Off nbytes, StreamMover& src);
+Off direct_read(SieveContext& ctx, ViewNav& nav, Off disp, Off stream_lo,
+                Off nbytes, StreamMover& dst);
+
+/// Strategy choice for an independent access spanning [abs_lo, abs_hi)
+/// moving nbytes of data: true = sieve, false = direct.
+bool choose_sieving(const Options& opts, bool writing, Off nbytes, Off abs_lo,
+                    Off abs_hi);
+
+/// Timed storage accesses (shared with the collective paths):
+/// pread zero-fills past EOF — the view is logically sparse.
+void timed_pread_zero_fill(SieveContext& ctx, Off pos, ByteSpan buf);
+void timed_pwrite(SieveContext& ctx, Off pos, ConstByteSpan buf);
+
+}  // namespace llio::mpiio

@@ -1,0 +1,63 @@
+#include "mpiio/twophase.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace llio::mpiio {
+
+std::vector<AccessRange> exchange_ranges(sim::Comm& comm,
+                                         const AccessRange& mine) {
+  ByteVec raw(sizeof(AccessRange));
+  std::memcpy(raw.data(), &mine, sizeof(AccessRange));
+  auto gathered = comm.allgather(raw, sim::MsgClass::Meta);
+  std::vector<AccessRange> out(gathered.size());
+  for (std::size_t i = 0; i < gathered.size(); ++i) {
+    LLIO_REQUIRE(gathered[i].size() == sizeof(AccessRange), Errc::Protocol,
+                 "exchange_ranges: bad payload size");
+    std::memcpy(&out[i], gathered[i].data(), sizeof(AccessRange));
+  }
+  return out;
+}
+
+GlobalRange global_range(const std::vector<AccessRange>& ranges) {
+  GlobalRange g;
+  for (const AccessRange& r : ranges) {
+    if (r.nbytes <= 0) continue;
+    if (!g.any) {
+      g.lo = r.abs_lo;
+      g.hi = r.abs_hi;
+      g.any = true;
+    } else {
+      g.lo = std::min(g.lo, r.abs_lo);
+      g.hi = std::max(g.hi, r.abs_hi);
+    }
+  }
+  return g;
+}
+
+std::vector<Domain> partition_domains(const GlobalRange& g, int niops,
+                                      Off align) {
+  LLIO_REQUIRE(niops >= 1, Errc::InvalidArgument, "partition: niops < 1");
+  LLIO_REQUIRE(align >= 1, Errc::InvalidArgument, "partition: align < 1");
+  std::vector<Domain> out(to_size(Off{niops}));
+  if (!g.any) return out;
+  const Off total = g.hi - g.lo;
+  // Equal shares rounded up to the alignment; trailing IOPs may be empty.
+  const Off chunk = round_up(ceil_div(total, niops), align);
+  Off lo = g.lo;
+  for (int i = 0; i < niops; ++i) {
+    const Off hi = std::min(g.hi, lo + chunk);
+    out[to_size(Off{i})] = {lo, std::max(lo, hi)};
+    lo = std::max(lo, hi);
+  }
+  return out;
+}
+
+int effective_iops(int io_procs_opt, int comm_size) {
+  if (io_procs_opt <= 0 || io_procs_opt > comm_size) return comm_size;
+  return io_procs_opt;
+}
+
+}  // namespace llio::mpiio

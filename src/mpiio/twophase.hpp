@@ -1,0 +1,50 @@
+// Shared pieces of the two-phase collective I/O method (paper §2.3):
+// access-range exchange and the partitioning of the global file range
+// into per-IOP file domains.  The AP→IOP payload formats differ between
+// the engines (the list-based one ships ol-lists) and live with them.
+#pragma once
+
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "simmpi/comm.hpp"
+
+namespace llio::mpiio {
+
+/// One rank's contribution to a collective access.
+struct AccessRange {
+  Off stream_lo = 0;  ///< view-stream offset of the access start
+  Off nbytes = 0;     ///< stream bytes accessed (0 = not participating)
+  Off abs_lo = 0;     ///< first absolute file byte touched
+  Off abs_hi = 0;     ///< one past the last absolute file byte touched
+};
+
+/// Allgather every rank's AccessRange (Meta traffic).
+std::vector<AccessRange> exchange_ranges(sim::Comm& comm,
+                                         const AccessRange& mine);
+
+/// Global file range [lo, hi) covered by any participant; {0, 0} if none.
+struct GlobalRange {
+  Off lo = 0;
+  Off hi = 0;
+  bool any = false;
+};
+GlobalRange global_range(const std::vector<AccessRange>& ranges);
+
+struct Domain {
+  Off lo = 0;
+  Off hi = 0;
+
+  bool empty() const { return hi <= lo; }
+};
+
+/// Split [g.lo, g.hi) into `niops` aligned, contiguous file domains;
+/// domain boundaries snap to multiples of `align` (the file buffer size)
+/// relative to g.lo so sieving windows never straddle two IOPs.
+std::vector<Domain> partition_domains(const GlobalRange& g, int niops,
+                                      Off align);
+
+/// Number of IOP ranks for the given option value (0 = all).
+int effective_iops(int io_procs_opt, int comm_size);
+
+}  // namespace llio::mpiio

@@ -1,0 +1,43 @@
+// Fileviews (MPI_File_set_view semantics).
+//
+// A view = (disp, etype, filetype): the process sees the file as the
+// infinite tiling of `filetype` starting at absolute byte `disp`, with
+// offsets counted in units of `etype`.  The "view stream" is the packed
+// data stream of that tiling; a file offset of k etypes addresses stream
+// byte k * size(etype).
+#pragma once
+
+#include "dtype/datatype.hpp"
+
+namespace llio::mpiio {
+
+struct View {
+  Off disp = 0;
+  dt::Type etype;
+  dt::Type filetype;
+
+  /// Stream bytes per filetype instance.
+  Off ft_size() const { return filetype->size(); }
+
+  /// File bytes per filetype instance tile.
+  Off ft_extent() const { return filetype->extent(); }
+
+  /// True when the view exposes a dense byte range of the file (no holes),
+  /// enabling the direct (non-sieving) path.
+  bool dense() const {
+    return filetype->is_contiguous();
+  }
+};
+
+/// The default view every file starts with: disp 0, etype byte,
+/// filetype byte (the whole file, densely).
+View default_view();
+
+/// Validate the MPI-IO filetype/etype rules (throws Errc::InvalidView):
+///  - etype is contiguous with positive size,
+///  - size(filetype) is a positive multiple of size(etype),
+///  - the filetype is monotone with non-negative displacements and tiles
+///    at its extent without interleaving (file-navigable).
+void validate_view(const View& v);
+
+}  // namespace llio::mpiio

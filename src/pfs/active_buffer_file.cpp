@@ -1,0 +1,113 @@
+#include "pfs/active_buffer_file.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace llio::pfs {
+
+ActiveBufferFile::ActiveBufferFile(FilePtr inner, Off max_pending)
+    : inner_(std::move(inner)), max_pending_(max_pending),
+      virtual_size_(inner_->size()) {
+  flusher_ = std::thread([this] { flusher_loop(); });
+}
+
+std::shared_ptr<ActiveBufferFile> ActiveBufferFile::wrap(
+    FilePtr inner, Off max_pending_bytes) {
+  LLIO_REQUIRE(inner != nullptr, Errc::InvalidArgument,
+               "ActiveBufferFile: null inner backend");
+  LLIO_REQUIRE(max_pending_bytes > 0, Errc::InvalidArgument,
+               "ActiveBufferFile: non-positive stage size");
+  return std::shared_ptr<ActiveBufferFile>(
+      new ActiveBufferFile(std::move(inner), max_pending_bytes));
+}
+
+ActiveBufferFile::~ActiveBufferFile() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+}
+
+void ActiveBufferFile::flusher_loop() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (queue_.empty() && stop_) return;
+    if (queue_.empty()) continue;
+    Pending p = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    try {
+      inner_->pwrite(p.offset, p.data);
+    } catch (...) {
+      lock.lock();
+      if (!flush_error_) flush_error_ = std::current_exception();
+      pending_bytes_ -= to_off(p.data.size());
+      drain_cv_.notify_all();
+      continue;
+    }
+    lock.lock();
+    pending_bytes_ -= to_off(p.data.size());
+    drain_cv_.notify_all();
+  }
+}
+
+void ActiveBufferFile::do_pwrite(Off offset, ConstByteSpan data) {
+  std::unique_lock lock(mu_);
+  if (flush_error_) {
+    auto err = flush_error_;
+    flush_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+  drain_cv_.wait(lock, [&] {
+    return pending_bytes_ + to_off(data.size()) <= max_pending_ ||
+           queue_.empty();
+  });
+  queue_.push_back({offset, ByteVec(data.begin(), data.end())});
+  pending_bytes_ += to_off(data.size());
+  peak_pending_ = std::max(peak_pending_, pending_bytes_);
+  virtual_size_ = std::max(virtual_size_, offset + to_off(data.size()));
+  queue_cv_.notify_all();
+}
+
+void ActiveBufferFile::drain() {
+  std::unique_lock lock(mu_);
+  drain_cv_.wait(lock, [&] { return queue_.empty() && pending_bytes_ == 0; });
+  if (flush_error_) {
+    auto err = flush_error_;
+    flush_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+Off ActiveBufferFile::do_pread(Off offset, ByteSpan out) {
+  drain();  // read-after-write consistency
+  return inner_->pread(offset, out);
+}
+
+Off ActiveBufferFile::size() const {
+  std::lock_guard lock(mu_);
+  return std::max(virtual_size_, inner_->size());
+}
+
+void ActiveBufferFile::resize(Off new_size) {
+  drain();
+  inner_->resize(new_size);
+  std::lock_guard lock(mu_);
+  virtual_size_ = new_size;
+}
+
+void ActiveBufferFile::sync() {
+  drain();
+  inner_->sync();
+}
+
+Off ActiveBufferFile::peak_pending_bytes() const {
+  std::lock_guard lock(mu_);
+  return peak_pending_;
+}
+
+}  // namespace llio::pfs

@@ -1,0 +1,46 @@
+#include "pfs/faulty_file.hpp"
+
+#include "common/error.hpp"
+
+namespace llio::pfs {
+
+FaultyFile::FaultyFile(FilePtr inner, const FaultPlan& plan)
+    : inner_(std::move(inner)), reads_left_(plan.fail_after_reads),
+      writes_left_(plan.fail_after_writes) {}
+
+std::shared_ptr<FaultyFile> FaultyFile::wrap(FilePtr inner,
+                                             const FaultPlan& plan) {
+  LLIO_REQUIRE(inner != nullptr, Errc::InvalidArgument,
+               "FaultyFile: null inner backend");
+  return std::shared_ptr<FaultyFile>(new FaultyFile(std::move(inner), plan));
+}
+
+void FaultyFile::disarm() {
+  reads_left_.store(-1);
+  writes_left_.store(-1);
+}
+
+namespace {
+/// Decrement a countdown; returns true when it fires.  -1 stays inert.
+bool tick(std::atomic<std::int64_t>& counter) {
+  std::int64_t v = counter.load();
+  for (;;) {
+    if (v < 0) return false;
+    if (counter.compare_exchange_weak(v, v - 1)) return v == 0;
+  }
+}
+}  // namespace
+
+Off FaultyFile::do_pread(Off offset, ByteSpan out) {
+  if (tick(reads_left_))
+    throw_error(Errc::Io, "injected read fault");
+  return inner_->pread(offset, out);
+}
+
+void FaultyFile::do_pwrite(Off offset, ConstByteSpan data) {
+  if (tick(writes_left_))
+    throw_error(Errc::Io, "injected write fault");
+  inner_->pwrite(offset, data);
+}
+
+}  // namespace llio::pfs

@@ -1,0 +1,42 @@
+// Fault-injecting backend wrapper for failure-path testing: storage
+// errors must surface as Errc::Io through the whole engine stack, and a
+// failing rank must abort, not deadlock, its peers in collective calls.
+#pragma once
+
+#include <atomic>
+
+#include "pfs/file_backend.hpp"
+
+namespace llio::pfs {
+
+struct FaultPlan {
+  /// Fail the (n+1)-th read/write operation; -1 = never.
+  std::int64_t fail_after_reads = -1;
+  std::int64_t fail_after_writes = -1;
+};
+
+class FaultyFile final : public FileBackend {
+ public:
+  static std::shared_ptr<FaultyFile> wrap(FilePtr inner,
+                                          const FaultPlan& plan);
+
+  Off size() const override { return inner_->size(); }
+  void resize(Off new_size) override { inner_->resize(new_size); }
+  void sync() override { inner_->sync(); }
+
+  /// Disarm all pending faults (e.g. to verify recovery paths).
+  void disarm();
+
+ protected:
+  Off do_pread(Off offset, ByteSpan out) override;
+  void do_pwrite(Off offset, ConstByteSpan data) override;
+
+ private:
+  FaultyFile(FilePtr inner, const FaultPlan& plan);
+
+  FilePtr inner_;
+  std::atomic<std::int64_t> reads_left_;
+  std::atomic<std::int64_t> writes_left_;
+};
+
+}  // namespace llio::pfs

@@ -1,0 +1,40 @@
+#include "pfs/file_backend.hpp"
+
+#include "common/error.hpp"
+
+namespace llio::pfs {
+
+Off FileBackend::pread(Off offset, ByteSpan out) {
+  LLIO_REQUIRE(offset >= 0, Errc::InvalidArgument, "pread: negative offset");
+  const Off n = do_pread(offset, out);
+  read_ops_.fetch_add(1, std::memory_order_relaxed);
+  read_bytes_.fetch_add(static_cast<std::uint64_t>(n),
+                        std::memory_order_relaxed);
+  return n;
+}
+
+void FileBackend::pwrite(Off offset, ConstByteSpan data) {
+  LLIO_REQUIRE(offset >= 0, Errc::InvalidArgument, "pwrite: negative offset");
+  do_pwrite(offset, data);
+  write_ops_.fetch_add(1, std::memory_order_relaxed);
+  write_bytes_.fetch_add(static_cast<std::uint64_t>(data.size()),
+                         std::memory_order_relaxed);
+}
+
+FileStats FileBackend::stats() const {
+  FileStats s;
+  s.read_ops = read_ops_.load(std::memory_order_relaxed);
+  s.read_bytes = read_bytes_.load(std::memory_order_relaxed);
+  s.write_ops = write_ops_.load(std::memory_order_relaxed);
+  s.write_bytes = write_bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void FileBackend::reset_stats() {
+  read_ops_.store(0, std::memory_order_relaxed);
+  read_bytes_.store(0, std::memory_order_relaxed);
+  write_ops_.store(0, std::memory_order_relaxed);
+  write_bytes_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace llio::pfs

@@ -1,0 +1,64 @@
+// Storage substrate: the file abstraction the MPI-IO layer accesses.
+//
+// The paper's platform is the NEC SX local file system (~6.5 GB/s write,
+// ~8 GB/s read sustained).  We substitute:
+//   * MemFile      - RAM-backed, shared among rank-threads; reproduces the
+//                    paper's regime where storage is fast relative to the
+//                    CPU/memory work of datatype handling.
+//   * PosixFile    - real pread/pwrite on a local path.
+//   * ThrottledFile- wraps any backend with a bandwidth/latency cost model
+//                    to explore the opposite regime (slow storage).
+//
+// All backends are thread-safe for non-overlapping concurrent accesses and
+// track access statistics (ops and bytes, read and write).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/bytes.hpp"
+
+namespace llio::pfs {
+
+struct FileStats {
+  std::uint64_t read_ops = 0;
+  std::uint64_t read_bytes = 0;
+  std::uint64_t write_ops = 0;
+  std::uint64_t write_bytes = 0;
+};
+
+class FileBackend {
+ public:
+  virtual ~FileBackend() = default;
+
+  /// Read up to out.size() bytes at `offset`; returns bytes read (short
+  /// reads only at end of file).
+  Off pread(Off offset, ByteSpan out);
+
+  /// Write data at `offset`, growing the file as needed.
+  void pwrite(Off offset, ConstByteSpan data);
+
+  virtual Off size() const = 0;
+
+  /// Grow or shrink the file to exactly `new_size` bytes.
+  virtual void resize(Off new_size) = 0;
+
+  /// Flush buffered data to stable storage (no-op for memory backends).
+  virtual void sync() {}
+
+  FileStats stats() const;
+  void reset_stats();
+
+ protected:
+  virtual Off do_pread(Off offset, ByteSpan out) = 0;
+  virtual void do_pwrite(Off offset, ConstByteSpan data) = 0;
+
+ private:
+  std::atomic<std::uint64_t> read_ops_{0}, read_bytes_{0};
+  std::atomic<std::uint64_t> write_ops_{0}, write_bytes_{0};
+};
+
+using FilePtr = std::shared_ptr<FileBackend>;
+
+}  // namespace llio::pfs

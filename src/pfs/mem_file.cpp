@@ -1,0 +1,59 @@
+#include "pfs/mem_file.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+
+#include "common/error.hpp"
+
+namespace llio::pfs {
+
+MemFile::MemFile(Off initial_size) : data_(to_size(initial_size)) {}
+
+std::shared_ptr<MemFile> MemFile::create(Off initial_size) {
+  LLIO_REQUIRE(initial_size >= 0, Errc::InvalidArgument,
+               "MemFile: negative initial size");
+  return std::shared_ptr<MemFile>(new MemFile(initial_size));
+}
+
+Off MemFile::size() const {
+  std::shared_lock lock(mu_);
+  return to_off(data_.size());
+}
+
+void MemFile::resize(Off new_size) {
+  LLIO_REQUIRE(new_size >= 0, Errc::InvalidArgument,
+               "MemFile: negative size");
+  std::unique_lock lock(mu_);
+  data_.resize(to_size(new_size));
+}
+
+ByteVec MemFile::contents() const {
+  std::shared_lock lock(mu_);
+  return data_;
+}
+
+Off MemFile::do_pread(Off offset, ByteSpan out) {
+  std::shared_lock lock(mu_);
+  const Off fsize = to_off(data_.size());
+  if (offset >= fsize) return 0;
+  const Off n = std::min<Off>(to_off(out.size()), fsize - offset);
+  std::memcpy(out.data(), data_.data() + offset, to_size(n));
+  return n;
+}
+
+void MemFile::do_pwrite(Off offset, ConstByteSpan data) {
+  const Off end = offset + to_off(data.size());
+  {
+    std::shared_lock lock(mu_);
+    if (end <= to_off(data_.size())) {
+      std::memcpy(data_.data() + offset, data.data(), data.size());
+      return;
+    }
+  }
+  std::unique_lock lock(mu_);
+  if (end > to_off(data_.size())) data_.resize(to_size(end));
+  std::memcpy(data_.data() + offset, data.data(), data.size());
+}
+
+}  // namespace llio::pfs

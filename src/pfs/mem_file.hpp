@@ -1,0 +1,35 @@
+// RAM-backed file shared among rank-threads.
+#pragma once
+
+#include <shared_mutex>
+#include <vector>
+
+#include "pfs/file_backend.hpp"
+
+namespace llio::pfs {
+
+/// In-memory file.  Reads/writes within the current size proceed under a
+/// shared lock; growth takes an exclusive lock.  This mirrors a fast local
+/// file system where non-overlapping parallel accesses do not serialize.
+class MemFile final : public FileBackend {
+ public:
+  static std::shared_ptr<MemFile> create(Off initial_size = 0);
+
+  Off size() const override;
+  void resize(Off new_size) override;
+
+  /// Snapshot of the whole contents (test helper).
+  ByteVec contents() const;
+
+ protected:
+  Off do_pread(Off offset, ByteSpan out) override;
+  void do_pwrite(Off offset, ConstByteSpan data) override;
+
+ private:
+  explicit MemFile(Off initial_size);
+
+  mutable std::shared_mutex mu_;
+  std::vector<Byte> data_;
+};
+
+}  // namespace llio::pfs

@@ -1,0 +1,87 @@
+#include "pfs/posix_file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace llio::pfs {
+
+namespace {
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw_error(Errc::Io, what + ": " + std::strerror(errno));
+}
+}  // namespace
+
+PosixFile::PosixFile(std::string path, int fd)
+    : path_(std::move(path)), fd_(fd) {}
+
+std::shared_ptr<PosixFile> PosixFile::open(const std::string& path,
+                                           bool truncate) {
+  int flags = O_RDWR | O_CREAT;
+  if (truncate) flags |= O_TRUNC;
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) throw_errno("open " + path);
+  return std::shared_ptr<PosixFile>(new PosixFile(path, fd));
+}
+
+PosixFile::~PosixFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Off PosixFile::size() const {
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) throw_errno("fstat " + path_);
+  return static_cast<Off>(st.st_size);
+}
+
+void PosixFile::resize(Off new_size) {
+  LLIO_REQUIRE(new_size >= 0, Errc::InvalidArgument,
+               "PosixFile: negative size");
+  if (::ftruncate(fd_, static_cast<off_t>(new_size)) != 0)
+    throw_errno("ftruncate " + path_);
+}
+
+void PosixFile::sync() {
+  if (::fsync(fd_) != 0) throw_errno("fsync " + path_);
+}
+
+void PosixFile::remove(const std::string& path) {
+  if (::unlink(path.c_str()) != 0) throw_errno("unlink " + path);
+}
+
+Off PosixFile::do_pread(Off offset, ByteSpan out) {
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const ssize_t n = ::pread(fd_, out.data() + done, out.size() - done,
+                              static_cast<off_t>(offset) +
+                                  static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("pread " + path_);
+    }
+    if (n == 0) break;  // EOF
+    done += static_cast<std::size_t>(n);
+  }
+  return to_off(done);
+}
+
+void PosixFile::do_pwrite(Off offset, ConstByteSpan data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::pwrite(fd_, data.data() + done, data.size() - done,
+                               static_cast<off_t>(offset) +
+                                   static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("pwrite " + path_);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace llio::pfs

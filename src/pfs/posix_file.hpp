@@ -1,0 +1,39 @@
+// POSIX-backed file (pread/pwrite on a local path).
+#pragma once
+
+#include <string>
+
+#include "pfs/file_backend.hpp"
+
+namespace llio::pfs {
+
+class PosixFile final : public FileBackend {
+ public:
+  /// Open (creating if needed) `path` for read/write.  With `truncate`
+  /// the file starts empty.
+  static std::shared_ptr<PosixFile> open(const std::string& path,
+                                         bool truncate = false);
+
+  ~PosixFile() override;
+
+  Off size() const override;
+  void resize(Off new_size) override;
+  void sync() override;
+
+  /// Remove a file from the file system (MPI_File_delete analogue).
+  static void remove(const std::string& path);
+
+  const std::string& path() const noexcept { return path_; }
+
+ protected:
+  Off do_pread(Off offset, ByteSpan out) override;
+  void do_pwrite(Off offset, ConstByteSpan data) override;
+
+ private:
+  PosixFile(std::string path, int fd);
+
+  std::string path_;
+  int fd_;
+};
+
+}  // namespace llio::pfs

@@ -1,0 +1,34 @@
+#include "pfs/range_lock.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace llio::pfs {
+
+bool RangeLock::overlaps_locked(Off lo, Off hi) const {
+  return std::any_of(held_.begin(), held_.end(), [&](const Range& r) {
+    return r.lo < hi && lo < r.hi;
+  });
+}
+
+void RangeLock::lock(Off lo, Off hi) {
+  LLIO_REQUIRE(lo <= hi, Errc::InvalidArgument, "RangeLock: lo > hi");
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [&] { return !overlaps_locked(lo, hi); });
+  held_.push_back({lo, hi});
+}
+
+void RangeLock::unlock(Off lo, Off hi) {
+  std::lock_guard lock(mu_);
+  const auto it =
+      std::find_if(held_.begin(), held_.end(), [&](const Range& r) {
+        return r.lo == lo && r.hi == hi;
+      });
+  LLIO_REQUIRE(it != held_.end(), Errc::InvalidArgument,
+               "RangeLock: unlock of range not held");
+  held_.erase(it);
+  cv_.notify_all();
+}
+
+}  // namespace llio::pfs

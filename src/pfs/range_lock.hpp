@@ -1,0 +1,50 @@
+// Byte-range lock manager used by data sieving write-back (paper §2.2):
+// a sieving write reads a whole file block, patches it, and writes it
+// back; the region must be locked so concurrent writers do not clobber
+// unrelated bytes in the gaps.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace llio::pfs {
+
+class RangeLock {
+ public:
+  /// Block until [lo, hi) is free of other holders, then acquire it.
+  void lock(Off lo, Off hi);
+
+  /// Release a previously acquired range (exact match required).
+  void unlock(Off lo, Off hi);
+
+ private:
+  struct Range {
+    Off lo, hi;
+  };
+
+  bool overlaps_locked(Off lo, Off hi) const;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Range> held_;
+};
+
+/// RAII guard for a RangeLock range.
+class ScopedRangeLock {
+ public:
+  ScopedRangeLock(RangeLock& rl, Off lo, Off hi) : rl_(rl), lo_(lo), hi_(hi) {
+    rl_.lock(lo_, hi_);
+  }
+  ~ScopedRangeLock() { rl_.unlock(lo_, hi_); }
+  ScopedRangeLock(const ScopedRangeLock&) = delete;
+  ScopedRangeLock& operator=(const ScopedRangeLock&) = delete;
+
+ private:
+  RangeLock& rl_;
+  Off lo_, hi_;
+};
+
+}  // namespace llio::pfs

@@ -1,0 +1,111 @@
+#include "pfs/striped_file.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace llio::pfs {
+
+StripedFile::StripedFile(std::vector<FilePtr> devices, Off stripe_bytes)
+    : devices_(std::move(devices)), stripe_(stripe_bytes) {}
+
+std::shared_ptr<StripedFile> StripedFile::create(std::vector<FilePtr> devices,
+                                                 Off stripe_bytes) {
+  LLIO_REQUIRE(!devices.empty(), Errc::InvalidArgument,
+               "StripedFile: no devices");
+  for (const FilePtr& d : devices)
+    LLIO_REQUIRE(d != nullptr, Errc::InvalidArgument,
+                 "StripedFile: null device");
+  LLIO_REQUIRE(stripe_bytes > 0, Errc::InvalidArgument,
+               "StripedFile: non-positive stripe size");
+  return std::shared_ptr<StripedFile>(
+      new StripedFile(std::move(devices), stripe_bytes));
+}
+
+template <typename Fn>
+void StripedFile::for_each_piece(Off offset, Off len, Fn&& fn) const {
+  const Off nd = static_cast<Off>(devices_.size());
+  Off at = offset;
+  Off remaining = len;
+  Off buf_off = 0;
+  while (remaining > 0) {
+    const Off stripe_idx = at / stripe_;
+    const Off within = at % stripe_;
+    const Off dev = stripe_idx % nd;
+    const Off dev_stripe = stripe_idx / nd;
+    const Off n = std::min(remaining, stripe_ - within);
+    fn(to_size(dev), dev_stripe * stripe_ + within, buf_off, n);
+    at += n;
+    buf_off += n;
+    remaining -= n;
+  }
+}
+
+Off StripedFile::do_pread(Off offset, ByteSpan out) {
+  // Logical EOF: reads stop at the striped size.
+  const Off fsize = size();
+  if (offset >= fsize) return 0;
+  const Off len = std::min<Off>(to_off(out.size()), fsize - offset);
+  Off got_total = 0;
+  for_each_piece(offset, len, [&](std::size_t dev, Off dev_off, Off buf_off,
+                                  Off n) {
+    const Off got = devices_[dev]->pread(
+        dev_off, ByteSpan(out.data() + buf_off, to_size(n)));
+    if (got < n)  // hole within a device: zero-fill
+      std::memset(out.data() + buf_off + got, 0, to_size(n - got));
+    got_total += n;
+  });
+  return got_total;
+}
+
+void StripedFile::do_pwrite(Off offset, ConstByteSpan data) {
+  for_each_piece(offset, to_off(data.size()),
+                 [&](std::size_t dev, Off dev_off, Off buf_off, Off n) {
+                   devices_[dev]->pwrite(
+                       dev_off,
+                       ConstByteSpan(data.data() + buf_off, to_size(n)));
+                 });
+}
+
+Off StripedFile::size() const {
+  // Reconstruct the logical size from per-device sizes: device d holding
+  // `s` bytes contributes stripes at logical positions d, d+nd, ...
+  const Off nd = static_cast<Off>(devices_.size());
+  Off logical = 0;
+  for (Off d = 0; d < nd; ++d) {
+    const Off s = devices_[to_size(d)]->size();
+    if (s == 0) continue;
+    const Off full = s / stripe_;
+    const Off rem = s % stripe_;
+    // The last (possibly partial) device stripe ends at this logical off:
+    const Off last_stripe = full - (rem == 0 ? 1 : 0);
+    const Off tail = rem == 0 ? stripe_ : rem;
+    const Off end = (last_stripe * nd + d) * stripe_ + tail;
+    logical = std::max(logical, end);
+  }
+  return logical;
+}
+
+void StripedFile::resize(Off new_size) {
+  LLIO_REQUIRE(new_size >= 0, Errc::InvalidArgument,
+               "StripedFile: negative size");
+  const Off nd = static_cast<Off>(devices_.size());
+  for (Off d = 0; d < nd; ++d) {
+    // Bytes of device d below logical new_size.
+    Off dev_size = 0;
+    const Off full_rounds = new_size / (stripe_ * nd);
+    const Off rem = new_size % (stripe_ * nd);
+    dev_size = full_rounds * stripe_;
+    const Off rem_start = d * stripe_;
+    if (rem > rem_start)
+      dev_size += std::min(stripe_, rem - rem_start);
+    devices_[to_size(d)]->resize(dev_size);
+  }
+}
+
+void StripedFile::sync() {
+  for (const FilePtr& d : devices_) d->sync();
+}
+
+}  // namespace llio::pfs

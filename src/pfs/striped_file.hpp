@@ -1,0 +1,44 @@
+// RAID-0-style striped file: fixed-size stripes dealt round-robin over N
+// inner backends.  Models the paper's §4.1 remark that "accessing a file
+// system in parallel may increase the accumulated bandwidth if the file
+// system is using a storage system with a suitable striping
+// configuration": with per-device throttled backends, concurrent
+// non-overlapping accesses scale until the devices saturate.
+#pragma once
+
+#include <vector>
+
+#include "pfs/file_backend.hpp"
+
+namespace llio::pfs {
+
+class StripedFile final : public FileBackend {
+ public:
+  /// Stripe unit `stripe_bytes` over the given devices (>= 1).
+  static std::shared_ptr<StripedFile> create(std::vector<FilePtr> devices,
+                                             Off stripe_bytes);
+
+  Off size() const override;
+  void resize(Off new_size) override;
+  void sync() override;
+
+  int device_count() const { return static_cast<int>(devices_.size()); }
+  Off stripe_bytes() const { return stripe_; }
+
+ protected:
+  Off do_pread(Off offset, ByteSpan out) override;
+  void do_pwrite(Off offset, ConstByteSpan data) override;
+
+ private:
+  StripedFile(std::vector<FilePtr> devices, Off stripe_bytes);
+
+  /// Map a logical range onto per-device (offset, length) pieces and
+  /// apply `fn(device, dev_off, buf_slice)`.
+  template <typename Fn>
+  void for_each_piece(Off offset, Off len, Fn&& fn) const;
+
+  std::vector<FilePtr> devices_;
+  Off stripe_;
+};
+
+}  // namespace llio::pfs

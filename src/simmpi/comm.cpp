@@ -1,0 +1,306 @@
+#include "simmpi/comm.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace llio::sim {
+
+namespace detail {
+
+struct Message {
+  int src;
+  int tag;
+  ByteVec data;
+};
+
+struct Mailbox {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Message> queue;
+};
+
+class Context {
+ public:
+  explicit Context(int nprocs, const CommCostModel& net = {})
+      : nprocs_(nprocs), net_(net), mailboxes_(to_size(Off{nprocs})),
+        stats_(to_size(Off{nprocs})) {}
+
+  int size() const noexcept { return nprocs_; }
+
+  void abort() {
+    aborted_.store(true, std::memory_order_release);
+    for (auto& mb : mailboxes_) {
+      std::lock_guard<std::mutex> lock(mb.mu);
+      mb.cv.notify_all();
+    }
+    {
+      std::lock_guard<std::mutex> lock(barrier_mu_);
+      barrier_cv_.notify_all();
+    }
+  }
+
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+
+  void check_alive() const {
+    LLIO_REQUIRE(!aborted(), Errc::Protocol,
+                 "communication aborted: a peer rank failed");
+  }
+
+  void send(int src, int dst, int tag, ConstByteSpan data, MsgClass cls) {
+    check_alive();
+    LLIO_REQUIRE(dst >= 0 && dst < nprocs_, Errc::InvalidArgument,
+                 "send: bad destination rank");
+    CommStats& st = stats_[to_size(Off{src})];
+    st.msgs_sent += 1;
+    if (cls == MsgClass::Data)
+      st.data_bytes_sent += data.size();
+    else
+      st.meta_bytes_sent += data.size();
+    Mailbox& mb = mailboxes_[to_size(Off{dst})];
+    {
+      std::lock_guard<std::mutex> lock(mb.mu);
+      mb.queue.push_back({src, tag, ByteVec(data.begin(), data.end())});
+    }
+    mb.cv.notify_all();
+  }
+
+  ByteVec recv(int self, int src, int tag) {
+    LLIO_REQUIRE(src >= 0 && src < nprocs_, Errc::InvalidArgument,
+                 "recv: bad source rank");
+    Mailbox& mb = mailboxes_[to_size(Off{self})];
+    std::unique_lock<std::mutex> lock(mb.mu);
+    for (;;) {
+      check_alive();
+      auto it = std::find_if(mb.queue.begin(), mb.queue.end(),
+                             [&](const Message& m) {
+                               return m.src == src && m.tag == tag;
+                             });
+      if (it != mb.queue.end()) {
+        ByteVec out = std::move(it->data);
+        mb.queue.erase(it);
+        if (!net_.free()) {
+          lock.unlock();
+          charge_network(out.size());
+        }
+        return out;
+      }
+      mb.cv.wait(lock);
+    }
+  }
+
+  /// Burn wall time per the interconnect cost model.
+  void charge_network(std::size_t bytes) const {
+    double s = net_.latency_s;
+    if (net_.bandwidth_bps > 0)
+      s += static_cast<double>(bytes) / net_.bandwidth_bps;
+    if (s <= 0) return;
+    if (s < 50e-6) {
+      const auto until =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(s));
+      while (std::chrono::steady_clock::now() < until) {
+      }
+    } else {
+      std::this_thread::sleep_for(std::chrono::duration<double>(s));
+    }
+  }
+
+  void barrier() {
+    std::unique_lock<std::mutex> lock(barrier_mu_);
+    check_alive();
+    const std::uint64_t gen = barrier_gen_;
+    if (++barrier_count_ == nprocs_) {
+      barrier_count_ = 0;
+      ++barrier_gen_;
+      barrier_cv_.notify_all();
+      return;
+    }
+    barrier_cv_.wait(lock, [&] { return barrier_gen_ != gen || aborted(); });
+    check_alive();
+  }
+
+  CommStats& stats(int rank) { return stats_[to_size(Off{rank})]; }
+
+ private:
+  int nprocs_;
+  CommCostModel net_;
+  std::vector<Mailbox> mailboxes_;
+  std::vector<CommStats> stats_;
+  std::atomic<bool> aborted_{false};
+
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_gen_ = 0;
+};
+
+}  // namespace detail
+
+namespace {
+// Internal tags reserved for the collective implementations.
+constexpr int kTagAllgather = -101;
+constexpr int kTagAlltoall = -102;
+constexpr int kTagBcast = -103;
+constexpr int kTagReduce = -104;
+}  // namespace
+
+int Comm::size() const noexcept { return ctx_->size(); }
+
+void Comm::send(int dst, int tag, ConstByteSpan data, MsgClass cls) {
+  ctx_->send(rank_, dst, tag, data, cls);
+}
+
+ByteVec Comm::recv(int src, int tag) { return ctx_->recv(rank_, src, tag); }
+
+void Comm::barrier() { ctx_->barrier(); }
+
+std::vector<ByteVec> Comm::allgather(ConstByteSpan mine, MsgClass cls) {
+  const int p = size();
+  std::vector<ByteVec> out(to_size(Off{p}));
+  for (int r = 0; r < p; ++r) {
+    if (r == rank_) continue;
+    ctx_->send(rank_, r, kTagAllgather, mine, cls);
+  }
+  out[to_size(Off{rank_})] = ByteVec(mine.begin(), mine.end());
+  for (int r = 0; r < p; ++r) {
+    if (r == rank_) continue;
+    out[to_size(Off{r})] = ctx_->recv(rank_, r, kTagAllgather);
+  }
+  return out;
+}
+
+std::vector<ByteVec> Comm::alltoall(std::vector<ByteVec> outgoing,
+                                    MsgClass cls) {
+  const int p = size();
+  LLIO_REQUIRE(static_cast<int>(outgoing.size()) == p, Errc::InvalidArgument,
+               "alltoall: outgoing size != nprocs");
+  std::vector<ByteVec> in(to_size(Off{p}));
+  for (int r = 0; r < p; ++r) {
+    if (r == rank_) continue;
+    ctx_->send(rank_, r, kTagAlltoall, outgoing[to_size(Off{r})], cls);
+  }
+  in[to_size(Off{rank_})] = std::move(outgoing[to_size(Off{rank_})]);
+  for (int r = 0; r < p; ++r) {
+    if (r == rank_) continue;
+    in[to_size(Off{r})] = ctx_->recv(rank_, r, kTagAlltoall);
+  }
+  return in;
+}
+
+ByteVec Comm::bcast(int root, ConstByteSpan mine) {
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      ctx_->send(rank_, r, kTagBcast, mine, MsgClass::Meta);
+    }
+    return ByteVec(mine.begin(), mine.end());
+  }
+  return ctx_->recv(rank_, root, kTagBcast);
+}
+
+namespace {
+template <typename F>
+Off allreduce_impl(Comm& c, detail::Context* ctx, int rank, Off v, F combine) {
+  ByteVec raw(sizeof(Off));
+  std::memcpy(raw.data(), &v, sizeof(Off));
+  // Gather to rank 0, combine, broadcast back.
+  if (rank == 0) {
+    Off acc = v;
+    for (int r = 1; r < c.size(); ++r) {
+      ByteVec got = ctx->recv(0, r, kTagReduce);
+      Off other;
+      std::memcpy(&other, got.data(), sizeof(Off));
+      acc = combine(acc, other);
+    }
+    ByteVec out(sizeof(Off));
+    std::memcpy(out.data(), &acc, sizeof(Off));
+    for (int r = 1; r < c.size(); ++r)
+      ctx->send(0, r, kTagReduce, out, MsgClass::Meta);
+    return acc;
+  }
+  ctx->send(rank, 0, kTagReduce, raw, MsgClass::Meta);
+  ByteVec got = ctx->recv(rank, 0, kTagReduce);
+  Off acc;
+  std::memcpy(&acc, got.data(), sizeof(Off));
+  return acc;
+}
+}  // namespace
+
+Off Comm::allreduce_sum(Off v) {
+  return allreduce_impl(*this, ctx_, rank_, v,
+                        [](Off a, Off b) { return a + b; });
+}
+
+Off Comm::allreduce_min(Off v) {
+  return allreduce_impl(*this, ctx_, rank_, v,
+                        [](Off a, Off b) { return std::min(a, b); });
+}
+
+Off Comm::allreduce_max(Off v) {
+  return allreduce_impl(*this, ctx_, rank_, v,
+                        [](Off a, Off b) { return std::max(a, b); });
+}
+
+Off Comm::exscan_sum(Off v) {
+  ByteVec raw(sizeof(Off));
+  std::memcpy(raw.data(), &v, sizeof(Off));
+  auto all = allgather(raw, MsgClass::Meta);
+  Off sum = 0;
+  for (int r = 0; r < rank_; ++r) {
+    Off other;
+    std::memcpy(&other, all[to_size(Off{r})].data(), sizeof(Off));
+    sum += other;
+  }
+  return sum;
+}
+
+const CommStats& Comm::stats() const { return ctx_->stats(rank_); }
+
+void Comm::reset_stats() { ctx_->stats(rank_) = CommStats{}; }
+
+CommStats Comm::global_stats() {
+  barrier();  // quiesce in-flight sends
+  CommStats total;
+  for (int r = 0; r < size(); ++r) total += ctx_->stats(r);
+  barrier();
+  return total;
+}
+
+void Runtime::run(int nprocs, const std::function<void(Comm&)>& body) {
+  run(nprocs, CommCostModel{}, body);
+}
+
+void Runtime::run(int nprocs, const CommCostModel& net,
+                  const std::function<void(Comm&)>& body) {
+  LLIO_REQUIRE(nprocs >= 1, Errc::InvalidArgument, "run: nprocs < 1");
+  detail::Context ctx(nprocs, net);
+  std::vector<std::exception_ptr> errors(to_size(Off{nprocs}));
+  std::vector<std::thread> threads;
+  threads.reserve(to_size(Off{nprocs}));
+  for (int r = 0; r < nprocs; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(&ctx, r);
+      try {
+        body(comm);
+      } catch (...) {
+        errors[to_size(Off{r})] = std::current_exception();
+        ctx.abort();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+}  // namespace llio::sim

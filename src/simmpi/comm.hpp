@@ -1,0 +1,126 @@
+// Thread-based message-passing runtime standing in for MPI.
+//
+// The paper's system runs on MPI/SX processes; here each "process" is a
+// thread and "communication" is buffered message passing with byte
+// accounting.  The accounting is what matters for the reproduction: the
+// list-based two-phase path ships ol-lists (metadata) in addition to data,
+// and the benches report both volumes separately (paper §2.3/§4.1).
+//
+// Usage:
+//   sim::Runtime::run(4, [&](sim::Comm& c) { ... c.rank() ... });
+//
+// Exceptions thrown by any rank abort the whole run: other ranks blocked
+// in communication calls receive an Errc::Protocol error, and the first
+// exception is rethrown from run().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace llio::sim {
+
+/// Classification of message traffic for the benchmark accounting.
+enum class MsgClass : std::uint8_t {
+  Data,  ///< actual file data
+  Meta,  ///< control information: ranges, ol-lists, cached fileviews
+};
+
+/// Interconnect cost model: each received message is charged
+/// latency + size/bandwidth of wall time (on the receiver, which is where
+/// message passing blocks).  Default: free (pure shared-memory copies).
+/// Used by the network-sensitivity ablation: the slower the interconnect,
+/// the more the list-based engine's ol-list exchange hurts (paper §5).
+struct CommCostModel {
+  double latency_s = 0.0;
+  double bandwidth_bps = 0.0;  ///< 0 = infinite
+
+  bool free() const { return latency_s <= 0.0 && bandwidth_bps <= 0.0; }
+};
+
+struct CommStats {
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t data_bytes_sent = 0;
+  std::uint64_t meta_bytes_sent = 0;
+
+  std::uint64_t total_bytes() const {
+    return data_bytes_sent + meta_bytes_sent;
+  }
+
+  CommStats& operator+=(const CommStats& o) {
+    msgs_sent += o.msgs_sent;
+    data_bytes_sent += o.data_bytes_sent;
+    meta_bytes_sent += o.meta_bytes_sent;
+    return *this;
+  }
+};
+
+namespace detail {
+class Context;
+}
+
+/// Per-rank communicator handle, valid inside Runtime::run's body.
+class Comm {
+ public:
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept;
+
+  /// Buffered send: never blocks; the payload is copied.
+  void send(int dst, int tag, ConstByteSpan data,
+            MsgClass cls = MsgClass::Data);
+
+  /// Blocking receive matching (src, tag).
+  ByteVec recv(int src, int tag);
+
+  void barrier();
+
+  /// Gather every rank's contribution; result[i] is rank i's bytes.
+  std::vector<ByteVec> allgather(ConstByteSpan mine,
+                                 MsgClass cls = MsgClass::Meta);
+
+  /// Personalized exchange; outgoing[i] goes to rank i (outgoing[rank]
+  /// loops back).  Returns incoming[i] from rank i.
+  std::vector<ByteVec> alltoall(std::vector<ByteVec> outgoing,
+                                MsgClass cls = MsgClass::Data);
+
+  /// Broadcast root's bytes to everyone.
+  ByteVec bcast(int root, ConstByteSpan mine);
+
+  Off allreduce_sum(Off v);
+  Off allreduce_min(Off v);
+  Off allreduce_max(Off v);
+
+  /// Exclusive prefix sum: rank r receives the sum of ranks 0..r-1
+  /// (rank 0 receives 0).
+  Off exscan_sum(Off v);
+
+  /// This rank's send-side statistics.
+  const CommStats& stats() const;
+  void reset_stats();
+
+  /// Sum of all ranks' statistics (collective: includes a barrier).
+  CommStats global_stats();
+
+ private:
+  friend class Runtime;
+  Comm(detail::Context* ctx, int rank) : ctx_(ctx), rank_(rank) {}
+
+  detail::Context* ctx_;
+  int rank_;
+};
+
+class Runtime {
+ public:
+  /// Run `body` on nprocs rank-threads; joins all and rethrows the first
+  /// rank exception (after aborting blocked peers).
+  static void run(int nprocs, const std::function<void(Comm&)>& body);
+
+  /// As run(), with an interconnect cost model applied to every receive.
+  static void run(int nprocs, const CommCostModel& net,
+                  const std::function<void(Comm&)>& body);
+};
+
+}  // namespace llio::sim

@@ -1,0 +1,107 @@
+// Helpers for the MPI-IO layer tests: the paper's noncontig fileview, and
+// reference file images computed independently of the engines under test.
+#pragma once
+
+#include <functional>
+
+#include "dtype/flatten.hpp"
+#include "fotf/navigate.hpp"
+#include "mpiio/file.hpp"
+#include "pfs/mem_file.hpp"
+#include "simmpi/comm.hpp"
+#include "test_util.hpp"
+
+namespace llio::iotest {
+
+/// The noncontig benchmark fileview (paper Fig. 4): rank p sees blocks of
+/// `sblock` bytes at stride nprocs*sblock, displaced by p*sblock; the
+/// filetype extent covers one full round of all ranks' blocks, so the
+/// ranks partition the file without overlap.
+inline dt::Type noncontig_filetype(Off nblock, Off sblock, int nprocs,
+                                   int rank) {
+  const dt::Type v =
+      dt::hvector(nblock, sblock, Off{nprocs} * sblock, dt::byte());
+  const Off bls[] = {1};
+  const Off ds[] = {Off{rank} * sblock};
+  return dt::resized(dt::hindexed(bls, ds, v), 0,
+                     nblock * Off{nprocs} * sblock);
+}
+
+/// Deterministic payload byte for (rank, stream position).
+inline Byte payload_byte(int rank, Off s) {
+  return Byte{static_cast<unsigned char>(
+      (static_cast<unsigned>(rank) * 131u +
+       static_cast<unsigned>(s) * 2654435761u) >>
+      24)};
+}
+
+/// Expected file image after every rank wrote `nbytes` stream bytes
+/// starting at stream offset `stream_lo` through `filetype(rank)` at
+/// `disp`:  bytes never covered stay zero.
+inline ByteVec expected_image(int nprocs,
+                              const std::function<dt::Type(int)>& filetype,
+                              Off disp, Off stream_lo, Off nbytes) {
+  // Find the image size: max absolute offset touched.
+  Off hi = 0;
+  for (int r = 0; r < nprocs; ++r) {
+    const dt::Type ft = filetype(r);
+    hi = std::max(hi, disp + fotf::mem_end(ft, stream_lo + nbytes));
+  }
+  ByteVec img(to_size(hi), Byte{0});
+  for (int r = 0; r < nprocs; ++r) {
+    const dt::Type ft = filetype(r);
+    const auto list = dt::flatten(ft, false);
+    Off s = 0;  // stream position from view start
+    for (Off inst = 0; s < stream_lo + nbytes; ++inst) {
+      const Off base = disp + inst * ft->extent();
+      for (const auto& tp : list.tuples()) {
+        for (Off j = 0; j < tp.len && s < stream_lo + nbytes; ++j, ++s) {
+          if (s >= stream_lo) img[to_size(base + tp.off + j)] =
+              payload_byte(r, s - stream_lo);
+        }
+      }
+    }
+  }
+  return img;
+}
+
+/// A rank's write payload: stream bytes [0, nbytes) of payload_byte.
+inline ByteVec payload_stream(int rank, Off nbytes) {
+  ByteVec v(to_size(nbytes));
+  for (Off i = 0; i < nbytes; ++i) v[to_size(i)] = payload_byte(rank, i);
+  return v;
+}
+
+/// A non-contiguous memtype holding a given dense stream: strided vector
+/// of 8-byte blocks; returns (memtype, count, backing buffer) such that
+/// packing the buffer yields exactly `stream`.
+struct NcBuffer {
+  dt::Type memtype;
+  Off count;
+  ByteVec storage;
+};
+
+inline NcBuffer make_nc_buffer(ConstByteSpan stream) {
+  const Off nbytes = to_off(stream.size());
+  // 8-byte blocks, 24-byte stride; count instances of an 8-byte vector.
+  LLIO_REQUIRE(nbytes % 8 == 0, Errc::InvalidArgument,
+               "nc buffer needs a multiple of 8 bytes");
+  const Off blocks = nbytes / 8;
+  NcBuffer b;
+  b.memtype = dt::resized(dt::hvector(1, 8, 24, dt::byte()), 0, 24);
+  b.count = blocks;
+  b.storage.assign(to_size(blocks * 24), Byte{0xCC});
+  for (Off i = 0; i < blocks; ++i)
+    std::memcpy(b.storage.data() + i * 24, stream.data() + i * 8, 8);
+  return b;
+}
+
+/// Extract the dense stream from an NcBuffer (for read verification).
+inline ByteVec nc_buffer_stream(const NcBuffer& b) {
+  ByteVec out(to_size(b.count * 8));
+  for (Off i = 0; i < b.count; ++i)
+    std::memcpy(out.data() + i * 8, b.storage.data() + i * 24, 8);
+  return out;
+}
+
+}  // namespace llio::iotest

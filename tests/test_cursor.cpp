@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include "fotf/cursor.hpp"
+#include "test_util.hpp"
+
+namespace llio::fotf {
+namespace {
+
+using dt::Type;
+using testutil::Rng;
+
+/// Collect (mem, len) runs from a cursor, splitting nothing.
+std::vector<dt::OlTuple> collect_runs(SegmentCursor& cur) {
+  std::vector<dt::OlTuple> out;
+  while (!cur.at_end()) {
+    out.push_back({cur.run_mem(), cur.run_len()});
+    cur.consume(cur.run_len());
+  }
+  return out;
+}
+
+/// Reference segment list for `count` instances via explicit flatten.
+std::vector<dt::OlTuple> reference_runs(const Type& t, Off count) {
+  const auto list = dt::flatten(t, /*coalesce=*/false);
+  std::vector<dt::OlTuple> out;
+  for (Off i = 0; i < count; ++i)
+    for (const auto& tp : list.tuples())
+      out.push_back({tp.off + i * t->extent(), tp.len});
+  return out;
+}
+
+/// Byte-level (mem offset per stream byte) expansion of a run list.
+std::vector<Off> byte_map(const std::vector<dt::OlTuple>& runs) {
+  std::vector<Off> out;
+  for (const auto& r : runs)
+    for (Off j = 0; j < r.len; ++j) out.push_back(r.off + j);
+  return out;
+}
+
+void expect_equivalent(const Type& t, Off count) {
+  SegmentCursor cur(t, count);
+  cur.seek(0);
+  const auto got = byte_map(collect_runs(cur));
+  const auto want = byte_map(reference_runs(t, count));
+  ASSERT_EQ(got, want) << dt::to_string(t);
+}
+
+TEST(Cursor, BasicType) { expect_equivalent(dt::double_(), 3); }
+
+TEST(Cursor, Vector) { expect_equivalent(dt::hvector(4, 2, 7, dt::byte()), 2); }
+
+TEST(Cursor, VectorOfDoubles) {
+  expect_equivalent(dt::vector(5, 1, 3, dt::double_()), 3);
+}
+
+TEST(Cursor, Indexed) {
+  const Off bls[] = {3, 1, 2};
+  const Off ds[] = {0, 10, 20};
+  expect_equivalent(dt::hindexed(bls, ds, dt::byte()), 2);
+}
+
+TEST(Cursor, Struct) {
+  const Off bls[] = {1, 2};
+  const Off ds[] = {0, 12};
+  const Type kids[] = {dt::int_(), dt::vector(2, 1, 2, dt::int_())};
+  expect_equivalent(dt::struct_(bls, ds, kids), 2);
+}
+
+TEST(Cursor, ResizedTiling) {
+  expect_equivalent(dt::resized(dt::hvector(2, 1, 3, dt::byte()), 0, 10), 4);
+}
+
+TEST(Cursor, NestedVectors) {
+  const Type inner = dt::hvector(3, 2, 5, dt::byte());
+  const Type outer = dt::hvector(2, 2, 40, dt::resized(inner, 0, 16));
+  expect_equivalent(outer, 2);
+}
+
+TEST(Cursor, NonMonotoneStructOrder) {
+  const Off bls[] = {1, 1};
+  const Off ds[] = {8, 0};
+  const Type kids[] = {dt::int_(), dt::int_()};
+  expect_equivalent(dt::struct_(bls, ds, kids), 2);
+}
+
+TEST(Cursor, ZeroBlocksSkipped) {
+  const Off bls[] = {2, 0, 3};
+  const Off ds[] = {0, 50, 100};
+  expect_equivalent(dt::hindexed(bls, ds, dt::byte()), 2);
+}
+
+TEST(Cursor, ZeroCount) {
+  SegmentCursor cur(dt::double_(), 0);
+  EXPECT_TRUE(cur.at_end());
+  EXPECT_EQ(cur.total_bytes(), 0);
+}
+
+TEST(Cursor, SeekMatchesLinearPosition) {
+  const Type t = dt::hvector(4, 3, 10, dt::byte());
+  const Off count = 3;
+  const auto want = byte_map(reference_runs(t, count));
+  SegmentCursor cur(t, count);
+  for (Off s = 0; s < to_off(want.size()); ++s) {
+    cur.seek(s);
+    ASSERT_FALSE(cur.at_end()) << "s=" << s;
+    EXPECT_EQ(cur.run_mem(), want[to_size(s)]) << "s=" << s;
+  }
+  cur.seek(to_off(want.size()));
+  EXPECT_TRUE(cur.at_end());
+}
+
+TEST(Cursor, SeekOutOfRangeThrows) {
+  SegmentCursor cur(dt::double_(), 2);
+  EXPECT_THROW(cur.seek(-1), Error);
+  EXPECT_THROW(cur.seek(17), Error);
+}
+
+TEST(Cursor, PartialConsumeWalksBytes) {
+  const Type t = dt::hvector(3, 4, 9, dt::byte());
+  const auto want = byte_map(reference_runs(t, 2));
+  SegmentCursor cur(t, 2);
+  std::vector<Off> got;
+  while (!cur.at_end()) {
+    got.push_back(cur.run_mem());
+    cur.consume(1);  // one byte at a time
+  }
+  EXPECT_EQ(got, want);
+}
+
+TEST(Cursor, VecRunDetection) {
+  const Type t = dt::hvector(8, 2, 5, dt::byte());
+  SegmentCursor cur(t, 1);
+  SegmentCursor::VecRun vr;
+  ASSERT_TRUE(cur.vec_run(vr));
+  EXPECT_EQ(vr.mem, 0);
+  EXPECT_EQ(vr.seg_bytes, 2);
+  EXPECT_EQ(vr.stride, 5);
+  EXPECT_EQ(vr.nsegs, 8);
+  cur.consume_vec_segments(3);
+  ASSERT_TRUE(cur.vec_run(vr));
+  EXPECT_EQ(vr.mem, 15);
+  EXPECT_EQ(vr.nsegs, 5);
+  cur.consume_vec_segments(5);
+  EXPECT_TRUE(cur.at_end());
+}
+
+TEST(Cursor, VecRunUnavailableMidSegment) {
+  const Type t = dt::hvector(8, 2, 5, dt::byte());
+  SegmentCursor cur(t, 1);
+  cur.consume(1);
+  SegmentCursor::VecRun vr;
+  EXPECT_FALSE(cur.vec_run(vr));
+}
+
+TEST(Cursor, VecRunExtendsAcrossSeamlessInstances) {
+  // The noncontig filetype shape: resized strided vector, tiled so the
+  // stride continues seamlessly across instances.
+  const Off nblock = 4, sblock = 8, stride = 32;
+  const Type v = dt::hvector(nblock, sblock, stride, dt::byte());
+  const Type ft = dt::resized(v, 0, nblock * stride);
+  const Off instances = 5;
+  SegmentCursor cur(ft, instances);
+  SegmentCursor::VecRun vr;
+  ASSERT_TRUE(cur.vec_run(vr));
+  EXPECT_EQ(vr.seg_bytes, sblock);
+  EXPECT_EQ(vr.stride, stride);
+  EXPECT_EQ(vr.nsegs, instances * nblock);  // extended across instances
+  // Consuming past the frame boundary re-seeks correctly.
+  cur.consume_vec_segments(nblock + 2);
+  EXPECT_EQ(cur.run_mem(), (nblock + 2) * stride);
+  ASSERT_TRUE(cur.vec_run(vr));
+  EXPECT_EQ(vr.nsegs, instances * nblock - (nblock + 2));
+}
+
+TEST(Cursor, VecRunDoesNotExtendAcrossGappedInstances) {
+  // Extent leaves a hole after the last block: the run must stop at the
+  // instance boundary.
+  const Type v = dt::hvector(4, 8, 32, dt::byte());
+  const Type ft = dt::resized(v, 0, 4 * 32 + 16);  // extra gap
+  SegmentCursor cur(ft, 3);
+  SegmentCursor::VecRun vr;
+  ASSERT_TRUE(cur.vec_run(vr));
+  EXPECT_EQ(vr.nsegs, 4);
+}
+
+TEST(Cursor, VecRunExtendsThroughContiguousWrapper) {
+  // contiguous(3, resized(vector)) with seamless tiling: one run of 12.
+  const Type v = dt::resized(dt::hvector(4, 2, 6, dt::byte()), 0, 24);
+  const Type outer = dt::contiguous(3, v);
+  SegmentCursor cur(outer, 2);  // 2 instances x 3 reps x 4 blocks
+  SegmentCursor::VecRun vr;
+  ASSERT_TRUE(cur.vec_run(vr));
+  EXPECT_EQ(vr.nsegs, 24);
+  EXPECT_EQ(vr.stride, 6);
+}
+
+TEST(Cursor, VecRunStopsAtSiblingBlocks) {
+  // A struct with a second child after the vector: no extension upward.
+  const Type v = dt::hvector(4, 2, 6, dt::byte());
+  const Off bls[] = {1, 1};
+  const Off ds[] = {0, 40};
+  const Type kids[] = {v, dt::int_()};
+  const Type st = dt::struct_(bls, ds, kids);
+  SegmentCursor cur(st, 2);
+  SegmentCursor::VecRun vr;
+  ASSERT_TRUE(cur.vec_run(vr));
+  EXPECT_EQ(vr.nsegs, 4);  // only the vector's own blocks
+}
+
+TEST(Cursor, StreamPosTracksConsumption) {
+  const Type t = dt::hvector(4, 3, 7, dt::byte());
+  SegmentCursor cur(t, 2);
+  EXPECT_EQ(cur.stream_pos(), 0);
+  cur.consume(2);
+  EXPECT_EQ(cur.stream_pos(), 2);
+  cur.seek(9);
+  EXPECT_EQ(cur.stream_pos(), 9);
+  cur.consume(cur.run_len());
+  EXPECT_GT(cur.stream_pos(), 9);
+}
+
+TEST(Cursor, RandomTypesMatchReference) {
+  Rng rng(2024);
+  for (int i = 0; i < 150; ++i) {
+    const Type t = testutil::random_type(rng, 3);
+    if (t->size() == 0) continue;
+    expect_equivalent(t, testutil::rnd(rng, 1, 3));
+  }
+}
+
+TEST(Cursor, RandomSeeksMatchReference) {
+  Rng rng(31337);
+  for (int i = 0; i < 60; ++i) {
+    const Type t = testutil::random_type(rng, 3);
+    if (t->size() == 0) continue;
+    const Off count = testutil::rnd(rng, 1, 3);
+    const auto want = byte_map(reference_runs(t, count));
+    SegmentCursor cur(t, count);
+    for (int k = 0; k < 10; ++k) {
+      const Off s = testutil::rnd(rng, 0, to_off(want.size()) - 1);
+      cur.seek(s);
+      ASSERT_FALSE(cur.at_end());
+      EXPECT_EQ(cur.run_mem(), want[to_size(s)])
+          << dt::to_string(t) << " s=" << s;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace llio::fotf

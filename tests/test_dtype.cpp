@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dtype/datatype.hpp"
+#include "test_util.hpp"
+
+namespace llio::dt {
+namespace {
+
+TEST(BasicTypes, SizesAndExtents) {
+  EXPECT_EQ(size(byte()), 1);
+  EXPECT_EQ(size(char_()), 1);
+  EXPECT_EQ(size(short_()), 2);
+  EXPECT_EQ(size(int_()), 4);
+  EXPECT_EQ(size(long_()), 8);
+  EXPECT_EQ(size(float_()), 4);
+  EXPECT_EQ(size(double_()), 8);
+  EXPECT_EQ(extent(double_()), 8);
+  EXPECT_TRUE(is_contiguous(double_()));
+  EXPECT_TRUE(is_monotone(double_()));
+  EXPECT_EQ(block_count(double_()), 1);
+  EXPECT_EQ(depth(double_()), 1);
+}
+
+TEST(BasicTypes, AreInterned) {
+  EXPECT_EQ(byte().get(), byte().get());
+  EXPECT_EQ(double_().get(), basic(BasicId::Double).get());
+}
+
+TEST(Contiguous, DenseProperties) {
+  const Type t = contiguous(10, double_());
+  EXPECT_EQ(size(t), 80);
+  EXPECT_EQ(extent(t), 80);
+  EXPECT_TRUE(is_contiguous(t));
+  EXPECT_EQ(block_count(t), 1);  // merged into one dense run
+  EXPECT_EQ(depth(t), 2);
+}
+
+TEST(Contiguous, ZeroCount) {
+  const Type t = contiguous(0, double_());
+  EXPECT_EQ(size(t), 0);
+  EXPECT_EQ(extent(t), 0);
+  EXPECT_EQ(block_count(t), 0);
+}
+
+TEST(Contiguous, RejectsNegativeCount) {
+  EXPECT_THROW(contiguous(-1, byte()), Error);
+}
+
+TEST(Vector, StridedProperties) {
+  // 4 blocks of 2 doubles, stride 5 doubles.
+  const Type t = vector(4, 2, 5, double_());
+  EXPECT_EQ(size(t), 4 * 2 * 8);
+  EXPECT_EQ(lb(t), 0);
+  EXPECT_EQ(ub(t), (3 * 5 + 2) * 8);
+  EXPECT_EQ(block_count(t), 4);
+  EXPECT_FALSE(is_contiguous(t));
+  EXPECT_TRUE(is_monotone(t));
+  EXPECT_EQ(true_lb(t), 0);
+  EXPECT_EQ(true_ub(t), (3 * 5 + 2) * 8);
+}
+
+TEST(Vector, DenseStrideCollapsesToOneBlock) {
+  const Type t = vector(4, 2, 2, double_());  // stride == blocklen
+  EXPECT_EQ(block_count(t), 1);
+  EXPECT_TRUE(is_contiguous(t));
+}
+
+TEST(Vector, NegativeStrideIsNotMonotone) {
+  const Type t = hvector(3, 1, -16, double_());
+  EXPECT_FALSE(is_monotone(t));
+  EXPECT_EQ(size(t), 24);
+  EXPECT_EQ(true_lb(t), -32);
+  EXPECT_EQ(true_ub(t), 8);
+}
+
+TEST(Vector, OverlappingStrideIsNotMonotone) {
+  const Type t = hvector(3, 2, 8, double_());  // blocks overlap
+  EXPECT_FALSE(is_monotone(t));
+}
+
+TEST(Hvector, PaperFigure4Shape) {
+  // The noncontig filetype: blockcount blocks of blocklen bytes,
+  // stride = P * blocklen, for P processes.
+  const Off blockcount = 8, blocklen = 16, nprocs = 4;
+  const Type v = hvector(blockcount, blocklen, nprocs * blocklen, byte());
+  EXPECT_EQ(size(v), blockcount * blocklen);
+  EXPECT_EQ(block_count(v), blockcount);
+  EXPECT_TRUE(is_monotone(v));
+  const Type ft = resized(v, 0, blockcount * nprocs * blocklen);
+  EXPECT_EQ(extent(ft), blockcount * nprocs * blocklen);
+  EXPECT_EQ(size(ft), size(v));
+}
+
+TEST(Indexed, ElementDisplacements) {
+  const Off bls[] = {2, 1};
+  const Off ds[] = {0, 4};  // elements of int (4 bytes each)
+  const Type t = indexed(bls, ds, int_());
+  EXPECT_EQ(size(t), 12);
+  EXPECT_EQ(lb(t), 0);
+  EXPECT_EQ(ub(t), 20);
+  EXPECT_EQ(block_count(t), 2);  // gap between block 0 end (8) and 16
+  EXPECT_TRUE(is_monotone(t));
+}
+
+TEST(Indexed, AdjacentBlocksMerge) {
+  const Off bls[] = {2, 3};
+  const Off ds[] = {0, 2};
+  const Type t = indexed(bls, ds, int_());
+  EXPECT_EQ(block_count(t), 1);
+  EXPECT_TRUE(is_contiguous(t));
+}
+
+TEST(Indexed, OutOfOrderBlocksNotMonotone) {
+  const Off bls[] = {1, 1};
+  const Off ds[] = {5, 0};
+  const Type t = indexed(bls, ds, int_());
+  EXPECT_FALSE(is_monotone(t));
+  EXPECT_EQ(size(t), 8);
+}
+
+TEST(IndexedBlock, EqualBlocks) {
+  const Off ds[] = {0, 4, 8};  // element displacements: bytes 0, 32, 64
+  const Type t = indexed_block(2, ds, double_());
+  EXPECT_EQ(size(t), 6 * 8);
+  EXPECT_EQ(block_count(t), 3);
+  const auto list = flatten(t);
+  EXPECT_EQ(list.tuples()[1].off, 32);
+}
+
+TEST(IndexedBlock, AdjacentElementBlocksMerge) {
+  const Off ds[] = {0, 2, 4};  // blocks of 2 doubles back to back
+  const Type t = indexed_block(2, ds, double_());
+  EXPECT_EQ(block_count(t), 1);
+  EXPECT_TRUE(is_contiguous(t));
+}
+
+TEST(Indexed, PrefixSums) {
+  const Off bls[] = {2, 0, 3};
+  const Off ds[] = {0, 100, 200};
+  const Type t = hindexed(bls, ds, int_());
+  ASSERT_EQ(t->prefix().size(), 4u);
+  EXPECT_EQ(t->prefix()[0], 0);
+  EXPECT_EQ(t->prefix()[1], 8);
+  EXPECT_EQ(t->prefix()[2], 8);
+  EXPECT_EQ(t->prefix()[3], 20);
+  EXPECT_EQ(t->block_size(2), 12);
+}
+
+TEST(Struct, MixedChildren) {
+  const Off bls[] = {1, 2};
+  const Off ds[] = {0, 8};
+  const Type kids[] = {int_(), double_()};
+  const Type t = struct_(bls, ds, kids);
+  EXPECT_EQ(size(t), 4 + 16);
+  EXPECT_EQ(lb(t), 0);
+  EXPECT_EQ(ub(t), 24);
+  EXPECT_EQ(block_count(t), 2);
+  EXPECT_TRUE(is_monotone(t));
+}
+
+TEST(Struct, SizeMismatchThrows) {
+  const Off bls[] = {1};
+  const Off ds[] = {0, 8};
+  const Type kids[] = {int_(), double_()};
+  EXPECT_THROW(struct_(bls, ds, kids), Error);
+}
+
+TEST(Resized, OverridesBounds) {
+  const Type v = vector(2, 1, 4, double_());
+  const Type t = resized(v, -8, 64);
+  EXPECT_EQ(lb(t), -8);
+  EXPECT_EQ(ub(t), 56);
+  EXPECT_EQ(extent(t), 64);
+  EXPECT_EQ(size(t), size(v));
+  EXPECT_EQ(true_lb(t), true_lb(v));
+  EXPECT_EQ(block_count(t), block_count(v));
+}
+
+TEST(Resized, ShrunkExtentBreaksContiguity) {
+  const Type t = resized(contiguous(4, byte()), 0, 2);
+  EXPECT_FALSE(t->is_contiguous());
+  EXPECT_EQ(size(t), 4);
+  EXPECT_EQ(extent(t), 2);
+}
+
+TEST(Subarray, Fortran2D) {
+  // 4x3 array of ints, take the 2x2 block at (1, 1).
+  const Off sizes[] = {4, 3};
+  const Off subsizes[] = {2, 2};
+  const Off starts[] = {1, 1};
+  const Type t = subarray(sizes, subsizes, starts, Order::Fortran, int_());
+  EXPECT_EQ(size(t), 16);
+  EXPECT_EQ(extent(t), 4 * 3 * 4);
+  EXPECT_EQ(lb(t), 0);
+  EXPECT_EQ(block_count(t), 2);  // two rows of 2 ints
+  EXPECT_TRUE(is_monotone(t));
+  // Row y occupies ints [1+4y+1 .. 1+4y+2].
+  const auto list = flatten(t);
+  ASSERT_EQ(list.tuples().size(), 2u);
+  EXPECT_EQ(list.tuples()[0].off, (1 * 4 + 1) * 4);
+  EXPECT_EQ(list.tuples()[0].len, 8);
+  EXPECT_EQ(list.tuples()[1].off, (2 * 4 + 1) * 4);
+}
+
+TEST(Subarray, COrderReversesDimensions) {
+  const Off sizes[] = {3, 4};
+  const Off subsizes[] = {2, 2};
+  const Off starts[] = {1, 1};
+  const Type c = subarray(sizes, subsizes, starts, Order::C, int_());
+  const Off fsizes[] = {4, 3};
+  const Off fsub[] = {2, 2};
+  const Off fstarts[] = {1, 1};
+  const Type f = subarray(fsizes, fsub, fstarts, Order::Fortran, int_());
+  EXPECT_TRUE(equal(c, f));
+}
+
+TEST(Subarray, FullSelectionIsContiguous) {
+  const Off sizes[] = {5, 4};
+  const Off starts[] = {0, 0};
+  const Type t = subarray(sizes, sizes, starts, Order::Fortran, double_());
+  EXPECT_TRUE(is_contiguous(t));
+  EXPECT_EQ(size(t), 5 * 4 * 8);
+}
+
+TEST(Subarray, BadBoundsThrow) {
+  const Off sizes[] = {4};
+  const Off subsizes[] = {3};
+  const Off starts[] = {2};  // 2 + 3 > 4
+  EXPECT_THROW(subarray(sizes, subsizes, starts, Order::C, byte()), Error);
+}
+
+TEST(Equal, DistinguishesShapes) {
+  EXPECT_TRUE(equal(vector(2, 1, 3, int_()), vector(2, 1, 3, int_())));
+  EXPECT_FALSE(equal(vector(2, 1, 3, int_()), vector(2, 1, 4, int_())));
+  EXPECT_FALSE(equal(byte(), char_()));  // same size, different identity
+  EXPECT_TRUE(equal(byte(), byte()));
+}
+
+TEST(ToString, RendersTree) {
+  const std::string s = to_string(vector(2, 1, 3, int_()));
+  EXPECT_NE(s.find("hvector"), std::string::npos);
+  EXPECT_NE(s.find("int"), std::string::npos);
+}
+
+TEST(Depth, GrowsWithNesting) {
+  Type t = byte();
+  for (int i = 1; i <= 5; ++i) {
+    t = contiguous(2, t);
+    EXPECT_EQ(depth(t), 1 + i);
+  }
+}
+
+class RandomTypeInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomTypeInvariants, PropertiesAreConsistent) {
+  testutil::Rng rng(static_cast<unsigned>(GetParam()));
+  for (int i = 0; i < 50; ++i) {
+    const Type t = testutil::random_type(rng, 3);
+    // size equals the flatten total; block_count matches the coalesced list.
+    const auto list = flatten(t, /*coalesce=*/true);
+    EXPECT_EQ(size(t), list.total_bytes()) << to_string(t);
+    EXPECT_EQ(block_count(t), to_off(list.block_count())) << to_string(t);
+    // true bounds enclose every tuple.
+    for (const OlTuple& tp : list.tuples()) {
+      EXPECT_GE(tp.off, true_lb(t)) << to_string(t);
+      EXPECT_LE(tp.off + tp.len, true_ub(t)) << to_string(t);
+    }
+    // monotone implies sorted non-overlapping tuples.
+    if (is_monotone(t)) {
+      for (std::size_t j = 1; j < list.tuples().size(); ++j) {
+        EXPECT_LE(list.tuples()[j - 1].off + list.tuples()[j - 1].len,
+                  list.tuples()[j].off)
+            << to_string(t);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTypeInvariants,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace llio::dt

@@ -1,0 +1,116 @@
+// Failure injection: storage faults must surface as Errc::Io through the
+// engine stack, and a faulted rank must abort — not deadlock — collective
+// peers.
+#include <gtest/gtest.h>
+
+#include "io_test_util.hpp"
+#include "pfs/faulty_file.hpp"
+
+namespace llio::mpiio {
+namespace {
+
+TEST(Fault, TriggersOnNthOperation) {
+  pfs::FaultPlan plan;
+  plan.fail_after_writes = 2;  // third write fails
+  auto f = pfs::FaultyFile::wrap(pfs::MemFile::create(), plan);
+  const ByteVec d(8, Byte{1});
+  f->pwrite(0, d);
+  f->pwrite(8, d);
+  try {
+    f->pwrite(16, d);
+    FAIL() << "expected injected fault";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::Io);
+  }
+  // Subsequent operations succeed (one-shot fault).
+  f->pwrite(16, d);
+  EXPECT_EQ(f->size(), 24);
+}
+
+TEST(Fault, DisarmCancelsPendingFaults) {
+  pfs::FaultPlan plan;
+  plan.fail_after_reads = 0;
+  auto f = pfs::FaultyFile::wrap(pfs::MemFile::create(16), plan);
+  f->disarm();
+  ByteVec out(8);
+  EXPECT_EQ(f->pread(0, out), 8);
+}
+
+class FaultEngines : public ::testing::TestWithParam<Method> {};
+
+TEST_P(FaultEngines, IndependentWriteSurfacesIoError) {
+  pfs::FaultPlan plan;
+  plan.fail_after_writes = 0;
+  auto fs = pfs::FaultyFile::wrap(pfs::MemFile::create(), plan);
+  bool caught = false;
+  sim::Runtime::run(1, [&](sim::Comm& comm) {
+    Options o;
+    o.method = GetParam();
+    File f = File::open(comm, fs, o);
+    f.set_view(0, dt::byte(), iotest::noncontig_filetype(4, 8, 2, 0));
+    const ByteVec stream = iotest::payload_stream(0, 32);
+    try {
+      f.write_at(0, stream.data(), 32, dt::byte());
+    } catch (const Error& e) {
+      caught = e.code() == Errc::Io;
+    }
+  });
+  EXPECT_TRUE(caught);
+}
+
+TEST_P(FaultEngines, CollectiveWithFaultedIopAbortsAllRanks) {
+  // The failing IOP throws mid-collective; peers blocked in the exchange
+  // must be released with an error instead of deadlocking.
+  pfs::FaultPlan plan;
+  plan.fail_after_writes = 0;
+  auto fs = pfs::FaultyFile::wrap(pfs::MemFile::create(), plan);
+  EXPECT_THROW(
+      sim::Runtime::run(4, [&](sim::Comm& comm) {
+        Options o;
+        o.method = GetParam();
+        o.file_buffer_size = 64;
+        File f = File::open(comm, fs, o);
+        f.set_view(0, dt::byte(),
+                   iotest::noncontig_filetype(8, 8, 4, comm.rank()));
+        const ByteVec stream = iotest::payload_stream(comm.rank(), 128);
+        f.write_at_all(0, stream.data(), 128, dt::byte());
+        // If the write somehow succeeded on this rank, force collective
+        // progress so everyone observes the abort.
+        comm.barrier();
+      }),
+      Error);
+}
+
+TEST_P(FaultEngines, ReadFaultDuringSievingSurfaces) {
+  pfs::FaultPlan plan;
+  plan.fail_after_reads = 0;
+  auto inner = pfs::MemFile::create();
+  inner->resize(1024);
+  auto fs = pfs::FaultyFile::wrap(inner, plan);
+  bool caught = false;
+  sim::Runtime::run(1, [&](sim::Comm& comm) {
+    Options o;
+    o.method = GetParam();
+    File f = File::open(comm, fs, o);
+    f.set_view(0, dt::byte(), iotest::noncontig_filetype(4, 8, 2, 0));
+    ByteVec out(32);
+    try {
+      f.read_at(0, out.data(), 32, dt::byte());
+    } catch (const Error& e) {
+      caught = e.code() == Errc::Io;
+    }
+  });
+  EXPECT_TRUE(caught);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothMethods, FaultEngines,
+                         ::testing::Values(Method::ListBased,
+                                           Method::Listless),
+                         [](const ::testing::TestParamInfo<Method>& pinfo) {
+                           return pinfo.param == Method::ListBased
+                                      ? "list_based"
+                                      : "listless";
+                         });
+
+}  // namespace
+}  // namespace llio::mpiio

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "dtype/flatten.hpp"
+#include "test_util.hpp"
+
+namespace llio::dt {
+namespace {
+
+TEST(Flatten, BasicTypeIsOneTuple) {
+  const auto list = flatten(double_());
+  ASSERT_EQ(list.tuples().size(), 1u);
+  EXPECT_EQ(list.tuples()[0].off, 0);
+  EXPECT_EQ(list.tuples()[0].len, 8);
+  EXPECT_EQ(list.total_bytes(), 8);
+}
+
+TEST(Flatten, VectorEmitsOneTuplePerBlock) {
+  const Type t = hvector(4, 3, 10, byte());
+  const auto list = flatten(t);
+  ASSERT_EQ(list.tuples().size(), 4u);
+  for (Off i = 0; i < 4; ++i) {
+    EXPECT_EQ(list.tuples()[to_size(i)].off, i * 10);
+    EXPECT_EQ(list.tuples()[to_size(i)].len, 3);
+  }
+}
+
+TEST(Flatten, CoalescesAdjacentBlocks) {
+  const Off bls[] = {4, 4};
+  const Off ds[] = {0, 4};
+  const Type t = hindexed(bls, ds, byte());
+  EXPECT_EQ(flatten(t, true).tuples().size(), 1u);
+  EXPECT_EQ(flatten(t, false).tuples().size(), 2u);
+}
+
+TEST(Flatten, MemoryIs16BytesPerTuple) {
+  // The paper's §2.4 memory cost: N_block * (sizeof(Aint)+sizeof(Offset)).
+  static_assert(sizeof(OlTuple) == 16);
+  const Type t = hvector(1000, 1, 16, double_());
+  const auto list = flatten(t);
+  EXPECT_EQ(list.memory_bytes(), 16000);
+}
+
+TEST(Flatten, ListRepresentationDwarfsSmallPayloads) {
+  // For blocks under 16 bytes the ol-list is bigger than the data itself
+  // (the paper's §2.1 extreme example).
+  const Type t = hvector(512, 1, 16, double_());  // 8-byte blocks
+  const auto list = flatten(t);
+  EXPECT_GT(list.memory_bytes(), list.total_bytes());
+}
+
+TEST(Flatten, NestedVectorOfVector) {
+  // 2 outer blocks; inner = 2 blocks of 1 byte stride 3 (bytes 0 and 3).
+  const Type inner = hvector(2, 1, 3, byte());
+  const Type outer = hvector(2, 1, 10, resized(inner, 0, 4));
+  const auto list = flatten(outer);
+  ASSERT_EQ(list.tuples().size(), 4u);
+  EXPECT_EQ(list.tuples()[0].off, 0);
+  EXPECT_EQ(list.tuples()[1].off, 3);
+  EXPECT_EQ(list.tuples()[2].off, 10);
+  EXPECT_EQ(list.tuples()[3].off, 13);
+}
+
+TEST(Flatten, StructPreservesTypemapOrder) {
+  const Off bls[] = {1, 1};
+  const Off ds[] = {8, 0};  // second child placed before the first
+  const Type kids[] = {int_(), int_()};
+  const Type t = struct_(bls, ds, kids);
+  const auto list = flatten(t);
+  ASSERT_EQ(list.tuples().size(), 2u);
+  EXPECT_EQ(list.tuples()[0].off, 8);  // typemap order, not offset order
+  EXPECT_EQ(list.tuples()[1].off, 0);
+}
+
+TEST(Flatten, ZeroSizeTypeGivesEmptyList) {
+  const auto list = flatten(contiguous(0, byte()));
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.total_bytes(), 0);
+}
+
+TEST(Flatten, TotalBytesAlwaysMatchesTypeSize) {
+  testutil::Rng rng(99);
+  for (int i = 0; i < 100; ++i) {
+    const Type t = testutil::random_type(rng, 3);
+    EXPECT_EQ(flatten(t, true).total_bytes(), t->size());
+    EXPECT_EQ(flatten(t, false).total_bytes(), t->size());
+  }
+}
+
+TEST(Flatten, CoalescedNeverLongerThanRaw) {
+  testutil::Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const Type t = testutil::random_type(rng, 3);
+    EXPECT_LE(flatten(t, true).block_count(), flatten(t, false).block_count());
+  }
+}
+
+}  // namespace
+}  // namespace llio::dt

@@ -1,0 +1,128 @@
+// Direct unit tests for the listless ViewNav / StreamMover (the engine
+// internals the sieve/two-phase code composes).
+#include <gtest/gtest.h>
+
+#include "core/fotf_mover.hpp"
+#include "core/listless_nav.hpp"
+#include "io_test_util.hpp"
+
+namespace llio::core {
+namespace {
+
+TEST(ListlessNavUnit, NavigationMatchesFotf) {
+  const dt::Type ft = iotest::noncontig_filetype(4, 8, 2, 1);
+  ListlessNav nav(ft);
+  for (Off s = 0; s <= 3 * ft->size(); s += 3) {
+    EXPECT_EQ(nav.stream_to_file_start(s), fotf::mem_start(ft, s));
+    EXPECT_EQ(nav.stream_to_file_end(s), fotf::mem_end(ft, s));
+  }
+  for (Off m = 0; m <= 3 * ft->extent(); m += 5)
+    EXPECT_EQ(nav.file_to_stream(m), fotf::data_below(ft, m));
+}
+
+TEST(ListlessNavUnit, ScatterGatherThroughWindow) {
+  // View: 8-byte blocks at stride 16.  A window holding layout offsets
+  // [16, 48) receives stream bytes [8, 24).
+  const dt::Type ft = iotest::noncontig_filetype(8, 8, 2, 0);
+  ListlessNav nav(ft);
+  ByteVec window(32, Byte{0});
+  ByteVec payload(16);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = Byte{static_cast<unsigned char>(i + 1)};
+  nav.scatter(window.data(), /*bias=*/16, /*s=*/8, payload.data(), 16);
+  for (int j = 0; j < 8; ++j) {
+    EXPECT_EQ(window[to_size(Off{j})], payload[to_size(Off{j})]);        // block @16
+    EXPECT_EQ(window[to_size(Off{16 + j})], payload[to_size(Off{8 + j})]);  // block @32
+    EXPECT_EQ(window[to_size(Off{8 + j})], Byte{0});                     // gap
+  }
+  ByteVec got(16, Byte{0});
+  nav.gather(got.data(), window.data(), 16, 8, 16);
+  EXPECT_EQ(got, payload);
+}
+
+TEST(ListlessNavUnit, SequentialCallsAvoidReseek) {
+  // Functional check that split sequential transfers equal one transfer.
+  const dt::Type ft = iotest::noncontig_filetype(16, 8, 2, 0);
+  ListlessNav nav(ft);
+  const Off total = ft->size();
+  ByteVec window(to_size(ft->extent()), Byte{0});
+  ByteVec payload(to_size(total));
+  for (Off i = 0; i < total; ++i)
+    payload[to_size(i)] = Byte{static_cast<unsigned char>(i * 3 + 1)};
+  Off done = 0;
+  while (done < total) {
+    const Off n = std::min<Off>(13, total - done);
+    nav.scatter(window.data(), 0, done, payload.data() + done, n);
+    done += n;
+  }
+  ListlessNav nav2(ft);
+  ByteVec window2(window.size(), Byte{0});
+  nav2.scatter(window2.data(), 0, 0, payload.data(), total);
+  EXPECT_EQ(window, window2);
+}
+
+TEST(ListlessNavUnit, SegmentIterationCoversStream) {
+  const dt::Type ft = iotest::noncontig_filetype(5, 8, 3, 1);
+  ListlessNav nav(ft);
+  Off covered = 0;
+  Off last_stream = 20;
+  nav.for_each_segment(20, 50, [&](Off mem, Off stream, Off len) {
+    EXPECT_EQ(stream, last_stream);
+    EXPECT_EQ(mem, fotf::mem_start(ft, stream));
+    covered += len;
+    last_stream = stream + len;
+  });
+  EXPECT_EQ(covered, 50);
+}
+
+TEST(FotfMoverUnit, RoundTripsAgainstReference) {
+  testutil::Rng rng(11);
+  for (int i = 0; i < 40; ++i) {
+    const dt::Type mt = testutil::random_type(rng, 3);
+    if (mt->size() == 0) continue;
+    const Off count = testutil::rnd(rng, 1, 3);
+    auto buf = testutil::make_typed_buffer(mt, count);
+    testutil::fill_typed_data(buf, mt, count);
+    const ByteVec want = testutil::reference_pack(buf.base(), count, mt);
+    FotfMover mover(buf.base(), count, mt);
+    ByteVec got(want.size(), Byte{0});
+    // Random-size sequential chunks (the sieve access pattern).
+    Off done = 0;
+    while (done < to_off(want.size())) {
+      const Off n =
+          std::min(to_off(want.size()) - done, testutil::rnd(rng, 1, 9));
+      mover.to_stream(got.data() + done, done, n);
+      done += n;
+    }
+    EXPECT_EQ(got, want) << dt::to_string(mt);
+
+    // And back.
+    auto dst = testutil::make_typed_buffer(mt, count, Byte{0x11});
+    FotfMover unmover(dst.base(), count, mt);
+    done = 0;
+    while (done < to_off(want.size())) {
+      const Off n =
+          std::min(to_off(want.size()) - done, testutil::rnd(rng, 1, 7));
+      unmover.from_stream(want.data() + done, done, n);
+      done += n;
+    }
+    EXPECT_EQ(testutil::reference_pack(dst.base(), count, mt), want);
+  }
+}
+
+TEST(FotfMoverUnit, NonSequentialAccessReseeks) {
+  const dt::Type mt = dt::hvector(8, 4, 12, dt::byte());
+  auto buf = testutil::make_typed_buffer(mt, 1);
+  testutil::fill_typed_data(buf, mt, 1);
+  const ByteVec want = testutil::reference_pack(buf.base(), 1, mt);
+  FotfMover mover(buf.base(), 1, mt);
+  // Jump around the stream.
+  for (Off s : {Off{16}, Off{0}, Off{24}, Off{8}}) {
+    ByteVec got(8);
+    mover.to_stream(got.data(), s, 8);
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), want.begin() + s));
+  }
+}
+
+}  // namespace
+}  // namespace llio::core

@@ -1,0 +1,176 @@
+// Model-based randomized integration test: a trivially-correct reference
+// implementation of MPI-IO semantics (explicit flatten + direct byte
+// moves on a plain byte vector) is driven with the same random operation
+// sequences as both engines.  Any divergence in file image or read-back
+// is a bug in the engine under test.
+#include <gtest/gtest.h>
+
+#include "io_test_util.hpp"
+
+namespace llio::mpiio {
+namespace {
+
+using testutil::Rng;
+
+/// The oracle: a byte-vector "file" accessed through (disp, filetype)
+/// views by brute-force stream expansion.
+class ModelFile {
+ public:
+  void set_view(Off disp, dt::Type filetype) {
+    disp_ = disp;
+    list_ = dt::flatten(filetype, false);
+    extent_ = filetype->extent();
+  }
+
+  void write(Off offset_bytes, ConstByteSpan payload) {
+    apply(offset_bytes, to_off(payload.size()),
+          [&](Off abs, Off stream_rel) { at(abs) = payload[to_size(stream_rel)]; });
+  }
+
+  ByteVec read(Off offset_bytes, Off n) const {
+    ByteVec out(to_size(n), Byte{0});
+    apply(offset_bytes, n, [&](Off abs, Off stream_rel) {
+      if (abs < to_off(data_.size())) out[to_size(stream_rel)] = data_[to_size(abs)];
+    });
+    return out;
+  }
+
+  const ByteVec& image() const { return data_; }
+
+ private:
+  Byte& at(Off abs) {
+    if (abs >= to_off(data_.size())) data_.resize(to_size(abs + 1), Byte{0});
+    return data_[to_size(abs)];
+  }
+
+  template <typename Fn>
+  void apply(Off stream_lo, Off n, Fn&& fn) const {
+    // Walk stream bytes [stream_lo, stream_lo + n) of the view.
+    Off s = 0;
+    for (Off inst = 0; s < stream_lo + n; ++inst) {
+      for (const auto& tp : list_.tuples()) {
+        for (Off j = 0; j < tp.len && s < stream_lo + n; ++j, ++s) {
+          if (s >= stream_lo)
+            fn(disp_ + inst * extent_ + tp.off + j, s - stream_lo);
+        }
+      }
+    }
+  }
+
+  Off disp_ = 0;
+  dt::OlList list_ = dt::flatten(dt::byte());
+  Off extent_ = 1;
+  mutable ByteVec data_;
+};
+
+class ModelFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ModelFuzz, SingleRankOpSequencesMatchTheModel) {
+  Rng rng(GetParam());
+  for (int episode = 0; episode < 5; ++episode) {
+    // One episode: a fresh file, a random sequence of view changes and
+    // reads/writes, applied to the model and to both engines.
+    struct Op {
+      enum Kind { SetView, Write, Read } kind;
+      dt::Type ft;
+      Off disp = 0;
+      Off offset = 0;  // etypes == bytes (etype is byte throughout)
+      Off nbytes = 0;
+      unsigned seed = 0;
+    };
+    std::vector<Op> ops;
+    dt::Type cur = testutil::random_navigable_type(rng, 2);
+    ops.push_back({Op::SetView, cur, testutil::rnd(rng, 0, 32)});
+    const int nops = 14;
+    for (int i = 0; i < nops; ++i) {
+      const Off r = testutil::rnd(rng, 0, 9);
+      if (r == 0) {
+        cur = testutil::random_navigable_type(rng, 2);
+        ops.push_back({Op::SetView, cur, testutil::rnd(rng, 0, 32)});
+      } else {
+        Op op;
+        op.kind = r <= 5 ? Op::Write : Op::Read;
+        op.offset = testutil::rnd(rng, 0, 2 * cur->size());
+        op.nbytes = testutil::rnd(rng, 1, 3 * cur->size());
+        op.seed = static_cast<unsigned>(testutil::rnd(rng, 1, 1 << 20));
+        ops.push_back(op);
+      }
+    }
+
+    // Model run.
+    ModelFile model;
+    std::vector<ByteVec> model_reads;
+    {
+      dt::Type ft;
+      for (const Op& op : ops) {
+        switch (op.kind) {
+          case Op::SetView:
+            model.set_view(op.disp, op.ft);
+            break;
+          case Op::Write: {
+            ByteVec payload(to_size(op.nbytes));
+            for (Off j = 0; j < op.nbytes; ++j)
+              payload[to_size(j)] = iotest::payload_byte(
+                  static_cast<int>(op.seed & 0xFF), j + op.seed);
+            model.write(op.offset, payload);
+            break;
+          }
+          case Op::Read:
+            model_reads.push_back(model.read(op.offset, op.nbytes));
+            break;
+        }
+      }
+      (void)ft;
+    }
+
+    // Engine runs.
+    for (Method m : {Method::ListBased, Method::Listless}) {
+      auto fs = pfs::MemFile::create();
+      std::vector<ByteVec> reads;
+      sim::Runtime::run(1, [&](sim::Comm& comm) {
+        Options o;
+        o.method = m;
+        o.file_buffer_size = static_cast<Off>(testutil::rnd(rng, 1, 4)) * 64;
+        o.pack_buffer_size = 64;
+        File f = File::open(comm, fs, o);
+        for (const Op& op : ops) {
+          switch (op.kind) {
+            case Op::SetView:
+              f.set_view(op.disp, dt::byte(), op.ft);
+              break;
+            case Op::Write: {
+              ByteVec payload(to_size(op.nbytes));
+              for (Off j = 0; j < op.nbytes; ++j)
+                payload[to_size(j)] = iotest::payload_byte(
+                    static_cast<int>(op.seed & 0xFF), j + op.seed);
+              f.write_at(op.offset, payload.data(), op.nbytes, dt::byte());
+              break;
+            }
+            case Op::Read: {
+              ByteVec got(to_size(op.nbytes), Byte{0});
+              f.read_at(op.offset, got.data(), op.nbytes, dt::byte());
+              reads.push_back(std::move(got));
+              break;
+            }
+          }
+        }
+      });
+      ASSERT_EQ(reads.size(), model_reads.size());
+      for (std::size_t i = 0; i < reads.size(); ++i)
+        EXPECT_EQ(reads[i], model_reads[i])
+            << method_name(m) << " episode " << episode << " read " << i;
+      ByteVec img = fs->contents();
+      ByteVec want = model.image();
+      const std::size_t len = std::max(img.size(), want.size());
+      img.resize(len, Byte{0});
+      want.resize(len, Byte{0});
+      EXPECT_EQ(img, want) << method_name(m) << " episode " << episode;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelFuzz,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u));
+
+}  // namespace
+}  // namespace llio::mpiio

@@ -1,0 +1,74 @@
+// MPI_Pack-style public API.
+#include <gtest/gtest.h>
+
+#include "fotf/mpi_pack.hpp"
+#include "test_util.hpp"
+
+namespace llio::fotf {
+namespace {
+
+TEST(MpiPack, PackSize) {
+  EXPECT_EQ(pack_size(4, dt::double_()), 32);
+  EXPECT_EQ(pack_size(3, dt::hvector(2, 1, 5, dt::byte())), 6);
+  EXPECT_EQ(pack_size(0, dt::int_()), 0);
+  EXPECT_THROW(pack_size(-1, dt::int_()), Error);
+}
+
+TEST(MpiPack, SequentialPackThenUnpack) {
+  // Pack an int vector and a double into one buffer, MPI-style.
+  const dt::Type vec = dt::vector(3, 1, 2, dt::int_());
+  std::vector<int> ints = {1, 0, 2, 0, 3, 0};
+  double d = 2.5;
+
+  ByteVec buf(to_size(pack_size(1, vec) + pack_size(1, dt::double_())));
+  Off pos = 0;
+  pack(ints.data(), 1, vec, buf.data(), to_off(buf.size()), &pos);
+  EXPECT_EQ(pos, 12);
+  pack(&d, 1, dt::double_(), buf.data(), to_off(buf.size()), &pos);
+  EXPECT_EQ(pos, 20);
+
+  std::vector<int> ints2(6, 0);
+  double d2 = 0;
+  Off rpos = 0;
+  unpack(buf.data(), to_off(buf.size()), &rpos, ints2.data(), 1, vec);
+  unpack(buf.data(), to_off(buf.size()), &rpos, &d2, 1, dt::double_());
+  EXPECT_EQ(rpos, 20);
+  EXPECT_EQ(ints2[0], 1);
+  EXPECT_EQ(ints2[2], 2);
+  EXPECT_EQ(ints2[4], 3);
+  EXPECT_EQ(ints2[1], 0);  // gaps untouched
+  EXPECT_EQ(d2, 2.5);
+}
+
+TEST(MpiPack, BufferTooSmallThrows) {
+  double d = 1.0;
+  ByteVec buf(4);
+  Off pos = 0;
+  EXPECT_THROW(pack(&d, 1, dt::double_(), buf.data(), 4, &pos), Error);
+  EXPECT_EQ(pos, 0);  // unchanged on failure
+  Off rpos = 0;
+  EXPECT_THROW(unpack(buf.data(), 4, &rpos, &d, 1, dt::double_()), Error);
+}
+
+TEST(MpiPack, RandomTypesRoundTrip) {
+  testutil::Rng rng(77);
+  for (int i = 0; i < 60; ++i) {
+    const dt::Type t = testutil::random_type(rng, 3);
+    if (t->size() == 0) continue;
+    const Off count = testutil::rnd(rng, 1, 3);
+    auto src = testutil::make_typed_buffer(t, count);
+    testutil::fill_typed_data(src, t, count);
+    ByteVec buf(to_size(pack_size(count, t)));
+    Off pos = 0;
+    pack(src.base(), count, t, buf.data(), to_off(buf.size()), &pos);
+    EXPECT_EQ(pos, to_off(buf.size()));
+    auto dst = testutil::make_typed_buffer(t, count, Byte{0});
+    Off rpos = 0;
+    unpack(buf.data(), to_off(buf.size()), &rpos, dst.base(), count, t);
+    EXPECT_EQ(testutil::reference_pack(dst.base(), count, t), buf)
+        << dt::to_string(t);
+  }
+}
+
+}  // namespace
+}  // namespace llio::fotf

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include "fotf/navigate.hpp"
+#include "listio/ol_walker.hpp"
+#include "test_util.hpp"
+
+namespace llio::fotf {
+namespace {
+
+using dt::Type;
+using testutil::Rng;
+
+/// Brute-force mem offset of stream byte s for unbounded tiling.
+Off ref_mem_of(const Type& t, Off s) {
+  const auto list = dt::flatten(t, false);
+  const Off inst = s / t->size();
+  Off rem = s % t->size();
+  for (const auto& tp : list.tuples()) {
+    if (rem < tp.len) return inst * t->extent() + tp.off + rem;
+    rem -= tp.len;
+  }
+  // Exactly at an instance boundary: first byte of the next instance.
+  return (inst + 1) * t->extent() + list.tuples().front().off;
+}
+
+/// Brute-force count of stream bytes with mem offset < x.
+Off ref_below(const Type& t, Off x, Off max_instances) {
+  const auto list = dt::flatten(t, false);
+  Off n = 0;
+  for (Off i = 0; i < max_instances; ++i) {
+    for (const auto& tp : list.tuples()) {
+      const Off off = i * t->extent() + tp.off;
+      if (off + tp.len <= x)
+        n += tp.len;
+      else if (off < x)
+        n += x - off;
+    }
+  }
+  return n;
+}
+
+TEST(MemStart, SimpleVector) {
+  const Type t = dt::hvector(3, 2, 5, dt::byte());  // blocks at 0,5,10
+  EXPECT_EQ(mem_start(t, 0), 0);
+  EXPECT_EQ(mem_start(t, 1), 1);
+  EXPECT_EQ(mem_start(t, 2), 5);  // boundary: start of next block
+  EXPECT_EQ(mem_start(t, 5), 11);
+  EXPECT_EQ(mem_start(t, 6), t->extent() + 0);  // next instance
+}
+
+TEST(MemEnd, SimpleVector) {
+  const Type t = dt::hvector(3, 2, 5, dt::byte());
+  EXPECT_EQ(mem_end(t, 0), 0);
+  EXPECT_EQ(mem_end(t, 1), 1);
+  EXPECT_EQ(mem_end(t, 2), 2);   // one past byte 1 (mem 1)
+  EXPECT_EQ(mem_end(t, 3), 6);   // one past byte 2 (mem 5)
+  EXPECT_EQ(mem_end(t, 6), 12);  // one past the last byte
+}
+
+TEST(MemStartEnd, StartGeqEndAtBoundaries) {
+  Rng rng(5);
+  for (int i = 0; i < 60; ++i) {
+    const Type t = testutil::random_navigable_type(rng, 3);
+    for (Off s = 0; s <= 3 * t->size(); ++s) {
+      EXPECT_GE(mem_start(t, s), mem_end(t, s)) << dt::to_string(t);
+      if (s > 0) {
+        EXPECT_GT(mem_end(t, s), mem_end(t, s - 1) - 1);
+      }
+    }
+  }
+}
+
+TEST(MemStart, MatchesBruteForce) {
+  Rng rng(99);
+  for (int i = 0; i < 80; ++i) {
+    const Type t = testutil::random_navigable_type(rng, 3);
+    for (Off s = 0; s <= 2 * t->size() + 1; ++s)
+      EXPECT_EQ(mem_start(t, s), ref_mem_of(t, s)) << dt::to_string(t)
+                                                   << " s=" << s;
+  }
+}
+
+TEST(DataBelow, SimpleVector) {
+  const Type t =
+      dt::resized(dt::hvector(3, 2, 5, dt::byte()), 0, 15);  // blocks 0,5,10
+  EXPECT_EQ(data_below(t, 0), 0);
+  EXPECT_EQ(data_below(t, 1), 1);
+  EXPECT_EQ(data_below(t, 2), 2);
+  EXPECT_EQ(data_below(t, 4), 2);  // gap
+  EXPECT_EQ(data_below(t, 5), 2);
+  EXPECT_EQ(data_below(t, 6), 3);
+  EXPECT_EQ(data_below(t, 12), 6);
+  EXPECT_EQ(data_below(t, 15), 6);
+  EXPECT_EQ(data_below(t, 16), 7);  // second instance
+}
+
+TEST(DataBelow, MatchesBruteForce) {
+  Rng rng(123);
+  for (int i = 0; i < 80; ++i) {
+    const Type t = testutil::random_navigable_type(rng, 3);
+    ASSERT_TRUE(file_navigable(t)) << dt::to_string(t);
+    const Off hi = 3 * t->extent() + 5;
+    const Off insts = hi / t->extent() + 2;
+    for (Off x = 0; x <= hi; ++x)
+      EXPECT_EQ(data_below(t, x), ref_below(t, x, insts))
+          << dt::to_string(t) << " x=" << x;
+  }
+}
+
+TEST(DataBelow, InverseOfMemStart) {
+  Rng rng(77);
+  for (int i = 0; i < 60; ++i) {
+    const Type t = testutil::random_navigable_type(rng, 3);
+    for (Off s = 0; s <= 3 * t->size(); ++s) {
+      // data strictly below the position of byte s is exactly s.
+      EXPECT_EQ(data_below(t, mem_start(t, s)), s) << dt::to_string(t);
+      EXPECT_EQ(data_below(t, mem_end(t, s)), s) << dt::to_string(t);
+    }
+  }
+}
+
+TEST(FfExtent, PaperFigure2Semantics) {
+  const Type t =
+      dt::resized(dt::hvector(4, 2, 6, dt::byte()), 0, 24);  // blocks 0,6,12,18
+  // 4 bytes starting at stream 1: bytes at mem 1, 6, 7, 12 -> extent 12.
+  EXPECT_EQ(ff_extent(t, 1, 4), 12);
+  // Whole instance from 0: mem 0 .. 19+1.
+  EXPECT_EQ(ff_extent(t, 0, 8), 20);
+  EXPECT_EQ(ff_extent(t, 0, 0), 0);
+}
+
+TEST(FfSize, PaperFigure2Semantics) {
+  const Type t = dt::resized(dt::hvector(4, 2, 6, dt::byte()), 0, 24);
+  // Window of 12 starting at the position of stream byte 1 (mem 1):
+  // holds bytes at mem 1, 6, 7, 12 -> 4 data bytes.
+  EXPECT_EQ(ff_size(t, 1, 12), 4);
+  EXPECT_EQ(ff_size(t, 0, 24), 8);
+  EXPECT_EQ(ff_size(t, 0, 0), 0);
+}
+
+TEST(FfExtent, MatchesBruteForce) {
+  Rng rng(808);
+  for (int i = 0; i < 40; ++i) {
+    const Type t = testutil::random_navigable_type(rng, 3);
+    const Off total = 2 * t->size();
+    for (int k = 0; k < 25; ++k) {
+      const Off skip = testutil::rnd(rng, 0, total - 1);
+      const Off size = testutil::rnd(rng, 1, total - skip);
+      // Brute force: span from the position of byte `skip` to one past
+      // the position of byte skip+size-1.
+      const Off want = ref_mem_of(t, skip + size - 1) + 1 - ref_mem_of(t, skip);
+      EXPECT_EQ(ff_extent(t, skip, size), want)
+          << dt::to_string(t) << " skip=" << skip << " size=" << size;
+    }
+  }
+}
+
+TEST(FfSizeExtent, RoundTripInverse) {
+  Rng rng(31);
+  for (int i = 0; i < 60; ++i) {
+    const Type t = testutil::random_navigable_type(rng, 3);
+    const Off total = 3 * t->size();
+    for (int k = 0; k < 20; ++k) {
+      const Off skip = testutil::rnd(rng, 0, total - 1);
+      const Off size = testutil::rnd(rng, 0, total - skip);
+      const Off ext = ff_extent(t, skip, size);
+      // A window of that extent holds at least those bytes...
+      EXPECT_GE(ff_size(t, skip, ext), size) << dt::to_string(t);
+      // ...and one byte less misses the last one.
+      if (size > 0) {
+        EXPECT_LT(ff_size(t, skip, ext - 1), size) << dt::to_string(t);
+      }
+    }
+  }
+}
+
+TEST(FileNavigable, AcceptsValidFiletypes) {
+  EXPECT_TRUE(file_navigable(dt::byte()));
+  EXPECT_TRUE(file_navigable(dt::hvector(4, 2, 6, dt::byte())));
+  EXPECT_TRUE(
+      file_navigable(dt::resized(dt::hvector(4, 2, 6, dt::byte()), 0, 32)));
+}
+
+TEST(FileNavigable, RejectsInvalid) {
+  // Negative data displacement.
+  const Off nbls[] = {1};
+  const Off nds[] = {-4};
+  EXPECT_FALSE(file_navigable(dt::hindexed(nbls, nds, dt::byte())));
+  // A negative *lb marker* with non-negative data is fine, though.
+  EXPECT_TRUE(file_navigable(dt::resized(dt::byte(), -4, 8)));
+  // Non-monotone.
+  const Off bls[] = {1, 1};
+  const Off ds[] = {8, 0};
+  EXPECT_FALSE(file_navigable(dt::hindexed(bls, ds, dt::byte())));
+  // Interleaving tiling (extent shorter than the data span).
+  EXPECT_FALSE(
+      file_navigable(dt::resized(dt::hvector(2, 1, 8, dt::byte()), 0, 4)));
+  // Zero size.
+  EXPECT_FALSE(file_navigable(dt::contiguous(0, dt::byte())));
+  // Empty indexed block.
+  const Off bls2[] = {1, 0};
+  const Off ds2[] = {0, 8};
+  EXPECT_FALSE(file_navigable(dt::hindexed(bls2, ds2, dt::byte())));
+}
+
+TEST(Navigate, AgreesWithOlWalkerOnRandomFiletypes) {
+  // Cross-engine property: the listless navigation and the list-based
+  // walker share no code beyond the Node tree — their answers must agree
+  // on every position of every navigable type.
+  Rng rng(606);
+  for (int i = 0; i < 60; ++i) {
+    const Type t = testutil::random_navigable_type(rng, 3);
+    const dt::OlList list = dt::flatten(t);
+    listio::OlWalker walker(&list, t->extent());
+    const Off total = 3 * t->size();
+    for (Off s = 0; s <= total; ++s) {
+      walker.position(s);
+      EXPECT_EQ(mem_start(t, s), walker.mem()) << dt::to_string(t)
+                                               << " s=" << s;
+      EXPECT_EQ(mem_end(t, s), walker.mem_end_of(s)) << dt::to_string(t);
+    }
+    for (Off x = 0; x <= 3 * t->extent(); x += 3)
+      EXPECT_EQ(data_below(t, x), walker.bytes_below(x))
+          << dt::to_string(t) << " x=" << x;
+  }
+}
+
+TEST(Navigate, BtioLikeStructOfSubarrays) {
+  // Struct of two disjoint subarray cells — the BTIO fileview shape.
+  const Off n = 8;
+  const Off sizes[] = {n, n};
+  const Off sub[] = {4, 4};
+  const Off s0[] = {0, 0};
+  const Off s1[] = {4, 4};
+  const Type a = dt::subarray(sizes, sub, s0, dt::Order::Fortran, dt::byte());
+  const Type b = dt::subarray(sizes, sub, s1, dt::Order::Fortran, dt::byte());
+  const Off bls[] = {1, 1};
+  const Off ds[] = {0, 0};
+  const Type kids[] = {a, b};
+  const Type t = dt::struct_(bls, ds, kids);
+  ASSERT_TRUE(file_navigable(t));
+  for (Off s = 0; s <= 2 * t->size(); ++s) {
+    EXPECT_EQ(mem_start(t, s), ref_mem_of(t, s)) << "s=" << s;
+    EXPECT_EQ(data_below(t, mem_start(t, s)), s);
+  }
+}
+
+}  // namespace
+}  // namespace llio::fotf

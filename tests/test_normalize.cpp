@@ -1,0 +1,149 @@
+// dt::normalize: every rewrite must preserve the typemap (same bytes at
+// the same offsets in the same order) and the lb/ub markers.
+#include <gtest/gtest.h>
+
+#include "dtype/normalize.hpp"
+#include "test_util.hpp"
+
+namespace llio::dt {
+namespace {
+
+void expect_equivalent(const Type& t) {
+  const Type n = normalize(t);
+  EXPECT_EQ(flatten(n, true).tuples(), flatten(t, true).tuples())
+      << to_string(t) << " -> " << to_string(n);
+  EXPECT_EQ(n->size(), t->size());
+  EXPECT_EQ(n->lb(), t->lb());
+  EXPECT_EQ(n->ub(), t->ub());
+  EXPECT_EQ(n->is_monotone(), t->is_monotone());
+}
+
+TEST(Normalize, CollapsesTrivialWrappers) {
+  const Type t = contiguous(1, contiguous(1, double_()));
+  EXPECT_TRUE(equal(normalize(t), double_()));
+}
+
+TEST(Normalize, MergesNestedContiguous) {
+  const Type t = contiguous(3, contiguous(4, int_()));
+  const Type n = normalize(t);
+  EXPECT_EQ(n->kind(), Kind::Contiguous);
+  EXPECT_EQ(n->count(), 12);
+  expect_equivalent(t);
+}
+
+TEST(Normalize, DenseVectorBecomesContiguous) {
+  const Type t = vector(5, 3, 3, double_());  // stride == blocklen
+  const Type n = normalize(t);
+  EXPECT_EQ(n->kind(), Kind::Contiguous);
+  EXPECT_EQ(n->count(), 15);
+  expect_equivalent(t);
+}
+
+TEST(Normalize, SingleCountVector) {
+  expect_equivalent(vector(1, 7, 100, int_()));
+  EXPECT_EQ(normalize(vector(1, 7, 100, int_()))->kind(), Kind::Contiguous);
+}
+
+TEST(Normalize, HvectorOfContiguousFlattens) {
+  // hvector(4, 1, 48, contiguous(3, double)) -> hvector(4, 3, 48, double).
+  const Type t = hvector(4, 1, 48, contiguous(3, double_()));
+  const Type n = normalize(t);
+  EXPECT_EQ(n->kind(), Kind::Vector);
+  EXPECT_EQ(n->blocklen(), 3);
+  EXPECT_TRUE(equal(n->child(), double_()));
+  expect_equivalent(t);
+}
+
+TEST(Normalize, UniformIndexedBecomesVector) {
+  const Off bls[] = {2, 2, 2, 2};
+  const Off ds[] = {0, 24, 48, 72};
+  const Type t = hindexed(bls, ds, double_());
+  const Type n = normalize(t);
+  EXPECT_EQ(n->kind(), Kind::Vector);
+  EXPECT_EQ(n->count(), 4);
+  EXPECT_EQ(n->stride_bytes(), 24);
+  expect_equivalent(t);
+}
+
+TEST(Normalize, NonUniformIndexedUnchangedShape) {
+  const Off bls[] = {2, 1};
+  const Off ds[] = {0, 24};
+  const Type t = hindexed(bls, ds, double_());
+  EXPECT_EQ(normalize(t)->kind(), Kind::Indexed);
+  expect_equivalent(t);
+}
+
+TEST(Normalize, SingleBlockIndexedAtZero) {
+  const Off bls[] = {6};
+  const Off ds[] = {0};
+  const Type n = normalize(hindexed(bls, ds, int_()));
+  EXPECT_EQ(n->kind(), Kind::Contiguous);
+}
+
+TEST(Normalize, StructUnwrap) {
+  const Off bls[] = {1};
+  const Off ds[] = {0};
+  const Type kids[] = {vector(2, 1, 3, int_())};
+  EXPECT_TRUE(equal(normalize(struct_(bls, ds, kids)), kids[0]));
+}
+
+TEST(Normalize, RedundantResizedDropped) {
+  const Type v = vector(2, 1, 3, int_());
+  EXPECT_TRUE(equal(normalize(resized(v, v->lb(), v->extent())), v));
+  // A meaningful resize survives.
+  const Type r = resized(v, 0, 100);
+  EXPECT_EQ(normalize(r)->extent(), 100);
+}
+
+TEST(Normalize, SubarrayNestSimplifies) {
+  // subarray produces hindexed(resized(hvector(hvector(contig)))); rows
+  // that span the whole dimension should melt into larger runs.
+  const Off sizes[] = {8, 4};
+  const Off subsizes[] = {8, 2};  // full rows of dim 0
+  const Off starts[] = {0, 1};
+  const Type t = subarray(sizes, subsizes, starts, Order::Fortran, double_());
+  const Type n = normalize(t);
+  expect_equivalent(t);
+  EXPECT_LE(n->depth(), t->depth());
+}
+
+TEST(Normalize, NoncontigFiletypeKeepsStridedShape) {
+  // The benchmark filetype (resized(hindexed([1@disp], hvector))) must
+  // stay a strided pattern the vec-run kernels can drive.
+  const Type v = hvector(8, 16, 64, byte());
+  const Off bls[] = {1};
+  const Off ds[] = {16};
+  const Type ft = resized(hindexed(bls, ds, v), 0, 8 * 64);
+  const Type n = normalize(ft);
+  expect_equivalent(ft);
+  EXPECT_TRUE(fotf::file_navigable(n));
+}
+
+TEST(Normalize, RandomTypesStayEquivalent) {
+  testutil::Rng rng(515);
+  for (int i = 0; i < 150; ++i) {
+    const Type t = testutil::random_type(rng, 4);
+    expect_equivalent(t);
+  }
+}
+
+TEST(Normalize, RandomNavigableTypesStayNavigable) {
+  testutil::Rng rng(717);
+  for (int i = 0; i < 80; ++i) {
+    const Type t = testutil::random_navigable_type(rng, 3);
+    const Type n = normalize(t);
+    expect_equivalent(t);
+    EXPECT_TRUE(fotf::file_navigable(n)) << to_string(t);
+  }
+}
+
+TEST(Normalize, ReducesDepthOfClumsyTrees) {
+  Type t = byte();
+  for (int i = 0; i < 6; ++i) t = contiguous(1, contiguous(2, t));
+  const Type n = normalize(t);
+  EXPECT_EQ(n->size(), 64);
+  EXPECT_LE(n->depth(), 2);
+}
+
+}  // namespace
+}  // namespace llio::dt

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dtype/serialize.hpp"
+#include "test_util.hpp"
+
+namespace llio::dt {
+namespace {
+
+void expect_roundtrip(const Type& t) {
+  const ByteVec wire = serialize(t);
+  const Type back = deserialize(wire);
+  EXPECT_TRUE(equal(t, back)) << to_string(t) << " != " << to_string(back);
+  EXPECT_EQ(size(back), size(t));
+  EXPECT_EQ(extent(back), extent(t));
+  EXPECT_EQ(block_count(back), block_count(t));
+}
+
+TEST(Serialize, Basic) { expect_roundtrip(double_()); }
+
+TEST(Serialize, Contiguous) { expect_roundtrip(contiguous(12, int_())); }
+
+TEST(Serialize, Vector) { expect_roundtrip(vector(8, 2, 5, double_())); }
+
+TEST(Serialize, Indexed) {
+  const Off bls[] = {1, 2, 3};
+  const Off ds[] = {0, 40, 200};
+  expect_roundtrip(hindexed(bls, ds, byte()));
+}
+
+TEST(Serialize, Struct) {
+  const Off bls[] = {2, 1};
+  const Off ds[] = {0, 32};
+  const Type kids[] = {int_(), vector(2, 1, 3, double_())};
+  expect_roundtrip(struct_(bls, ds, kids));
+}
+
+TEST(Serialize, Resized) {
+  expect_roundtrip(resized(vector(4, 1, 2, byte()), 0, 64));
+}
+
+TEST(Serialize, DeepNesting) {
+  Type t = byte();
+  for (int i = 0; i < 20; ++i) t = hvector(2, 1, 3 + i, t);
+  expect_roundtrip(t);
+}
+
+TEST(Serialize, CompactComparedToOlList) {
+  // The point of fileview caching: the wire form scales with the tree,
+  // not with N_block (paper §3.2.3).
+  const Type t = hvector(100000, 1, 16, double_());
+  const ByteVec wire = serialize(t);
+  EXPECT_LT(to_off(wire.size()), 64);
+  EXPECT_EQ(flatten(t).memory_bytes(), 1600000);
+}
+
+TEST(Serialize, RandomTreesRoundTrip) {
+  testutil::Rng rng(123);
+  for (int i = 0; i < 200; ++i)
+    expect_roundtrip(testutil::random_type(rng, 4));
+}
+
+TEST(Deserialize, RejectsTruncatedInput) {
+  const ByteVec wire = serialize(vector(8, 2, 5, double_()));
+  for (std::size_t cut : {std::size_t{0}, wire.size() / 2, wire.size() - 1}) {
+    EXPECT_THROW(deserialize(ConstByteSpan(wire.data(), cut)), Error);
+  }
+}
+
+TEST(Deserialize, RejectsTrailingBytes) {
+  ByteVec wire = serialize(byte());
+  wire.push_back(Byte{0});
+  EXPECT_THROW(deserialize(wire), Error);
+}
+
+TEST(Deserialize, RejectsBadKind) {
+  ByteVec wire = serialize(byte());
+  wire[0] = Byte{0xFF};
+  EXPECT_THROW(deserialize(wire), Error);
+}
+
+TEST(Deserialize, RejectsBadBasicId) {
+  ByteVec wire = serialize(byte());
+  wire[1] = Byte{0x7F};
+  EXPECT_THROW(deserialize(wire), Error);
+}
+
+}  // namespace
+}  // namespace llio::dt

@@ -1,0 +1,203 @@
+// Shared test helpers: deterministic random datatype generators and a
+// simple reference packer built on the explicit flatten (used to
+// cross-validate the flattening-on-the-fly cursor, which shares no code
+// with it beyond the Node tree).
+#pragma once
+
+#include <cstring>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "dtype/datatype.hpp"
+#include "dtype/flatten.hpp"
+#include "fotf/navigate.hpp"
+
+namespace llio::testutil {
+
+using Rng = std::mt19937_64;
+
+inline Off rnd(Rng& rng, Off lo, Off hi) {
+  return std::uniform_int_distribution<Off>(lo, hi)(rng);
+}
+
+/// Random datatype of bounded depth and size; may be non-monotone, may
+/// have negative displacements — everything pack/unpack must handle.
+inline dt::Type random_type(Rng& rng, int depth) {
+  if (depth <= 0 || rnd(rng, 0, 3) == 0) {
+    switch (rnd(rng, 0, 3)) {
+      case 0: return dt::byte();
+      case 1: return dt::int_();
+      case 2: return dt::double_();
+      default: return dt::short_();
+    }
+  }
+  const dt::Type child = random_type(rng, depth - 1);
+  switch (rnd(rng, 0, 4)) {
+    case 0:
+      return dt::contiguous(rnd(rng, 1, 4), child);
+    case 1: {
+      const Off count = rnd(rng, 1, 4);
+      const Off blocklen = rnd(rng, 1, 3);
+      // Stride may undershoot (overlap) or overshoot (holes).
+      const Off stride = rnd(rng, -2, 6);
+      return dt::hvector(count, blocklen, stride * child->extent() +
+                                              rnd(rng, -3, 5), child);
+    }
+    case 2: {
+      const std::size_t nb = static_cast<std::size_t>(rnd(rng, 1, 4));
+      std::vector<Off> bls(nb), ds(nb);
+      for (std::size_t i = 0; i < nb; ++i) {
+        bls[i] = rnd(rng, 1, 3);
+        ds[i] = rnd(rng, -20, 60);
+      }
+      return dt::hindexed(bls, ds, child);
+    }
+    case 3: {
+      const std::size_t nb = static_cast<std::size_t>(rnd(rng, 1, 3));
+      std::vector<Off> bls(nb), ds(nb);
+      std::vector<dt::Type> kids(nb);
+      for (std::size_t i = 0; i < nb; ++i) {
+        bls[i] = rnd(rng, 1, 2);
+        ds[i] = rnd(rng, -16, 48);
+        kids[i] = random_type(rng, depth - 1);
+      }
+      return dt::struct_(bls, ds, kids);
+    }
+    default: {
+      const Off lb = rnd(rng, -8, 8);
+      const Off ext = rnd(rng, 0, 3) == 0
+                          ? child->extent()
+                          : child->extent() + rnd(rng, 1, 24);
+      return dt::resized(child, lb, ext);
+    }
+  }
+}
+
+/// Random *file-navigable* type: monotone, non-negative offsets, tiling
+/// at extent without interleaving (valid MPI-IO filetype).  Every result
+/// satisfies fotf::file_navigable.
+inline dt::Type random_navigable_type(Rng& rng, int depth) {
+  dt::Type t;
+  if (depth <= 0 || rnd(rng, 0, 3) == 0) {
+    t = rnd(rng, 0, 1) ? dt::byte() : dt::double_();
+  } else {
+    const dt::Type child = random_navigable_type(rng, depth - 1);
+    switch (rnd(rng, 0, 3)) {
+      case 0:
+        t = dt::contiguous(rnd(rng, 1, 4), child);
+        break;
+      case 1: {
+        const Off count = rnd(rng, 1, 5);
+        const Off blocklen = rnd(rng, 1, 3);
+        const Off block_span = blocklen * child->extent();
+        const Off stride = block_span + rnd(rng, 0, 32);
+        t = dt::hvector(count, blocklen, stride, child);
+        break;
+      }
+      case 2: {
+        const std::size_t nb = static_cast<std::size_t>(rnd(rng, 1, 4));
+        std::vector<Off> bls(nb), ds(nb);
+        Off at = rnd(rng, 0, 16);
+        for (std::size_t i = 0; i < nb; ++i) {
+          bls[i] = rnd(rng, 1, 3);
+          ds[i] = at;
+          at += bls[i] * child->extent() + rnd(rng, 0, 24);
+        }
+        t = dt::hindexed(bls, ds, child);
+        break;
+      }
+      default: {
+        const std::size_t nb = static_cast<std::size_t>(rnd(rng, 1, 3));
+        std::vector<Off> bls(nb), ds(nb);
+        std::vector<dt::Type> kids(nb);
+        Off at = rnd(rng, 0, 8);
+        for (std::size_t i = 0; i < nb; ++i) {
+          kids[i] = random_navigable_type(rng, depth - 1);
+          bls[i] = rnd(rng, 1, 2);
+          ds[i] = at - kids[i]->true_lb();
+          // Keep displacements non-negative.
+          if (ds[i] < 0) ds[i] = 0;
+          at = ds[i] + (bls[i] - 1) * kids[i]->extent() + kids[i]->true_ub() +
+               rnd(rng, 0, 16);
+        }
+        t = dt::struct_(bls, ds, kids);
+        break;
+      }
+    }
+  }
+  // Pad the extent so repetitions tile without interleaving.
+  if (t->true_ub() - t->true_lb() > t->extent() || rnd(rng, 0, 2) == 0)
+    t = dt::resized(t, 0, t->true_ub() + rnd(rng, 0, 16));
+  return t;
+}
+
+/// Reference pack: materialize the segment list with the explicit flatten
+/// and copy tuple by tuple.  Slow and simple — ground truth for fotf.
+inline ByteVec reference_pack(const Byte* buf, Off count, const dt::Type& t) {
+  const dt::OlList list = dt::flatten(t, /*coalesce=*/false);
+  ByteVec out;
+  out.reserve(to_size(count * t->size()));
+  for (Off i = 0; i < count; ++i) {
+    const Off base = i * t->extent();
+    for (const dt::OlTuple& tp : list.tuples()) {
+      const Byte* src = buf + base + tp.off;
+      out.insert(out.end(), src, src + tp.len);
+    }
+  }
+  return out;
+}
+
+/// Reference unpack: inverse of reference_pack.
+inline void reference_unpack(Byte* buf, Off count, const dt::Type& t,
+                             ConstByteSpan packed) {
+  const dt::OlList list = dt::flatten(t, /*coalesce=*/false);
+  std::size_t at = 0;
+  for (Off i = 0; i < count; ++i) {
+    const Off base = i * t->extent();
+    for (const dt::OlTuple& tp : list.tuples()) {
+      std::memcpy(buf + base + tp.off, packed.data() + at, to_size(tp.len));
+      at += to_size(tp.len);
+    }
+  }
+}
+
+/// A buffer big enough to hold `count` instances of t, with room for
+/// negative offsets; returns (storage, base pointer offset).
+struct TypedBuffer {
+  ByteVec storage;
+  Off base_off;  ///< index of the typemap origin within storage
+
+  Byte* base() { return storage.data() + base_off; }
+  const Byte* base() const { return storage.data() + base_off; }
+};
+
+inline TypedBuffer make_typed_buffer(const dt::Type& t, Off count,
+                                     Byte fill = Byte{0xEE}) {
+  const Off lo = std::min<Off>(0, t->true_lb());
+  const Off hi = t->true_ub() + (count > 0 ? (count - 1) * t->extent() : 0);
+  const Off span = std::max<Off>(hi, 0) - lo + 16;
+  TypedBuffer b;
+  b.storage.assign(to_size(span), fill);
+  b.base_off = -lo;
+  return b;
+}
+
+/// Fill a typed buffer's data bytes with a deterministic sequence (via the
+/// reference list) so pack results are predictable.
+inline void fill_typed_data(TypedBuffer& b, const dt::Type& t, Off count,
+                            unsigned seed = 1) {
+  const dt::OlList list = dt::flatten(t, false);
+  unsigned x = seed;
+  for (Off i = 0; i < count; ++i) {
+    const Off base = i * t->extent();
+    for (const dt::OlTuple& tp : list.tuples()) {
+      for (Off j = 0; j < tp.len; ++j) {
+        x = x * 1664525u + 1013904223u;
+        b.base()[base + tp.off + j] = Byte{static_cast<unsigned char>(x >> 24)};
+      }
+    }
+  }
+}
+
+}  // namespace llio::testutil
