@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_activebuf.dir/bench/bench_ablation_activebuf.cpp.o"
+  "CMakeFiles/bench_ablation_activebuf.dir/bench/bench_ablation_activebuf.cpp.o.d"
+  "bench/bench_ablation_activebuf"
+  "bench/bench_ablation_activebuf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_activebuf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_olist.dir/bench/bench_ablation_olist.cpp.o"
+  "CMakeFiles/bench_ablation_olist.dir/bench/bench_ablation_olist.cpp.o.d"
+  "bench/bench_ablation_olist"
+  "bench/bench_ablation_olist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_olist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sieve.dir/bench/bench_ablation_sieve.cpp.o"
+  "CMakeFiles/bench_ablation_sieve.dir/bench/bench_ablation_sieve.cpp.o.d"
+  "bench/bench_ablation_sieve"
+  "bench/bench_ablation_sieve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sieve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

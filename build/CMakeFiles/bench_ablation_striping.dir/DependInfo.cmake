@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_striping.cpp" "CMakeFiles/bench_ablation_striping.dir/bench/bench_ablation_striping.cpp.o" "gcc" "CMakeFiles/bench_ablation_striping.dir/bench/bench_ablation_striping.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/btio/CMakeFiles/llio_btio.dir/DependInfo.cmake"
+  "/root/repo/build/src/capi/CMakeFiles/llio_capi.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpiio/CMakeFiles/llio_mpiio.dir/DependInfo.cmake"
+  "/root/repo/build/src/listio/CMakeFiles/llio_listio.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/llio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpiio/CMakeFiles/llio_mpiio_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/fotf/CMakeFiles/llio_fotf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtype/CMakeFiles/llio_dtype.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/llio_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/llio_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/llio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_btio.dir/bench/bench_btio.cpp.o"
+  "CMakeFiles/bench_btio.dir/bench/bench_btio.cpp.o.d"
+  "bench/bench_btio"
+  "bench/bench_btio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_btio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

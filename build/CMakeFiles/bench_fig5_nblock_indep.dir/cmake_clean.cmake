@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_nblock_indep.dir/bench/bench_fig5_nblock_indep.cpp.o"
+  "CMakeFiles/bench_fig5_nblock_indep.dir/bench/bench_fig5_nblock_indep.cpp.o.d"
+  "bench/bench_fig5_nblock_indep"
+  "bench/bench_fig5_nblock_indep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_nblock_indep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_sblock_indep.dir/bench/bench_fig7_sblock_indep.cpp.o"
+  "CMakeFiles/bench_fig7_sblock_indep.dir/bench/bench_fig7_sblock_indep.cpp.o.d"
+  "bench/bench_fig7_sblock_indep"
+  "bench/bench_fig7_sblock_indep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_sblock_indep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

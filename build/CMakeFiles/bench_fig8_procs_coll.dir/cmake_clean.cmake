@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_procs_coll.dir/bench/bench_fig8_procs_coll.cpp.o"
+  "CMakeFiles/bench_fig8_procs_coll.dir/bench/bench_fig8_procs_coll.cpp.o.d"
+  "bench/bench_fig8_procs_coll"
+  "bench/bench_fig8_procs_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_procs_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_noncontig_cli.dir/bench/bench_noncontig_cli.cpp.o"
+  "CMakeFiles/bench_noncontig_cli.dir/bench/bench_noncontig_cli.cpp.o.d"
+  "bench/bench_noncontig_cli"
+  "bench/bench_noncontig_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_noncontig_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_noncontig_cli.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_cyclic_matrix.dir/block_cyclic_matrix.cpp.o"
+  "CMakeFiles/block_cyclic_matrix.dir/block_cyclic_matrix.cpp.o.d"
+  "block_cyclic_matrix"
+  "block_cyclic_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_cyclic_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btio_mini.dir/btio_mini.cpp.o"
+  "CMakeFiles/btio_mini.dir/btio_mini.cpp.o.d"
+  "btio_mini"
+  "btio_mini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btio_mini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

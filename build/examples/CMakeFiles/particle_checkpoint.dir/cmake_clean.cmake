@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/particle_checkpoint.dir/particle_checkpoint.cpp.o"
+  "CMakeFiles/particle_checkpoint.dir/particle_checkpoint.cpp.o.d"
+  "particle_checkpoint"
+  "particle_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/particle_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volume_tiles.dir/volume_tiles.cpp.o"
+  "CMakeFiles/volume_tiles.dir/volume_tiles.cpp.o.d"
+  "volume_tiles"
+  "volume_tiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volume_tiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

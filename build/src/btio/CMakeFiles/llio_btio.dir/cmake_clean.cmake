@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llio_btio.dir/pattern.cpp.o"
+  "CMakeFiles/llio_btio.dir/pattern.cpp.o.d"
+  "libllio_btio.a"
+  "libllio_btio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llio_btio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

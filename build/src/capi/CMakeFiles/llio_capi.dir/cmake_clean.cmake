@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llio_capi.dir/llio_mpi.cpp.o"
+  "CMakeFiles/llio_capi.dir/llio_mpi.cpp.o.d"
+  "libllio_capi.a"
+  "libllio_capi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llio_capi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

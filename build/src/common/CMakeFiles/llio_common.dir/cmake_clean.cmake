@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llio_common.dir/error.cpp.o"
+  "CMakeFiles/llio_common.dir/error.cpp.o.d"
+  "CMakeFiles/llio_common.dir/format.cpp.o"
+  "CMakeFiles/llio_common.dir/format.cpp.o.d"
+  "libllio_common.a"
+  "libllio_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llio_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

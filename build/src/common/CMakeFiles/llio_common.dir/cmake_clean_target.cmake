@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libllio_common.a"
+)

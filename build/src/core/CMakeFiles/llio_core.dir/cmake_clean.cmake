@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llio_core.dir/fotf_mover.cpp.o"
+  "CMakeFiles/llio_core.dir/fotf_mover.cpp.o.d"
+  "CMakeFiles/llio_core.dir/listless_engine.cpp.o"
+  "CMakeFiles/llio_core.dir/listless_engine.cpp.o.d"
+  "CMakeFiles/llio_core.dir/listless_nav.cpp.o"
+  "CMakeFiles/llio_core.dir/listless_nav.cpp.o.d"
+  "libllio_core.a"
+  "libllio_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llio_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

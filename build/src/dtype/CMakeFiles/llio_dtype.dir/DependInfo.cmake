@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dtype/darray.cpp" "src/dtype/CMakeFiles/llio_dtype.dir/darray.cpp.o" "gcc" "src/dtype/CMakeFiles/llio_dtype.dir/darray.cpp.o.d"
+  "/root/repo/src/dtype/datatype.cpp" "src/dtype/CMakeFiles/llio_dtype.dir/datatype.cpp.o" "gcc" "src/dtype/CMakeFiles/llio_dtype.dir/datatype.cpp.o.d"
+  "/root/repo/src/dtype/flatten.cpp" "src/dtype/CMakeFiles/llio_dtype.dir/flatten.cpp.o" "gcc" "src/dtype/CMakeFiles/llio_dtype.dir/flatten.cpp.o.d"
+  "/root/repo/src/dtype/normalize.cpp" "src/dtype/CMakeFiles/llio_dtype.dir/normalize.cpp.o" "gcc" "src/dtype/CMakeFiles/llio_dtype.dir/normalize.cpp.o.d"
+  "/root/repo/src/dtype/serialize.cpp" "src/dtype/CMakeFiles/llio_dtype.dir/serialize.cpp.o" "gcc" "src/dtype/CMakeFiles/llio_dtype.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/llio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

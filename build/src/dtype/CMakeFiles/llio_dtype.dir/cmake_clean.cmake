@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llio_dtype.dir/darray.cpp.o"
+  "CMakeFiles/llio_dtype.dir/darray.cpp.o.d"
+  "CMakeFiles/llio_dtype.dir/datatype.cpp.o"
+  "CMakeFiles/llio_dtype.dir/datatype.cpp.o.d"
+  "CMakeFiles/llio_dtype.dir/flatten.cpp.o"
+  "CMakeFiles/llio_dtype.dir/flatten.cpp.o.d"
+  "CMakeFiles/llio_dtype.dir/normalize.cpp.o"
+  "CMakeFiles/llio_dtype.dir/normalize.cpp.o.d"
+  "CMakeFiles/llio_dtype.dir/serialize.cpp.o"
+  "CMakeFiles/llio_dtype.dir/serialize.cpp.o.d"
+  "libllio_dtype.a"
+  "libllio_dtype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llio_dtype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fotf/cursor.cpp" "src/fotf/CMakeFiles/llio_fotf.dir/cursor.cpp.o" "gcc" "src/fotf/CMakeFiles/llio_fotf.dir/cursor.cpp.o.d"
+  "/root/repo/src/fotf/mpi_pack.cpp" "src/fotf/CMakeFiles/llio_fotf.dir/mpi_pack.cpp.o" "gcc" "src/fotf/CMakeFiles/llio_fotf.dir/mpi_pack.cpp.o.d"
+  "/root/repo/src/fotf/navigate.cpp" "src/fotf/CMakeFiles/llio_fotf.dir/navigate.cpp.o" "gcc" "src/fotf/CMakeFiles/llio_fotf.dir/navigate.cpp.o.d"
+  "/root/repo/src/fotf/pack.cpp" "src/fotf/CMakeFiles/llio_fotf.dir/pack.cpp.o" "gcc" "src/fotf/CMakeFiles/llio_fotf.dir/pack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/llio_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtype/CMakeFiles/llio_dtype.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

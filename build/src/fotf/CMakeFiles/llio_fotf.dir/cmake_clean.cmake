@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llio_fotf.dir/cursor.cpp.o"
+  "CMakeFiles/llio_fotf.dir/cursor.cpp.o.d"
+  "CMakeFiles/llio_fotf.dir/mpi_pack.cpp.o"
+  "CMakeFiles/llio_fotf.dir/mpi_pack.cpp.o.d"
+  "CMakeFiles/llio_fotf.dir/navigate.cpp.o"
+  "CMakeFiles/llio_fotf.dir/navigate.cpp.o.d"
+  "CMakeFiles/llio_fotf.dir/pack.cpp.o"
+  "CMakeFiles/llio_fotf.dir/pack.cpp.o.d"
+  "libllio_fotf.a"
+  "libllio_fotf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llio_fotf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/listio/list_engine.cpp" "src/listio/CMakeFiles/llio_listio.dir/list_engine.cpp.o" "gcc" "src/listio/CMakeFiles/llio_listio.dir/list_engine.cpp.o.d"
+  "/root/repo/src/listio/list_mover.cpp" "src/listio/CMakeFiles/llio_listio.dir/list_mover.cpp.o" "gcc" "src/listio/CMakeFiles/llio_listio.dir/list_mover.cpp.o.d"
+  "/root/repo/src/listio/ol_nav.cpp" "src/listio/CMakeFiles/llio_listio.dir/ol_nav.cpp.o" "gcc" "src/listio/CMakeFiles/llio_listio.dir/ol_nav.cpp.o.d"
+  "/root/repo/src/listio/ol_walker.cpp" "src/listio/CMakeFiles/llio_listio.dir/ol_walker.cpp.o" "gcc" "src/listio/CMakeFiles/llio_listio.dir/ol_walker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/llio_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtype/CMakeFiles/llio_dtype.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/llio_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/llio_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpiio/CMakeFiles/llio_mpiio_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/fotf/CMakeFiles/llio_fotf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llio_listio.dir/list_engine.cpp.o"
+  "CMakeFiles/llio_listio.dir/list_engine.cpp.o.d"
+  "CMakeFiles/llio_listio.dir/list_mover.cpp.o"
+  "CMakeFiles/llio_listio.dir/list_mover.cpp.o.d"
+  "CMakeFiles/llio_listio.dir/ol_nav.cpp.o"
+  "CMakeFiles/llio_listio.dir/ol_nav.cpp.o.d"
+  "CMakeFiles/llio_listio.dir/ol_walker.cpp.o"
+  "CMakeFiles/llio_listio.dir/ol_walker.cpp.o.d"
+  "libllio_listio.a"
+  "libllio_listio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llio_listio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

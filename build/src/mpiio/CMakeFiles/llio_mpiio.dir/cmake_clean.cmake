@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llio_mpiio.dir/file.cpp.o"
+  "CMakeFiles/llio_mpiio.dir/file.cpp.o.d"
+  "libllio_mpiio.a"
+  "libllio_mpiio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llio_mpiio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

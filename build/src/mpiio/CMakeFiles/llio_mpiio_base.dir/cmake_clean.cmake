@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llio_mpiio_base.dir/engine.cpp.o"
+  "CMakeFiles/llio_mpiio_base.dir/engine.cpp.o.d"
+  "CMakeFiles/llio_mpiio_base.dir/info.cpp.o"
+  "CMakeFiles/llio_mpiio_base.dir/info.cpp.o.d"
+  "CMakeFiles/llio_mpiio_base.dir/sieve.cpp.o"
+  "CMakeFiles/llio_mpiio_base.dir/sieve.cpp.o.d"
+  "CMakeFiles/llio_mpiio_base.dir/twophase.cpp.o"
+  "CMakeFiles/llio_mpiio_base.dir/twophase.cpp.o.d"
+  "CMakeFiles/llio_mpiio_base.dir/view.cpp.o"
+  "CMakeFiles/llio_mpiio_base.dir/view.cpp.o.d"
+  "libllio_mpiio_base.a"
+  "libllio_mpiio_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llio_mpiio_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

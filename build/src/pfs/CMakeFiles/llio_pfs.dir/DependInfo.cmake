@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pfs/active_buffer_file.cpp" "src/pfs/CMakeFiles/llio_pfs.dir/active_buffer_file.cpp.o" "gcc" "src/pfs/CMakeFiles/llio_pfs.dir/active_buffer_file.cpp.o.d"
+  "/root/repo/src/pfs/faulty_file.cpp" "src/pfs/CMakeFiles/llio_pfs.dir/faulty_file.cpp.o" "gcc" "src/pfs/CMakeFiles/llio_pfs.dir/faulty_file.cpp.o.d"
+  "/root/repo/src/pfs/file_backend.cpp" "src/pfs/CMakeFiles/llio_pfs.dir/file_backend.cpp.o" "gcc" "src/pfs/CMakeFiles/llio_pfs.dir/file_backend.cpp.o.d"
+  "/root/repo/src/pfs/mem_file.cpp" "src/pfs/CMakeFiles/llio_pfs.dir/mem_file.cpp.o" "gcc" "src/pfs/CMakeFiles/llio_pfs.dir/mem_file.cpp.o.d"
+  "/root/repo/src/pfs/posix_file.cpp" "src/pfs/CMakeFiles/llio_pfs.dir/posix_file.cpp.o" "gcc" "src/pfs/CMakeFiles/llio_pfs.dir/posix_file.cpp.o.d"
+  "/root/repo/src/pfs/range_lock.cpp" "src/pfs/CMakeFiles/llio_pfs.dir/range_lock.cpp.o" "gcc" "src/pfs/CMakeFiles/llio_pfs.dir/range_lock.cpp.o.d"
+  "/root/repo/src/pfs/striped_file.cpp" "src/pfs/CMakeFiles/llio_pfs.dir/striped_file.cpp.o" "gcc" "src/pfs/CMakeFiles/llio_pfs.dir/striped_file.cpp.o.d"
+  "/root/repo/src/pfs/throttled_file.cpp" "src/pfs/CMakeFiles/llio_pfs.dir/throttled_file.cpp.o" "gcc" "src/pfs/CMakeFiles/llio_pfs.dir/throttled_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/llio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

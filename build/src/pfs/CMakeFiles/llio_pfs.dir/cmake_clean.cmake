@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llio_pfs.dir/active_buffer_file.cpp.o"
+  "CMakeFiles/llio_pfs.dir/active_buffer_file.cpp.o.d"
+  "CMakeFiles/llio_pfs.dir/faulty_file.cpp.o"
+  "CMakeFiles/llio_pfs.dir/faulty_file.cpp.o.d"
+  "CMakeFiles/llio_pfs.dir/file_backend.cpp.o"
+  "CMakeFiles/llio_pfs.dir/file_backend.cpp.o.d"
+  "CMakeFiles/llio_pfs.dir/mem_file.cpp.o"
+  "CMakeFiles/llio_pfs.dir/mem_file.cpp.o.d"
+  "CMakeFiles/llio_pfs.dir/posix_file.cpp.o"
+  "CMakeFiles/llio_pfs.dir/posix_file.cpp.o.d"
+  "CMakeFiles/llio_pfs.dir/range_lock.cpp.o"
+  "CMakeFiles/llio_pfs.dir/range_lock.cpp.o.d"
+  "CMakeFiles/llio_pfs.dir/striped_file.cpp.o"
+  "CMakeFiles/llio_pfs.dir/striped_file.cpp.o.d"
+  "CMakeFiles/llio_pfs.dir/throttled_file.cpp.o"
+  "CMakeFiles/llio_pfs.dir/throttled_file.cpp.o.d"
+  "libllio_pfs.a"
+  "libllio_pfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llio_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

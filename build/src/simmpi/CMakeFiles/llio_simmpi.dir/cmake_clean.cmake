@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llio_simmpi.dir/comm.cpp.o"
+  "CMakeFiles/llio_simmpi.dir/comm.cpp.o.d"
+  "libllio_simmpi.a"
+  "libllio_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llio_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llio_btio_tests.dir/test_btio.cpp.o"
+  "CMakeFiles/llio_btio_tests.dir/test_btio.cpp.o.d"
+  "llio_btio_tests"
+  "llio_btio_tests.pdb"
+  "llio_btio_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llio_btio_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

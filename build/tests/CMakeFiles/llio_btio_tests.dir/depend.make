@@ -1,0 +1,2 @@
+# Empty dependencies file for llio_btio_tests.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llio_capi_tests.dir/test_capi.cpp.o"
+  "CMakeFiles/llio_capi_tests.dir/test_capi.cpp.o.d"
+  "llio_capi_tests"
+  "llio_capi_tests.pdb"
+  "llio_capi_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llio_capi_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llio_common_tests.dir/test_common.cpp.o"
+  "CMakeFiles/llio_common_tests.dir/test_common.cpp.o.d"
+  "llio_common_tests"
+  "llio_common_tests.pdb"
+  "llio_common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llio_common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

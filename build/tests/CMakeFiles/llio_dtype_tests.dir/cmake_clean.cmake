@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llio_dtype_tests.dir/test_darray.cpp.o"
+  "CMakeFiles/llio_dtype_tests.dir/test_darray.cpp.o.d"
+  "CMakeFiles/llio_dtype_tests.dir/test_dtype.cpp.o"
+  "CMakeFiles/llio_dtype_tests.dir/test_dtype.cpp.o.d"
+  "CMakeFiles/llio_dtype_tests.dir/test_flatten.cpp.o"
+  "CMakeFiles/llio_dtype_tests.dir/test_flatten.cpp.o.d"
+  "CMakeFiles/llio_dtype_tests.dir/test_normalize.cpp.o"
+  "CMakeFiles/llio_dtype_tests.dir/test_normalize.cpp.o.d"
+  "CMakeFiles/llio_dtype_tests.dir/test_serialize.cpp.o"
+  "CMakeFiles/llio_dtype_tests.dir/test_serialize.cpp.o.d"
+  "llio_dtype_tests"
+  "llio_dtype_tests.pdb"
+  "llio_dtype_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llio_dtype_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

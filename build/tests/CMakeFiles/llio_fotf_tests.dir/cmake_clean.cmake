@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llio_fotf_tests.dir/test_cursor.cpp.o"
+  "CMakeFiles/llio_fotf_tests.dir/test_cursor.cpp.o.d"
+  "CMakeFiles/llio_fotf_tests.dir/test_mpi_pack.cpp.o"
+  "CMakeFiles/llio_fotf_tests.dir/test_mpi_pack.cpp.o.d"
+  "CMakeFiles/llio_fotf_tests.dir/test_navigate.cpp.o"
+  "CMakeFiles/llio_fotf_tests.dir/test_navigate.cpp.o.d"
+  "CMakeFiles/llio_fotf_tests.dir/test_pack.cpp.o"
+  "CMakeFiles/llio_fotf_tests.dir/test_pack.cpp.o.d"
+  "llio_fotf_tests"
+  "llio_fotf_tests.pdb"
+  "llio_fotf_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llio_fotf_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_collective_io.cpp" "tests/CMakeFiles/llio_io_tests.dir/test_collective_io.cpp.o" "gcc" "tests/CMakeFiles/llio_io_tests.dir/test_collective_io.cpp.o.d"
+  "/root/repo/tests/test_equivalence.cpp" "tests/CMakeFiles/llio_io_tests.dir/test_equivalence.cpp.o" "gcc" "tests/CMakeFiles/llio_io_tests.dir/test_equivalence.cpp.o.d"
+  "/root/repo/tests/test_fault.cpp" "tests/CMakeFiles/llio_io_tests.dir/test_fault.cpp.o" "gcc" "tests/CMakeFiles/llio_io_tests.dir/test_fault.cpp.o.d"
+  "/root/repo/tests/test_file.cpp" "tests/CMakeFiles/llio_io_tests.dir/test_file.cpp.o" "gcc" "tests/CMakeFiles/llio_io_tests.dir/test_file.cpp.o.d"
+  "/root/repo/tests/test_indep_io.cpp" "tests/CMakeFiles/llio_io_tests.dir/test_indep_io.cpp.o" "gcc" "tests/CMakeFiles/llio_io_tests.dir/test_indep_io.cpp.o.d"
+  "/root/repo/tests/test_info.cpp" "tests/CMakeFiles/llio_io_tests.dir/test_info.cpp.o" "gcc" "tests/CMakeFiles/llio_io_tests.dir/test_info.cpp.o.d"
+  "/root/repo/tests/test_listless_nav.cpp" "tests/CMakeFiles/llio_io_tests.dir/test_listless_nav.cpp.o" "gcc" "tests/CMakeFiles/llio_io_tests.dir/test_listless_nav.cpp.o.d"
+  "/root/repo/tests/test_model_fuzz.cpp" "tests/CMakeFiles/llio_io_tests.dir/test_model_fuzz.cpp.o" "gcc" "tests/CMakeFiles/llio_io_tests.dir/test_model_fuzz.cpp.o.d"
+  "/root/repo/tests/test_shared_fp.cpp" "tests/CMakeFiles/llio_io_tests.dir/test_shared_fp.cpp.o" "gcc" "tests/CMakeFiles/llio_io_tests.dir/test_shared_fp.cpp.o.d"
+  "/root/repo/tests/test_strategies.cpp" "tests/CMakeFiles/llio_io_tests.dir/test_strategies.cpp.o" "gcc" "tests/CMakeFiles/llio_io_tests.dir/test_strategies.cpp.o.d"
+  "/root/repo/tests/test_twophase.cpp" "tests/CMakeFiles/llio_io_tests.dir/test_twophase.cpp.o" "gcc" "tests/CMakeFiles/llio_io_tests.dir/test_twophase.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/btio/CMakeFiles/llio_btio.dir/DependInfo.cmake"
+  "/root/repo/build/src/capi/CMakeFiles/llio_capi.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpiio/CMakeFiles/llio_mpiio.dir/DependInfo.cmake"
+  "/root/repo/build/src/listio/CMakeFiles/llio_listio.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/llio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpiio/CMakeFiles/llio_mpiio_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/fotf/CMakeFiles/llio_fotf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtype/CMakeFiles/llio_dtype.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/llio_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/llio_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/llio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

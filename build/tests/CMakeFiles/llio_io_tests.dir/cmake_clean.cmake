@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llio_io_tests.dir/test_collective_io.cpp.o"
+  "CMakeFiles/llio_io_tests.dir/test_collective_io.cpp.o.d"
+  "CMakeFiles/llio_io_tests.dir/test_equivalence.cpp.o"
+  "CMakeFiles/llio_io_tests.dir/test_equivalence.cpp.o.d"
+  "CMakeFiles/llio_io_tests.dir/test_fault.cpp.o"
+  "CMakeFiles/llio_io_tests.dir/test_fault.cpp.o.d"
+  "CMakeFiles/llio_io_tests.dir/test_file.cpp.o"
+  "CMakeFiles/llio_io_tests.dir/test_file.cpp.o.d"
+  "CMakeFiles/llio_io_tests.dir/test_indep_io.cpp.o"
+  "CMakeFiles/llio_io_tests.dir/test_indep_io.cpp.o.d"
+  "CMakeFiles/llio_io_tests.dir/test_info.cpp.o"
+  "CMakeFiles/llio_io_tests.dir/test_info.cpp.o.d"
+  "CMakeFiles/llio_io_tests.dir/test_listless_nav.cpp.o"
+  "CMakeFiles/llio_io_tests.dir/test_listless_nav.cpp.o.d"
+  "CMakeFiles/llio_io_tests.dir/test_model_fuzz.cpp.o"
+  "CMakeFiles/llio_io_tests.dir/test_model_fuzz.cpp.o.d"
+  "CMakeFiles/llio_io_tests.dir/test_shared_fp.cpp.o"
+  "CMakeFiles/llio_io_tests.dir/test_shared_fp.cpp.o.d"
+  "CMakeFiles/llio_io_tests.dir/test_strategies.cpp.o"
+  "CMakeFiles/llio_io_tests.dir/test_strategies.cpp.o.d"
+  "CMakeFiles/llio_io_tests.dir/test_twophase.cpp.o"
+  "CMakeFiles/llio_io_tests.dir/test_twophase.cpp.o.d"
+  "llio_io_tests"
+  "llio_io_tests.pdb"
+  "llio_io_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llio_io_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llio_runtime_tests.dir/test_pfs.cpp.o"
+  "CMakeFiles/llio_runtime_tests.dir/test_pfs.cpp.o.d"
+  "CMakeFiles/llio_runtime_tests.dir/test_simmpi.cpp.o"
+  "CMakeFiles/llio_runtime_tests.dir/test_simmpi.cpp.o.d"
+  "llio_runtime_tests"
+  "llio_runtime_tests.pdb"
+  "llio_runtime_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llio_runtime_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

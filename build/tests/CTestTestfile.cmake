@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/llio_common_tests[1]_include.cmake")
+include("/root/repo/build/tests/llio_dtype_tests[1]_include.cmake")
+include("/root/repo/build/tests/llio_fotf_tests[1]_include.cmake")
+include("/root/repo/build/tests/llio_runtime_tests[1]_include.cmake")
+include("/root/repo/build/tests/llio_io_tests[1]_include.cmake")
+include("/root/repo/build/tests/llio_btio_tests[1]_include.cmake")
+include("/root/repo/build/tests/llio_capi_tests[1]_include.cmake")
