@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cstring>
+#include <deque>
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "core/fotf_mover.hpp"
 #include "dtype/normalize.hpp"
 #include "dtype/serialize.hpp"
+#include "mpiio/pipeline.hpp"
 #include "mpiio/sieve.hpp"
 #include "mpiio/twophase.hpp"
 
@@ -156,7 +158,6 @@ Off ListlessEngine::do_write_at_all(Off stream_lo, const void* buf, Off count,
   if (rank < niops && !domains[to_size(Off{rank})].empty()) {
     const Domain dom = domains[to_size(Off{rank})];
     SieveContext ctx{*file_, *locks_, opts_, stats_};
-    ByteVec fbuf(to_size(std::min(fbs, dom.hi - dom.lo)));
     struct Incoming {
       int src;
       Off s_lo, s_hi;
@@ -179,41 +180,57 @@ Off ListlessEngine::do_write_at_all(Off stream_lo, const void* buf, Off count,
                    Errc::Protocol, "write_at_all: bad payload size");
       srcs.push_back(in);
     }
-    for (Off pos = dom.lo; pos < dom.hi; pos += fbs) {
-      const Off win_hi = std::min(dom.hi, pos + fbs);
-      const Off win = win_hi - pos;
-      // Mergeview coverage test: stream bytes all ranks contribute here.
-      struct Slice {
-        const Incoming* in;
-        Off s1, s2;
-      };
-      std::vector<Slice> slices;
-      Off covered = 0;
-      for (const Incoming& in : srcs) {
-        const Off s1 = std::clamp(in.nav->file_to_stream(pos - in.disp),
-                                  in.s_lo, in.s_hi);
-        const Off s2 = std::clamp(in.nav->file_to_stream(win_hi - in.disp),
-                                  in.s_lo, in.s_hi);
-        if (s2 <= s1) continue;
-        slices.push_back({&in, s1, s2});
-        covered += s2 - s1;
+    struct Slice {
+      const Incoming* in;
+      Off s1, s2;
+    };
+    // Slices are computed by `next` (the navs stay on the compute thread)
+    // and consumed by `fill` in the same window order.
+    std::deque<std::vector<Slice>> queued;
+    Off pos = dom.lo;
+    auto next = [&](mpiio::WindowPlan& plan) {
+      while (pos < dom.hi) {
+        const Off win_lo = pos;
+        const Off win_hi = std::min(dom.hi, pos + fbs);
+        pos = win_hi;
+        const Off win = win_hi - win_lo;
+        // Mergeview coverage test: stream bytes all ranks contribute here.
+        std::vector<Slice> slices;
+        Off covered = 0;
+        for (const Incoming& in : srcs) {
+          const Off s1 = std::clamp(in.nav->file_to_stream(win_lo - in.disp),
+                                    in.s_lo, in.s_hi);
+          const Off s2 = std::clamp(in.nav->file_to_stream(win_hi - in.disp),
+                                    in.s_lo, in.s_hi);
+          if (s2 <= s1) continue;
+          slices.push_back({&in, s1, s2});
+          covered += s2 - s1;
+        }
+        if (slices.empty()) continue;
+        plan.lo = win_lo;
+        plan.hi = win_hi;
+        plan.preread = !(covered == win && opts_.collective_merge_opt);
+        plan.writeback = true;
+        plan.lock = true;
+        queued.push_back(std::move(slices));
+        return true;
       }
-      if (slices.empty()) continue;
-      pfs::ScopedRangeLock lock(*locks_, pos, win_hi);
-      const bool full = covered == win && opts_.collective_merge_opt;
-      if (!full)
-        mpiio::timed_pread_zero_fill(ctx, pos,
-                                     ByteSpan(fbuf.data(), to_size(win)));
+      return false;
+    };
+    auto fill = [&](const mpiio::WindowPlan& plan, ByteSpan fbuf) {
+      std::vector<Slice> slices = std::move(queued.front());
+      queued.pop_front();
       StopWatch cw;
       cw.start();
       for (const Slice& sl : slices) {
-        sl.in->nav->scatter(fbuf.data(), pos - sl.in->disp, sl.s1,
+        sl.in->nav->scatter(fbuf.data(), plan.lo - sl.in->disp, sl.s1,
                             sl.in->data + (sl.s1 - sl.in->s_lo), sl.s2 - sl.s1);
       }
       cw.stop();
       stats_.copy_s += cw.seconds();
-      mpiio::timed_pwrite(ctx, pos, ConstByteSpan(fbuf.data(), to_size(win)));
-    }
+    };
+    mpiio::run_window_pipeline(ctx, opts_.pipeline_depth,
+                               std::min(fbs, dom.hi - dom.lo), next, fill);
   }
   comm_->barrier();
   stats_.bytes_moved += nbytes;
@@ -283,7 +300,6 @@ Off ListlessEngine::do_read_at_all(Off stream_lo, void* buf, Off count,
   if (rank < niops && !domains[to_size(Off{rank})].empty()) {
     const Domain dom = domains[to_size(Off{rank})];
     SieveContext ctx{*file_, *locks_, opts_, stats_};
-    ByteVec fbuf(to_size(std::min(fbs, dom.hi - dom.lo)));
     struct Req {
       Off s_lo, s_hi;
       ListlessNav* nav;
@@ -303,37 +319,52 @@ Off ListlessEngine::do_read_at_all(Off stream_lo, void* buf, Off count,
       rq.reply->resize(to_size(rq.s_hi - rq.s_lo));
       active.push_back(rq);
     }
-    for (Off pos = dom.lo; pos < dom.hi; pos += fbs) {
-      const Off win_hi = std::min(dom.hi, pos + fbs);
-      const Off win = win_hi - pos;
-      bool any = false;
-      for (const Req& rq : active) {
-        const Off s1 = std::clamp(rq.nav->file_to_stream(pos - rq.disp),
-                                  rq.s_lo, rq.s_hi);
-        const Off s2 = std::clamp(rq.nav->file_to_stream(win_hi - rq.disp),
-                                  rq.s_lo, rq.s_hi);
-        if (s2 > s1) {
-          any = true;
-          break;
+    struct Slice {
+      const Req* rq;
+      Off s1, s2;
+    };
+    std::deque<std::vector<Slice>> queued;
+    Off pos = dom.lo;
+    auto next = [&](mpiio::WindowPlan& plan) {
+      while (pos < dom.hi) {
+        const Off win_lo = pos;
+        const Off win_hi = std::min(dom.hi, pos + fbs);
+        pos = win_hi;
+        std::vector<Slice> slices;
+        for (const Req& rq : active) {
+          const Off s1 = std::clamp(rq.nav->file_to_stream(win_lo - rq.disp),
+                                    rq.s_lo, rq.s_hi);
+          const Off s2 = std::clamp(rq.nav->file_to_stream(win_hi - rq.disp),
+                                    rq.s_lo, rq.s_hi);
+          if (s2 <= s1) continue;
+          slices.push_back({&rq, s1, s2});
         }
+        if (slices.empty()) continue;
+        plan.lo = win_lo;
+        plan.hi = win_hi;
+        plan.preread = true;
+        plan.writeback = false;
+        plan.lock = false;
+        queued.push_back(std::move(slices));
+        return true;
       }
-      if (!any) continue;
-      mpiio::timed_pread_zero_fill(ctx, pos,
-                                   ByteSpan(fbuf.data(), to_size(win)));
+      return false;
+    };
+    auto fill = [&](const mpiio::WindowPlan& plan, ByteSpan fbuf) {
+      std::vector<Slice> slices = std::move(queued.front());
+      queued.pop_front();
       StopWatch cw;
       cw.start();
-      for (const Req& rq : active) {
-        const Off s1 = std::clamp(rq.nav->file_to_stream(pos - rq.disp),
-                                  rq.s_lo, rq.s_hi);
-        const Off s2 = std::clamp(rq.nav->file_to_stream(win_hi - rq.disp),
-                                  rq.s_lo, rq.s_hi);
-        if (s2 <= s1) continue;
-        rq.nav->gather(rq.reply->data() + (s1 - rq.s_lo), fbuf.data(),
-                       pos - rq.disp, s1, s2 - s1);
+      for (const Slice& sl : slices) {
+        sl.rq->nav->gather(sl.rq->reply->data() + (sl.s1 - sl.rq->s_lo),
+                           fbuf.data(), plan.lo - sl.rq->disp, sl.s1,
+                           sl.s2 - sl.s1);
       }
       cw.stop();
       stats_.copy_s += cw.seconds();
-    }
+    };
+    mpiio::run_window_pipeline(ctx, opts_.pipeline_depth,
+                               std::min(fbs, dom.hi - dom.lo), next, fill);
     for (const Req& rq : active) stats_.data_bytes_sent += rq.s_hi - rq.s_lo;
   }
   xw.reset();

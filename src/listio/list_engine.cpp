@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cstring>
+#include <deque>
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "listio/list_mover.hpp"
+#include "mpiio/pipeline.hpp"
 #include "mpiio/sieve.hpp"
 #include "mpiio/twophase.hpp"
 
@@ -284,7 +286,6 @@ Off ListEngine::do_write_at_all(Off stream_lo, const void* buf, Off count,
   if (rank < niops && !domains[to_size(Off{rank})].empty()) {
     const Domain dom = domains[to_size(Off{rank})];
     SieveContext ctx{*file_, *locks_, opts_, stats_};
-    ByteVec fbuf(to_size(std::min(fbs, dom.hi - dom.lo)));
     std::vector<RecvList> recvs;
     for (int r = 0; r < p; ++r) {
       RecvList rl;
@@ -295,33 +296,50 @@ Off ListEngine::do_write_at_all(Off stream_lo, const void* buf, Off count,
       recvs.push_back(std::move(rl));
       recvs.back().data = data_in[to_size(Off{r})].data();
     }
-    std::vector<WinSpan> spans;
-    for (Off pos = dom.lo; pos < dom.hi; pos += fbs) {
-      const Off win_hi = std::min(dom.hi, pos + fbs);
-      const Off win = win_hi - pos;
-      spans.clear();
-      for (RecvList& rl : recvs) collect_window_spans(rl, pos, win_hi, spans);
-      if (spans.empty()) continue;
-      pfs::ScopedRangeLock lock(*locks_, pos, win_hi);
-      StopWatch mw;
-      mw.start();
-      const Off covered = merged_coverage(spans);
-      mw.stop();
-      stats_.list_build_s += mw.seconds();
-      const bool full = covered == win && opts_.collective_merge_opt;
-      if (!full)
-        mpiio::timed_pread_zero_fill(ctx, pos,
-                                     ByteSpan(fbuf.data(), to_size(win)));
+    // collect_window_spans advances the recv-list cursors, so spans are
+    // produced by `next` (strictly in window order) and handed to `fill`
+    // through a queue.
+    std::deque<std::vector<WinSpan>> queued;
+    Off pos = dom.lo;
+    auto next = [&](mpiio::WindowPlan& plan) {
+      while (pos < dom.hi) {
+        const Off win_lo = pos;
+        const Off win_hi = std::min(dom.hi, pos + fbs);
+        pos = win_hi;
+        const Off win = win_hi - win_lo;
+        std::vector<WinSpan> spans;
+        for (RecvList& rl : recvs)
+          collect_window_spans(rl, win_lo, win_hi, spans);
+        if (spans.empty()) continue;
+        StopWatch mw;
+        mw.start();
+        const Off covered = merged_coverage(spans);
+        mw.stop();
+        stats_.list_build_s += mw.seconds();
+        plan.lo = win_lo;
+        plan.hi = win_hi;
+        plan.preread = !(covered == win && opts_.collective_merge_opt);
+        plan.writeback = true;
+        plan.lock = true;
+        queued.push_back(std::move(spans));
+        return true;
+      }
+      return false;
+    };
+    auto fill = [&](const mpiio::WindowPlan& plan, ByteSpan fbuf) {
+      std::vector<WinSpan> spans = std::move(queued.front());
+      queued.pop_front();
       StopWatch cw;
       cw.start();
       for (const WinSpan& sp : spans) {
-        std::memcpy(fbuf.data() + (sp.off - pos), sp.src->data + sp.data_off,
-                    to_size(sp.len));
+        std::memcpy(fbuf.data() + (sp.off - plan.lo),
+                    sp.src->data + sp.data_off, to_size(sp.len));
       }
       cw.stop();
       stats_.copy_s += cw.seconds();
-      mpiio::timed_pwrite(ctx, pos, ConstByteSpan(fbuf.data(), to_size(win)));
-    }
+    };
+    mpiio::run_window_pipeline(ctx, opts_.pipeline_depth,
+                               std::min(fbs, dom.hi - dom.lo), next, fill);
   }
   comm_->barrier();
   stats_.bytes_moved += nbytes;
@@ -386,7 +404,6 @@ Off ListEngine::do_read_at_all(Off stream_lo, void* buf, Off count,
   if (rank < niops && !domains[to_size(Off{rank})].empty()) {
     const Domain dom = domains[to_size(Off{rank})];
     SieveContext ctx{*file_, *locks_, opts_, stats_};
-    ByteVec fbuf(to_size(std::min(fbs, dom.hi - dom.lo)));
     std::vector<RecvList> recvs;
     for (int r = 0; r < p; ++r) {
       RecvList rl;
@@ -397,24 +414,41 @@ Off ListEngine::do_read_at_all(Off stream_lo, void* buf, Off count,
       recvs.push_back(std::move(rl));
       stats_.data_bytes_sent += recvs.back().s_hi - recvs.back().s_lo;
     }
-    std::vector<WinSpan> spans;
-    for (Off pos = dom.lo; pos < dom.hi; pos += fbs) {
-      const Off win_hi = std::min(dom.hi, pos + fbs);
-      const Off win = win_hi - pos;
-      spans.clear();
-      for (RecvList& rl : recvs) collect_window_spans(rl, pos, win_hi, spans);
-      if (spans.empty()) continue;
-      mpiio::timed_pread_zero_fill(ctx, pos,
-                                   ByteSpan(fbuf.data(), to_size(win)));
+    std::deque<std::vector<WinSpan>> queued;
+    Off pos = dom.lo;
+    auto next = [&](mpiio::WindowPlan& plan) {
+      while (pos < dom.hi) {
+        const Off win_lo = pos;
+        const Off win_hi = std::min(dom.hi, pos + fbs);
+        pos = win_hi;
+        std::vector<WinSpan> spans;
+        for (RecvList& rl : recvs)
+          collect_window_spans(rl, win_lo, win_hi, spans);
+        if (spans.empty()) continue;
+        plan.lo = win_lo;
+        plan.hi = win_hi;
+        plan.preread = true;
+        plan.writeback = false;
+        plan.lock = false;
+        queued.push_back(std::move(spans));
+        return true;
+      }
+      return false;
+    };
+    auto fill = [&](const mpiio::WindowPlan& plan, ByteSpan fbuf) {
+      std::vector<WinSpan> spans = std::move(queued.front());
+      queued.pop_front();
       StopWatch cw;
       cw.start();
       for (const WinSpan& sp : spans) {
-        std::memcpy(sp.src->reply + sp.data_off, fbuf.data() + (sp.off - pos),
-                    to_size(sp.len));
+        std::memcpy(sp.src->reply + sp.data_off,
+                    fbuf.data() + (sp.off - plan.lo), to_size(sp.len));
       }
       cw.stop();
       stats_.copy_s += cw.seconds();
-    }
+    };
+    mpiio::run_window_pipeline(ctx, opts_.pipeline_depth,
+                               std::min(fbs, dom.hi - dom.lo), next, fill);
   }
   xw.reset();
   xw.start();

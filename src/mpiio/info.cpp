@@ -77,6 +77,13 @@ Options apply_info(const Info& info, Options base) {
       base.sieve_min_fill = f;
     } else if (key == "llio_merge_opt") {
       base.collective_merge_opt = parse_enable(key, value);
+    } else if (key == "llio_pipeline_depth") {
+      base.pipeline_depth = parse_int(key, value);
+    } else if (key == "llio_iov_batch_max") {
+      const int n = parse_int(key, value);
+      LLIO_REQUIRE(n >= 1, Errc::InvalidArgument,
+                   "hint llio_iov_batch_max: expected a count >= 1");
+      base.iov_batch_max = n;
     }
     // Unknown keys are ignored, as MPI_Info requires.
   }
@@ -108,6 +115,8 @@ Info options_to_info(const Options& o) {
   info.set("romio_ds_read", sieving_name(o.ds_read));
   info.set("llio_sieve_min_fill", strprintf("%.3f", o.sieve_min_fill));
   info.set("llio_merge_opt", o.collective_merge_opt ? "enable" : "disable");
+  info.set("llio_pipeline_depth", strprintf("%d", o.pipeline_depth));
+  info.set("llio_iov_batch_max", strprintf("%lld", (long long)o.iov_batch_max));
   return info;
 }
 

@@ -14,6 +14,11 @@
 //                        "automatic" (fill-ratio heuristic, paper §5)
 //   llio_sieve_min_fill  fill-ratio threshold in [0, 1] for "automatic"
 //   llio_merge_opt       "enable" | "disable" collective coverage test
+//   llio_pipeline_depth  collective windows in flight on the IOP side
+//                        (0 = serial two-phase, >= 2 overlaps file I/O
+//                        with gather/scatter)
+//   llio_iov_batch_max   max segments per vectored file access in the
+//                        direct (non-sieving) paths, count >= 1
 //
 // Unknown keys are preserved but ignored (MPI_Info semantics).
 #pragma once

@@ -13,6 +13,10 @@ struct IoOpStats {
   double copy_s = 0;        ///< pack/unpack/per-tuple copy time
   double file_s = 0;        ///< time in pread/pwrite
   double exchange_s = 0;    ///< time in communication calls
+  double overlap_s = 0;     ///< worker-thread file time hidden behind the
+                            ///< compute thread (collective pipeline only)
+  double io_wait_s = 0;     ///< compute-thread time blocked waiting on the
+                            ///< pipeline's I/O worker
 
   Off bytes_moved = 0;       ///< user payload bytes
   Off file_read_bytes = 0;   ///< bytes actually read from storage
@@ -30,6 +34,8 @@ struct IoOpStats {
     copy_s += o.copy_s;
     file_s += o.file_s;
     exchange_s += o.exchange_s;
+    overlap_s += o.overlap_s;
+    io_wait_s += o.io_wait_s;
     bytes_moved += o.bytes_moved;
     file_read_bytes += o.file_read_bytes;
     file_write_bytes += o.file_write_bytes;

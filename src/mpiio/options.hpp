@@ -53,6 +53,17 @@ struct Options {
 
   /// Automatic mode: sieve when accessed bytes / spanned bytes >= this.
   double sieve_min_fill = 0.2;
+
+  /// Collective two-phase pipelining: number of file-domain windows an IOP
+  /// keeps in flight, with pread/pwrite running on a per-operation I/O
+  /// worker thread while the compute thread gathers/scatters the previous
+  /// window.  0 = fully serial (the pre-pipeline behavior, bit-identical);
+  /// overlap needs >= 2.
+  int pipeline_depth = 0;
+
+  /// Max number of segments coalesced into one vectored file access
+  /// (preadv/pwritev) by the direct (non-sieving) access paths.
+  Off iov_batch_max = 64;
 };
 
 const char* method_name(Method m) noexcept;

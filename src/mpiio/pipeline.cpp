@@ -1,0 +1,287 @@
+#include "mpiio/pipeline.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <exception>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "pfs/range_lock.hpp"
+
+namespace llio::mpiio {
+
+namespace {
+
+/// What a worker-side pread/pwrite contributes to IoOpStats, returned
+/// through the job's future and folded in on the compute thread (the
+/// shared IoOpStats is never touched from a worker).
+struct FileJobStats {
+  double seconds = 0;
+  Off read_bytes = 0;
+  Off write_bytes = 0;
+  std::uint64_t read_ops = 0;
+  std::uint64_t write_ops = 0;
+};
+
+FileJobStats read_job(pfs::FileBackend& file, Off lo, ByteSpan buf) {
+  FileJobStats s;
+  StopWatch w;
+  w.start();
+  const Off got = file.pread(lo, buf);
+  w.stop();
+  if (to_size(got) < buf.size())
+    std::memset(buf.data() + got, 0, buf.size() - to_size(got));
+  s.seconds = w.seconds();
+  s.read_bytes = got;
+  s.read_ops = 1;
+  return s;
+}
+
+FileJobStats write_job(pfs::FileBackend& file, Off lo, ConstByteSpan buf) {
+  FileJobStats s;
+  StopWatch w;
+  w.start();
+  file.pwrite(lo, buf);
+  w.stop();
+  s.seconds = w.seconds();
+  s.write_bytes = to_off(buf.size());
+  s.write_ops = 1;
+  return s;
+}
+
+/// Fixed pool of I/O worker threads, one per in-flight window.
+class IoWorkerPool {
+ public:
+  explicit IoWorkerPool(int n) {
+    threads_.reserve(to_size(n));
+    for (int i = 0; i < n; ++i)
+      threads_.emplace_back([this] { loop(); });
+  }
+
+  ~IoWorkerPool() {
+    {
+      std::lock_guard lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  std::future<FileJobStats> submit(std::function<FileJobStats()> fn) {
+    std::packaged_task<FileJobStats()> task(std::move(fn));
+    std::future<FileJobStats> fut = task.get_future();
+    {
+      std::lock_guard lock(mu_);
+      queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+ private:
+  void loop() {
+    std::unique_lock lock(mu_);
+    for (;;) {
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      std::packaged_task<FileJobStats()> task = std::move(queue_.front());
+      queue_.pop_front();
+      lock.unlock();
+      task();  // exceptions land in the future
+      lock.lock();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<FileJobStats()>> queue_;
+  std::vector<std::thread> threads_;
+  bool stop_ = false;
+};
+
+void run_serial(SieveContext& ctx, Off buffer_bytes, const WindowSource& next,
+                const WindowFill& fill) {
+  ByteVec buf(to_size(buffer_bytes));
+  WindowPlan plan;
+  while (next(plan)) {
+    const Off win = plan.hi - plan.lo;
+    std::optional<pfs::ScopedRangeLock> lock;
+    if (plan.lock) lock.emplace(ctx.locks, plan.lo, plan.hi);
+    if (plan.preread)
+      timed_pread_zero_fill(ctx, plan.lo, ByteSpan(buf.data(), to_size(win)));
+    fill(plan, ByteSpan(buf.data(), to_size(win)));
+    if (plan.writeback)
+      timed_pwrite(ctx, plan.lo, ConstByteSpan(buf.data(), to_size(win)));
+  }
+}
+
+void run_pipelined(SieveContext& ctx, int depth, Off buffer_bytes,
+                   const WindowSource& next, const WindowFill& fill) {
+  struct Flight {
+    WindowPlan plan;
+    std::size_t buf = 0;
+    bool locked = false;
+    std::future<FileJobStats> io;  // pending pre-read or write-back
+  };
+
+  IoWorkerPool pool(depth);
+  std::vector<ByteVec> bufs(to_size(depth));
+  for (ByteVec& b : bufs) b.resize(to_size(buffer_bytes));
+  std::vector<std::size_t> free_bufs;
+  for (std::size_t i = bufs.size(); i-- > 0;) free_bufs.push_back(i);
+
+  std::deque<Flight> pending;  // produced, possibly pre-reading, not filled
+  std::deque<Flight> writing;  // write-back in flight
+  FileJobStats worker;         // everything the workers did
+  double wait_s = 0;           // compute-thread time blocked on a future
+  bool more = true;
+  std::exception_ptr err;
+
+  auto settle = [&](Flight& fl) {
+    // Wait for the window's outstanding I/O (if any) and fold its stats
+    // in; the wait doubles as the happens-before edge that hands the
+    // buffer back to the compute thread.
+    if (!fl.io.valid()) return;
+    StopWatch w;
+    w.start();
+    try {
+      const FileJobStats s = fl.io.get();
+      worker.seconds += s.seconds;
+      worker.read_bytes += s.read_bytes;
+      worker.write_bytes += s.write_bytes;
+      worker.read_ops += s.read_ops;
+      worker.write_ops += s.write_ops;
+    } catch (...) {
+      if (!err) err = std::current_exception();
+    }
+    w.stop();
+    wait_s += w.seconds();
+  };
+
+  auto retire = [&](Flight& fl) {
+    settle(fl);
+    if (fl.locked) ctx.locks.unlock(fl.plan.lo, fl.plan.hi);
+    free_bufs.push_back(fl.buf);
+  };
+
+  while (true) {
+    // Launch as many windows as there are free buffers.
+    while (more && !err && !free_bufs.empty()) {
+      WindowPlan plan;
+      try {
+        if (!next(plan)) {
+          more = false;
+          break;
+        }
+      } catch (...) {
+        err = std::current_exception();
+        break;
+      }
+      Flight fl;
+      fl.plan = plan;
+      fl.buf = free_bufs.back();
+      free_bufs.pop_back();
+      if (plan.lock) {
+        ctx.locks.lock(plan.lo, plan.hi);
+        fl.locked = true;
+      }
+      if (plan.preread) {
+        pfs::FileBackend& file = ctx.file;
+        const ByteSpan span(bufs[fl.buf].data(), to_size(plan.hi - plan.lo));
+        const Off lo = plan.lo;
+        fl.io =
+            pool.submit([&file, lo, span] { return read_job(file, lo, span); });
+      }
+      pending.push_back(std::move(fl));
+    }
+
+    if (pending.empty()) {
+      if (writing.empty()) break;
+      Flight fl = std::move(writing.front());
+      writing.pop_front();
+      retire(fl);
+      continue;
+    }
+
+    // Fill the oldest window (waiting out its pre-read first).
+    Flight fl = std::move(pending.front());
+    pending.pop_front();
+    settle(fl);
+    if (!err) {
+      try {
+        fill(fl.plan,
+             ByteSpan(bufs[fl.buf].data(), to_size(fl.plan.hi - fl.plan.lo)));
+      } catch (...) {
+        err = std::current_exception();
+      }
+    }
+    if (!err && fl.plan.writeback) {
+      pfs::FileBackend& file = ctx.file;
+      const ConstByteSpan span(bufs[fl.buf].data(),
+                               to_size(fl.plan.hi - fl.plan.lo));
+      const Off lo = fl.plan.lo;
+      fl.io =
+          pool.submit([&file, lo, span] { return write_job(file, lo, span); });
+      writing.push_back(std::move(fl));
+    } else {
+      if (fl.locked) ctx.locks.unlock(fl.plan.lo, fl.plan.hi);
+      free_bufs.push_back(fl.buf);
+    }
+
+    // Recycle buffers from any writes that already completed.
+    while (!writing.empty() &&
+           writing.front().io.wait_for(std::chrono::seconds(0)) ==
+               std::future_status::ready) {
+      Flight done = std::move(writing.front());
+      writing.pop_front();
+      retire(done);
+    }
+    if (err) break;
+  }
+
+  // Drain everything still in flight (normal exit and error exit alike):
+  // workers must stop touching the buffers before we return/throw.
+  while (!pending.empty()) {
+    Flight fl = std::move(pending.front());
+    pending.pop_front();
+    retire(fl);
+  }
+  while (!writing.empty()) {
+    Flight fl = std::move(writing.front());
+    writing.pop_front();
+    retire(fl);
+  }
+
+  ctx.stats.file_s += worker.seconds;
+  ctx.stats.file_read_bytes += worker.read_bytes;
+  ctx.stats.file_write_bytes += worker.write_bytes;
+  ctx.stats.file_read_ops += worker.read_ops;
+  ctx.stats.file_write_ops += worker.write_ops;
+  ctx.stats.io_wait_s += wait_s;
+  ctx.stats.overlap_s += std::max(0.0, worker.seconds - wait_s);
+
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace
+
+void run_window_pipeline(SieveContext& ctx, int depth, Off buffer_bytes,
+                         const WindowSource& next, const WindowFill& fill) {
+  if (depth <= 0) {
+    run_serial(ctx, buffer_bytes, next, fill);
+  } else {
+    run_pipelined(ctx, std::min(depth, 8), buffer_bytes, next, fill);
+  }
+}
+
+}  // namespace llio::mpiio

@@ -32,6 +32,31 @@ void timed_pwrite(SieveContext& ctx, Off pos, ConstByteSpan buf) {
   ctx.stats.file_write_ops += 1;
 }
 
+void timed_preadv_zero_fill(SieveContext& ctx,
+                            std::span<const pfs::IoVec> iov) {
+  if (iov.empty()) return;
+  StopWatch w;
+  w.start();
+  const Off got = ctx.file.preadv(iov);
+  w.stop();
+  ctx.stats.file_s += w.seconds();
+  ctx.stats.file_read_bytes += got;
+  ctx.stats.file_read_ops += 1;
+}
+
+void timed_pwritev(SieveContext& ctx, std::span<const pfs::ConstIoVec> iov) {
+  if (iov.empty()) return;
+  Off total = 0;
+  for (const pfs::ConstIoVec& v : iov) total += to_off(v.buf.size());
+  StopWatch w;
+  w.start();
+  ctx.file.pwritev(iov);
+  w.stop();
+  ctx.stats.file_s += w.seconds();
+  ctx.stats.file_write_bytes += total;
+  ctx.stats.file_write_ops += 1;
+}
+
 Off sieve_write(SieveContext& ctx, ViewNav& nav, Off disp, Off stream_lo,
                 Off nbytes, StreamMover& src) {
   if (nbytes <= 0) return 0;
@@ -158,29 +183,64 @@ bool choose_sieving(const Options& opts, bool writing, Off nbytes, Off abs_lo,
 
 Off direct_write(SieveContext& ctx, ViewNav& nav, Off disp, Off stream_lo,
                  Off nbytes, StreamMover& src) {
+  // One *vectored* file access per iov_batch_max contiguous runs instead
+  // of one syscall per run.  Segments whose user memory is contiguous are
+  // referenced in place; others are packed into a stage buffer.  Staged
+  // segments record stage *offsets* (not pointers) so the stage buffer
+  // may grow while a batch accumulates.
   if (nbytes <= 0) return 0;
-  ByteVec packbuf;
+  struct Seg {
+    Off off;          ///< absolute file offset
+    const Byte* ptr;  ///< direct user memory, or nullptr if staged
+    Off stage_off;
+    Off len;
+  };
+  const std::size_t batch_max =
+      to_size(std::max<Off>(1, ctx.opts.iov_batch_max));
+  std::vector<Seg> segs;
+  ByteVec stage;
+  std::vector<pfs::ConstIoVec> iov;
   StopWatch copy;
+
+  auto flush = [&] {
+    if (segs.empty()) return;
+    iov.clear();
+    for (const Seg& s : segs)
+      iov.push_back({s.off,
+                     ConstByteSpan(s.ptr ? s.ptr : stage.data() + s.stage_off,
+                                   to_size(s.len))});
+    timed_pwritev(ctx, iov);
+    segs.clear();
+    stage.clear();
+  };
+
   nav.for_each_segment(
       stream_lo, nbytes, [&](Off mem, Off stream, Off len) {
         const Off rel = stream - stream_lo;
         if (const Byte* direct = src.direct(rel, len)) {
-          timed_pwrite(ctx, disp + mem, ConstByteSpan(direct, to_size(len)));
+          segs.push_back({disp + mem, direct, 0, len});
+          if (segs.size() >= batch_max) flush();
           return;
         }
-        if (to_off(packbuf.size()) < std::min(len, ctx.opts.pack_buffer_size))
-          packbuf.resize(to_size(ctx.opts.pack_buffer_size));
         Off sub = 0;
         while (sub < len) {
-          const Off n = std::min<Off>(to_off(packbuf.size()), len - sub);
+          const Off room = ctx.opts.pack_buffer_size - to_off(stage.size());
+          if (room <= 0) {
+            flush();
+            continue;
+          }
+          const Off n = std::min(len - sub, room);
+          const Off at = to_off(stage.size());
+          stage.resize(to_size(at + n));
           copy.start();
-          src.to_stream(packbuf.data(), rel + sub, n);
+          src.to_stream(stage.data() + at, rel + sub, n);
           copy.stop();
-          timed_pwrite(ctx, disp + mem + sub,
-                       ConstByteSpan(packbuf.data(), to_size(n)));
+          segs.push_back({disp + mem + sub, nullptr, at, n});
           sub += n;
+          if (segs.size() >= batch_max) flush();
         }
       });
+  flush();
   ctx.stats.copy_s += copy.seconds();
   ctx.stats.bytes_moved += nbytes;
   return nbytes;
@@ -189,29 +249,59 @@ Off direct_write(SieveContext& ctx, ViewNav& nav, Off disp, Off stream_lo,
 Off direct_read(SieveContext& ctx, ViewNav& nav, Off disp, Off stream_lo,
                 Off nbytes, StreamMover& dst) {
   if (nbytes <= 0) return 0;
-  ByteVec packbuf;
+  struct Seg {
+    Off off;    ///< absolute file offset
+    Byte* ptr;  ///< direct user memory, or nullptr if staged
+    Off stage_off;
+    Off rel;  ///< stream-relative offset, for from_stream after the read
+    Off len;
+  };
+  const std::size_t batch_max =
+      to_size(std::max<Off>(1, ctx.opts.iov_batch_max));
+  std::vector<Seg> segs;
+  ByteVec stage;
+  std::vector<pfs::IoVec> iov;
   StopWatch copy;
+
+  auto flush = [&] {
+    if (segs.empty()) return;
+    iov.clear();
+    for (const Seg& s : segs)
+      iov.push_back({s.off, ByteSpan(s.ptr ? s.ptr : stage.data() + s.stage_off,
+                                     to_size(s.len))});
+    timed_preadv_zero_fill(ctx, iov);
+    copy.start();
+    for (const Seg& s : segs)
+      if (!s.ptr) dst.from_stream(stage.data() + s.stage_off, s.rel, s.len);
+    copy.stop();
+    segs.clear();
+    stage.clear();
+  };
+
   nav.for_each_segment(
       stream_lo, nbytes, [&](Off mem, Off stream, Off len) {
         const Off rel = stream - stream_lo;
         if (Byte* direct = dst.direct_mut(rel, len)) {
-          timed_pread_zero_fill(ctx, disp + mem,
-                                ByteSpan(direct, to_size(len)));
+          segs.push_back({disp + mem, direct, 0, 0, len});
+          if (segs.size() >= batch_max) flush();
           return;
         }
-        if (to_off(packbuf.size()) < std::min(len, ctx.opts.pack_buffer_size))
-          packbuf.resize(to_size(ctx.opts.pack_buffer_size));
         Off sub = 0;
         while (sub < len) {
-          const Off n = std::min<Off>(to_off(packbuf.size()), len - sub);
-          timed_pread_zero_fill(ctx, disp + mem + sub,
-                                ByteSpan(packbuf.data(), to_size(n)));
-          copy.start();
-          dst.from_stream(packbuf.data(), rel + sub, n);
-          copy.stop();
+          const Off room = ctx.opts.pack_buffer_size - to_off(stage.size());
+          if (room <= 0) {
+            flush();
+            continue;
+          }
+          const Off n = std::min(len - sub, room);
+          const Off at = to_off(stage.size());
+          stage.resize(to_size(at + n));
+          segs.push_back({disp + mem + sub, nullptr, at, rel + sub, n});
           sub += n;
+          if (segs.size() >= batch_max) flush();
         }
       });
+  flush();
   ctx.stats.copy_s += copy.seconds();
   ctx.stats.bytes_moved += nbytes;
   return nbytes;

@@ -57,4 +57,10 @@ bool choose_sieving(const Options& opts, bool writing, Off nbytes, Off abs_lo,
 void timed_pread_zero_fill(SieveContext& ctx, Off pos, ByteSpan buf);
 void timed_pwrite(SieveContext& ctx, Off pos, ConstByteSpan buf);
 
+/// Vectored counterparts: a whole batch counts as one file op.
+/// (FileBackend::preadv already zero-fills past EOF.)
+void timed_preadv_zero_fill(SieveContext& ctx,
+                            std::span<const pfs::IoVec> iov);
+void timed_pwritev(SieveContext& ctx, std::span<const pfs::ConstIoVec> iov);
+
 }  // namespace llio::mpiio

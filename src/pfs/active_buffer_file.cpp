@@ -88,6 +88,33 @@ Off ActiveBufferFile::do_pread(Off offset, ByteSpan out) {
   return inner_->pread(offset, out);
 }
 
+void ActiveBufferFile::do_pwritev(std::span<const ConstIoVec> iov) {
+  // Stage the whole batch under a single lock acquisition / space wait.
+  Off batch_bytes = 0;
+  for (const ConstIoVec& v : iov) batch_bytes += to_off(v.buf.size());
+  std::unique_lock lock(mu_);
+  if (flush_error_) {
+    auto err = flush_error_;
+    flush_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+  drain_cv_.wait(lock, [&] {
+    return pending_bytes_ + batch_bytes <= max_pending_ || queue_.empty();
+  });
+  for (const ConstIoVec& v : iov) {
+    queue_.push_back({v.offset, ByteVec(v.buf.begin(), v.buf.end())});
+    pending_bytes_ += to_off(v.buf.size());
+    virtual_size_ = std::max(virtual_size_, v.offset + to_off(v.buf.size()));
+  }
+  peak_pending_ = std::max(peak_pending_, pending_bytes_);
+  queue_cv_.notify_all();
+}
+
+Off ActiveBufferFile::do_preadv(std::span<const IoVec> iov) {
+  drain();  // read-after-write consistency
+  return inner_->preadv(iov);
+}
+
 Off ActiveBufferFile::size() const {
   std::lock_guard lock(mu_);
   return std::max(virtual_size_, inner_->size());

@@ -43,4 +43,17 @@ void FaultyFile::do_pwrite(Off offset, ConstByteSpan data) {
   inner_->pwrite(offset, data);
 }
 
+Off FaultyFile::do_preadv(std::span<const IoVec> iov) {
+  // A vectored batch is one operation: one countdown tick.
+  if (tick(reads_left_))
+    throw_error(Errc::Io, "injected read fault");
+  return inner_->preadv(iov);
+}
+
+void FaultyFile::do_pwritev(std::span<const ConstIoVec> iov) {
+  if (tick(writes_left_))
+    throw_error(Errc::Io, "injected write fault");
+  inner_->pwritev(iov);
+}
+
 }  // namespace llio::pfs

@@ -1,5 +1,7 @@
 #include "pfs/file_backend.hpp"
 
+#include <cstring>
+
 #include "common/error.hpp"
 
 namespace llio::pfs {
@@ -19,6 +21,53 @@ void FileBackend::pwrite(Off offset, ConstByteSpan data) {
   write_ops_.fetch_add(1, std::memory_order_relaxed);
   write_bytes_.fetch_add(static_cast<std::uint64_t>(data.size()),
                          std::memory_order_relaxed);
+}
+
+Off FileBackend::preadv(std::span<const IoVec> iov) {
+  for (const IoVec& v : iov)
+    LLIO_REQUIRE(v.offset >= 0, Errc::InvalidArgument,
+                 "preadv: negative offset");
+  const Off n = do_preadv(iov);
+  read_ops_.fetch_add(1, std::memory_order_relaxed);
+  read_bytes_.fetch_add(static_cast<std::uint64_t>(n),
+                        std::memory_order_relaxed);
+  return n;
+}
+
+void FileBackend::pwritev(std::span<const ConstIoVec> iov) {
+  Off total = 0;
+  for (const ConstIoVec& v : iov) {
+    LLIO_REQUIRE(v.offset >= 0, Errc::InvalidArgument,
+                 "pwritev: negative offset");
+    total += to_off(v.buf.size());
+  }
+  do_pwritev(iov);
+  write_ops_.fetch_add(1, std::memory_order_relaxed);
+  write_bytes_.fetch_add(static_cast<std::uint64_t>(total),
+                         std::memory_order_relaxed);
+}
+
+Off FileBackend::preadv_fallback(std::span<const IoVec> iov) {
+  Off total = 0;
+  for (const IoVec& v : iov) {
+    const Off got = do_pread(v.offset, v.buf);
+    if (got < to_off(v.buf.size()))
+      std::memset(v.buf.data() + got, 0, to_size(to_off(v.buf.size()) - got));
+    total += got;
+  }
+  return total;
+}
+
+void FileBackend::pwritev_fallback(std::span<const ConstIoVec> iov) {
+  for (const ConstIoVec& v : iov) do_pwrite(v.offset, v.buf);
+}
+
+Off FileBackend::do_preadv(std::span<const IoVec> iov) {
+  return preadv_fallback(iov);
+}
+
+void FileBackend::do_pwritev(std::span<const ConstIoVec> iov) {
+  pwritev_fallback(iov);
 }
 
 FileStats FileBackend::stats() const {

@@ -16,6 +16,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
 
 #include "common/bytes.hpp"
 
@@ -28,6 +29,18 @@ struct FileStats {
   std::uint64_t write_bytes = 0;
 };
 
+/// One segment of a vectored read: fill `buf` from file offset `offset`.
+struct IoVec {
+  Off offset = 0;
+  ByteSpan buf;
+};
+
+/// One segment of a vectored write: store `buf` at file offset `offset`.
+struct ConstIoVec {
+  Off offset = 0;
+  ConstByteSpan buf;
+};
+
 class FileBackend {
  public:
   virtual ~FileBackend() = default;
@@ -38,6 +51,16 @@ class FileBackend {
 
   /// Write data at `offset`, growing the file as needed.
   void pwrite(Off offset, ConstByteSpan data);
+
+  /// Batched scatter read: fill every segment from its file offset in one
+  /// call, zero-filling the bytes past end of file.  Returns the number of
+  /// bytes actually read from the file (the rest were zero-filled).
+  /// Counts as a single read op in the stats.
+  Off preadv(std::span<const IoVec> iov);
+
+  /// Batched gather write: store every segment at its file offset in one
+  /// call, growing the file as needed.  Counts as a single write op.
+  void pwritev(std::span<const ConstIoVec> iov);
 
   virtual Off size() const = 0;
 
@@ -53,6 +76,16 @@ class FileBackend {
  protected:
   virtual Off do_pread(Off offset, ByteSpan out) = 0;
   virtual void do_pwrite(Off offset, ConstByteSpan data) = 0;
+
+  /// Default vectored implementations loop over do_pread/do_pwrite;
+  /// backends override for a genuinely batched path.
+  virtual Off do_preadv(std::span<const IoVec> iov);
+  virtual void do_pwritev(std::span<const ConstIoVec> iov);
+
+  /// The generic per-segment loop (with EOF zero-fill for reads), for
+  /// wrappers that want the base behavior explicitly.
+  Off preadv_fallback(std::span<const IoVec> iov);
+  void pwritev_fallback(std::span<const ConstIoVec> iov);
 
  private:
   std::atomic<std::uint64_t> read_ops_{0}, read_bytes_{0};

@@ -43,17 +43,39 @@ Off MemFile::do_pread(Off offset, ByteSpan out) {
 }
 
 void MemFile::do_pwrite(Off offset, ConstByteSpan data) {
+  // Writers are exclusive: MPI-IO leaves the DATA of conflicting
+  // concurrent accesses undefined, but the byte store itself must not be
+  // a C++ data race against lock-free readers (sieving reads don't range
+  // lock).
   const Off end = offset + to_off(data.size());
-  {
-    std::shared_lock lock(mu_);
-    if (end <= to_off(data_.size())) {
-      std::memcpy(data_.data() + offset, data.data(), data.size());
-      return;
-    }
-  }
   std::unique_lock lock(mu_);
   if (end > to_off(data_.size())) data_.resize(to_size(end));
   std::memcpy(data_.data() + offset, data.data(), data.size());
+}
+
+Off MemFile::do_preadv(std::span<const IoVec> iov) {
+  std::shared_lock lock(mu_);  // one lock acquisition for the whole batch
+  const Off fsize = to_off(data_.size());
+  Off total = 0;
+  for (const IoVec& v : iov) {
+    const Off want = to_off(v.buf.size());
+    const Off n = v.offset >= fsize ? 0 : std::min<Off>(want, fsize - v.offset);
+    if (n > 0) std::memcpy(v.buf.data(), data_.data() + v.offset, to_size(n));
+    if (n < want) std::memset(v.buf.data() + n, 0, to_size(want - n));
+    total += n;
+  }
+  return total;
+}
+
+void MemFile::do_pwritev(std::span<const ConstIoVec> iov) {
+  // One exclusive lock acquisition (and at most one resize) per batch.
+  Off end = 0;
+  for (const ConstIoVec& v : iov)
+    end = std::max(end, v.offset + to_off(v.buf.size()));
+  std::unique_lock lock(mu_);
+  if (end > to_off(data_.size())) data_.resize(to_size(end));
+  for (const ConstIoVec& v : iov)
+    std::memcpy(data_.data() + v.offset, v.buf.data(), v.buf.size());
 }
 
 }  // namespace llio::pfs

@@ -24,6 +24,8 @@ class MemFile final : public FileBackend {
  protected:
   Off do_pread(Off offset, ByteSpan out) override;
   void do_pwrite(Off offset, ConstByteSpan data) override;
+  Off do_preadv(std::span<const IoVec> iov) override;
+  void do_pwritev(std::span<const ConstIoVec> iov) override;
 
  private:
   explicit MemFile(Off initial_size);

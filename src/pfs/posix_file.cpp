@@ -3,9 +3,13 @@
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
+#if defined(__linux__)
+#include <sys/uio.h>
+#endif
 
 #include <cerrno>
 #include <cstring>
+#include <vector>
 
 #include "common/error.hpp"
 
@@ -83,5 +87,122 @@ void PosixFile::do_pwrite(Off offset, ConstByteSpan data) {
     done += static_cast<std::size_t>(n);
   }
 }
+
+#if defined(__linux__)
+
+namespace {
+// Kernel cap on iovec entries per call; stay well below IOV_MAX.
+constexpr std::size_t kMaxIov = 512;
+}  // namespace
+
+Off PosixFile::do_preadv(std::span<const IoVec> iov) {
+  // Group runs of segments that are contiguous in file offset into single
+  // preadv2 calls; memory addresses may still be scattered.
+  Off total = 0;
+  std::vector<struct iovec> vs;
+  std::size_t i = 0;
+  while (i < iov.size()) {
+    vs.clear();
+    const off_t group_off = static_cast<off_t>(iov[i].offset);
+    Off next_off = iov[i].offset;
+    Off group_len = 0;
+    std::size_t j = i;
+    while (j < iov.size() && vs.size() < kMaxIov &&
+           iov[j].offset == next_off) {
+      vs.push_back({iov[j].buf.data(), iov[j].buf.size()});
+      next_off += to_off(iov[j].buf.size());
+      group_len += to_off(iov[j].buf.size());
+      ++j;
+    }
+    Off done = 0;
+    while (done < group_len) {
+      // Advance the iovec array past `done` consumed bytes.
+      std::size_t k = 0;
+      Off skip = done;
+      while (k < vs.size() && skip >= to_off(vs[k].iov_len))
+        skip -= to_off(vs[k].iov_len), ++k;
+      struct iovec first = vs[k];
+      first.iov_base = static_cast<char*>(first.iov_base) + skip;
+      first.iov_len -= to_size(skip);
+      std::vector<struct iovec> rest(vs.begin() + static_cast<long>(k),
+                                     vs.end());
+      rest[0] = first;
+      const ssize_t n =
+          ::preadv2(fd_, rest.data(), static_cast<int>(rest.size()),
+                    group_off + static_cast<off_t>(done), 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("preadv2 " + path_);
+      }
+      if (n == 0) break;  // EOF: zero-fill the rest of the group
+      done += static_cast<Off>(n);
+    }
+    total += done;
+    // Zero-fill any group tail past EOF.
+    Off fill_from = done;
+    for (std::size_t k = 0; k < vs.size(); ++k) {
+      const Off len = to_off(vs[k].iov_len);
+      if (fill_from < len)
+        std::memset(static_cast<char*>(vs[k].iov_base) + fill_from, 0,
+                    to_size(len - fill_from));
+      fill_from = std::max<Off>(0, fill_from - len);
+    }
+    i = j;
+  }
+  return total;
+}
+
+void PosixFile::do_pwritev(std::span<const ConstIoVec> iov) {
+  std::vector<struct iovec> vs;
+  std::size_t i = 0;
+  while (i < iov.size()) {
+    vs.clear();
+    const off_t group_off = static_cast<off_t>(iov[i].offset);
+    Off next_off = iov[i].offset;
+    Off group_len = 0;
+    std::size_t j = i;
+    while (j < iov.size() && vs.size() < kMaxIov &&
+           iov[j].offset == next_off) {
+      vs.push_back({const_cast<Byte*>(iov[j].buf.data()), iov[j].buf.size()});
+      next_off += to_off(iov[j].buf.size());
+      group_len += to_off(iov[j].buf.size());
+      ++j;
+    }
+    Off done = 0;
+    while (done < group_len) {
+      std::size_t k = 0;
+      Off skip = done;
+      while (k < vs.size() && skip >= to_off(vs[k].iov_len))
+        skip -= to_off(vs[k].iov_len), ++k;
+      struct iovec first = vs[k];
+      first.iov_base = static_cast<char*>(first.iov_base) + skip;
+      first.iov_len -= to_size(skip);
+      std::vector<struct iovec> rest(vs.begin() + static_cast<long>(k),
+                                     vs.end());
+      rest[0] = first;
+      const ssize_t n =
+          ::pwritev2(fd_, rest.data(), static_cast<int>(rest.size()),
+                     group_off + static_cast<off_t>(done), 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("pwritev2 " + path_);
+      }
+      done += static_cast<Off>(n);
+    }
+    i = j;
+  }
+}
+
+#else  // !__linux__: the generic per-segment loop
+
+Off PosixFile::do_preadv(std::span<const IoVec> iov) {
+  return preadv_fallback(iov);
+}
+
+void PosixFile::do_pwritev(std::span<const ConstIoVec> iov) {
+  pwritev_fallback(iov);
+}
+
+#endif
 
 }  // namespace llio::pfs

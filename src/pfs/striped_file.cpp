@@ -68,6 +68,44 @@ void StripedFile::do_pwrite(Off offset, ConstByteSpan data) {
                  });
 }
 
+Off StripedFile::do_preadv(std::span<const IoVec> iov) {
+  // Split every logical segment into per-device pieces and issue one
+  // vectored read per device, preserving segment order within a device.
+  const Off fsize = size();
+  std::vector<std::vector<IoVec>> per_dev(devices_.size());
+  Off total = 0;
+  for (const IoVec& v : iov) {
+    const Off want = to_off(v.buf.size());
+    const Off len =
+        v.offset >= fsize ? 0 : std::min<Off>(want, fsize - v.offset);
+    if (len < want)  // past logical EOF: zero-fill
+      std::memset(v.buf.data() + len, 0, to_size(want - len));
+    for_each_piece(v.offset, len,
+                   [&](std::size_t dev, Off dev_off, Off buf_off, Off n) {
+                     per_dev[dev].push_back(
+                         {dev_off,
+                          ByteSpan(v.buf.data() + buf_off, to_size(n))});
+                     total += n;
+                   });
+  }
+  for (std::size_t d = 0; d < per_dev.size(); ++d)
+    if (!per_dev[d].empty()) devices_[d]->preadv(per_dev[d]);
+  return total;
+}
+
+void StripedFile::do_pwritev(std::span<const ConstIoVec> iov) {
+  std::vector<std::vector<ConstIoVec>> per_dev(devices_.size());
+  for (const ConstIoVec& v : iov)
+    for_each_piece(v.offset, to_off(v.buf.size()),
+                   [&](std::size_t dev, Off dev_off, Off buf_off, Off n) {
+                     per_dev[dev].push_back(
+                         {dev_off,
+                          ConstByteSpan(v.buf.data() + buf_off, to_size(n))});
+                   });
+  for (std::size_t d = 0; d < per_dev.size(); ++d)
+    if (!per_dev[d].empty()) devices_[d]->pwritev(per_dev[d]);
+}
+
 Off StripedFile::size() const {
   // Reconstruct the logical size from per-device sizes: device d holding
   // `s` bytes contributes stripes at logical positions d, d+nd, ...

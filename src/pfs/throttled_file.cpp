@@ -57,4 +57,20 @@ void ThrottledFile::do_pwrite(Off offset, ConstByteSpan data) {
         static_cast<double>(data.size()) / cfg_.write_bandwidth_bps);
 }
 
+Off ThrottledFile::do_preadv(std::span<const IoVec> iov) {
+  // A batch pays the fixed latency once: that is the whole point of
+  // coalescing per-segment accesses.
+  const Off n = inner_->preadv(iov);
+  delay(cfg_.op_latency_s + static_cast<double>(n) / cfg_.read_bandwidth_bps);
+  return n;
+}
+
+void ThrottledFile::do_pwritev(std::span<const ConstIoVec> iov) {
+  inner_->pwritev(iov);
+  Off total = 0;
+  for (const ConstIoVec& v : iov) total += to_off(v.buf.size());
+  delay(cfg_.op_latency_s +
+        static_cast<double>(total) / cfg_.write_bandwidth_bps);
+}
+
 }  // namespace llio::pfs

@@ -55,7 +55,10 @@ class Context {
                  "communication aborted: a peer rank failed");
   }
 
-  void send(int src, int dst, int tag, ConstByteSpan data, MsgClass cls) {
+  /// Zero-copy send: the payload moves into the receiver's mailbox.
+  /// Stats are charged before the move, so accounting is identical to the
+  /// copying overload.
+  void send(int src, int dst, int tag, ByteVec&& data, MsgClass cls) {
     check_alive();
     LLIO_REQUIRE(dst >= 0 && dst < nprocs_, Errc::InvalidArgument,
                  "send: bad destination rank");
@@ -68,9 +71,13 @@ class Context {
     Mailbox& mb = mailboxes_[to_size(Off{dst})];
     {
       std::lock_guard<std::mutex> lock(mb.mu);
-      mb.queue.push_back({src, tag, ByteVec(data.begin(), data.end())});
+      mb.queue.push_back({src, tag, std::move(data)});
     }
     mb.cv.notify_all();
+  }
+
+  void send(int src, int dst, int tag, ConstByteSpan data, MsgClass cls) {
+    send(src, dst, tag, ByteVec(data.begin(), data.end()), cls);
   }
 
   ByteVec recv(int self, int src, int tag) {
@@ -160,6 +167,10 @@ void Comm::send(int dst, int tag, ConstByteSpan data, MsgClass cls) {
   ctx_->send(rank_, dst, tag, data, cls);
 }
 
+void Comm::send(int dst, int tag, ByteVec&& data, MsgClass cls) {
+  ctx_->send(rank_, dst, tag, std::move(data), cls);
+}
+
 ByteVec Comm::recv(int src, int tag) { return ctx_->recv(rank_, src, tag); }
 
 void Comm::barrier() { ctx_->barrier(); }
@@ -179,6 +190,23 @@ std::vector<ByteVec> Comm::allgather(ConstByteSpan mine, MsgClass cls) {
   return out;
 }
 
+std::vector<ByteVec> Comm::allgather(ByteVec&& mine, MsgClass cls) {
+  // Peers necessarily get copies (one payload, p-1 destinations), but the
+  // self slot takes the buffer by move.
+  const int p = size();
+  std::vector<ByteVec> out(to_size(Off{p}));
+  for (int r = 0; r < p; ++r) {
+    if (r == rank_) continue;
+    ctx_->send(rank_, r, kTagAllgather, ConstByteSpan(mine), cls);
+  }
+  out[to_size(Off{rank_})] = std::move(mine);
+  for (int r = 0; r < p; ++r) {
+    if (r == rank_) continue;
+    out[to_size(Off{r})] = ctx_->recv(rank_, r, kTagAllgather);
+  }
+  return out;
+}
+
 std::vector<ByteVec> Comm::alltoall(std::vector<ByteVec> outgoing,
                                     MsgClass cls) {
   const int p = size();
@@ -187,7 +215,10 @@ std::vector<ByteVec> Comm::alltoall(std::vector<ByteVec> outgoing,
   std::vector<ByteVec> in(to_size(Off{p}));
   for (int r = 0; r < p; ++r) {
     if (r == rank_) continue;
-    ctx_->send(rank_, r, kTagAlltoall, outgoing[to_size(Off{r})], cls);
+    // Move each payload into the destination mailbox: large Data-class
+    // buffers (two-phase exchange) are never deep-copied.
+    ctx_->send(rank_, r, kTagAlltoall, std::move(outgoing[to_size(Off{r})]),
+               cls);
   }
   in[to_size(Off{rank_})] = std::move(outgoing[to_size(Off{rank_})]);
   for (int r = 0; r < p; ++r) {

@@ -72,6 +72,10 @@ class Comm {
   void send(int dst, int tag, ConstByteSpan data,
             MsgClass cls = MsgClass::Data);
 
+  /// Zero-copy send: the payload buffer moves into the receiver's mailbox
+  /// (same stats accounting as the copying overload).
+  void send(int dst, int tag, ByteVec&& data, MsgClass cls = MsgClass::Data);
+
   /// Blocking receive matching (src, tag).
   ByteVec recv(int src, int tag);
 
@@ -79,6 +83,10 @@ class Comm {
 
   /// Gather every rank's contribution; result[i] is rank i's bytes.
   std::vector<ByteVec> allgather(ConstByteSpan mine,
+                                 MsgClass cls = MsgClass::Meta);
+
+  /// As above, moving `mine` into the self slot instead of copying it.
+  std::vector<ByteVec> allgather(ByteVec&& mine,
                                  MsgClass cls = MsgClass::Meta);
 
   /// Personalized exchange; outgoing[i] goes to rank i (outgoing[rank]

@@ -103,6 +103,53 @@ TEST_P(FaultEngines, ReadFaultDuringSievingSurfaces) {
   EXPECT_TRUE(caught);
 }
 
+TEST_P(FaultEngines, PipelinedWriteFaultSurfacesExactError) {
+  // The injected pwrite fault fires inside the pipeline's I/O worker
+  // thread; it must propagate to the caller as the same Errc::Io the
+  // serial path raises — no hang, no silently dropped window.
+  pfs::FaultPlan plan;
+  plan.fail_after_writes = 1;  // second window write fails, mid-pipeline
+  auto fs = pfs::FaultyFile::wrap(pfs::MemFile::create(), plan);
+  bool caught = false;
+  sim::Runtime::run(1, [&](sim::Comm& comm) {
+    Options o;
+    o.method = GetParam();
+    o.file_buffer_size = 32;  // many windows, all in flight at depth 2
+    o.pipeline_depth = 2;
+    File f = File::open(comm, fs, o);
+    f.set_view(0, dt::byte(), iotest::noncontig_filetype(32, 8, 2, 0));
+    const ByteVec stream = iotest::payload_stream(0, 256);
+    try {
+      f.write_at_all(0, stream.data(), 256, dt::byte());
+    } catch (const Error& e) {
+      caught = e.code() == Errc::Io;
+    }
+  });
+  EXPECT_TRUE(caught);
+}
+
+TEST_P(FaultEngines, PipelinedCollectiveFaultAbortsAllRanks) {
+  // Multi-rank variant: a worker-thread fault on one IOP must abort the
+  // whole collective instead of deadlocking peers in the exchange.
+  pfs::FaultPlan plan;
+  plan.fail_after_writes = 1;
+  auto fs = pfs::FaultyFile::wrap(pfs::MemFile::create(), plan);
+  EXPECT_THROW(
+      sim::Runtime::run(4, [&](sim::Comm& comm) {
+        Options o;
+        o.method = GetParam();
+        o.file_buffer_size = 32;
+        o.pipeline_depth = 2;
+        File f = File::open(comm, fs, o);
+        f.set_view(0, dt::byte(),
+                   iotest::noncontig_filetype(16, 8, 4, comm.rank()));
+        const ByteVec stream = iotest::payload_stream(comm.rank(), 256);
+        f.write_at_all(0, stream.data(), 256, dt::byte());
+        comm.barrier();
+      }),
+      Error);
+}
+
 INSTANTIATE_TEST_SUITE_P(BothMethods, FaultEngines,
                          ::testing::Values(Method::ListBased,
                                            Method::Listless),

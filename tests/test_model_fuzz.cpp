@@ -169,6 +169,89 @@ TEST_P(ModelFuzz, SingleRankOpSequencesMatchTheModel) {
   }
 }
 
+TEST_P(ModelFuzz, SingleRankCollectivesMatchTheModelAtBothDepths) {
+  // Collective counterpart: the same random op sequence is replayed
+  // through write_at_all/read_at_all for every engine at pipeline_depth
+  // 0 and 2 — the pipelined window loop must be bit-identical to the
+  // serial one on every random view.
+  Rng rng(GetParam() + 7777u);
+  for (int episode = 0; episode < 3; ++episode) {
+    const dt::Type ft = testutil::random_navigable_type(rng, 2);
+    const Off disp = testutil::rnd(rng, 0, 32);
+    struct Op {
+      bool write;
+      Off offset, nbytes;
+      unsigned seed;
+    };
+    std::vector<Op> ops;
+    for (int i = 0; i < 8; ++i) {
+      Op op;
+      op.write = testutil::rnd(rng, 0, 1) == 0;
+      op.offset = testutil::rnd(rng, 0, 2 * ft->size());
+      op.nbytes = testutil::rnd(rng, 1, 3 * ft->size());
+      op.seed = static_cast<unsigned>(testutil::rnd(rng, 1, 1 << 20));
+      ops.push_back(op);
+    }
+    auto payload_of = [](const Op& op) {
+      ByteVec payload(to_size(op.nbytes));
+      for (Off j = 0; j < op.nbytes; ++j)
+        payload[to_size(j)] = iotest::payload_byte(
+            static_cast<int>(op.seed & 0xFF), j + op.seed);
+      return payload;
+    };
+
+    ModelFile model;
+    model.set_view(disp, ft);
+    std::vector<ByteVec> model_reads;
+    for (const Op& op : ops) {
+      if (op.write)
+        model.write(op.offset, payload_of(op));
+      else
+        model_reads.push_back(model.read(op.offset, op.nbytes));
+    }
+
+    const Off fbs = static_cast<Off>(testutil::rnd(rng, 1, 4)) * 64;
+    for (Method m : {Method::ListBased, Method::Listless}) {
+      for (int depth : {0, 2}) {
+        auto fs = pfs::MemFile::create();
+        std::vector<ByteVec> reads;
+        sim::Runtime::run(1, [&](sim::Comm& comm) {
+          Options o;
+          o.method = m;
+          o.file_buffer_size = fbs;
+          o.pack_buffer_size = 64;
+          o.pipeline_depth = depth;
+          File f = File::open(comm, fs, o);
+          f.set_view(disp, dt::byte(), ft);
+          for (const Op& op : ops) {
+            if (op.write) {
+              const ByteVec payload = payload_of(op);
+              f.write_at_all(op.offset, payload.data(), op.nbytes,
+                             dt::byte());
+            } else {
+              ByteVec got(to_size(op.nbytes), Byte{0});
+              f.read_at_all(op.offset, got.data(), op.nbytes, dt::byte());
+              reads.push_back(std::move(got));
+            }
+          }
+        });
+        ASSERT_EQ(reads.size(), model_reads.size());
+        for (std::size_t i = 0; i < reads.size(); ++i)
+          EXPECT_EQ(reads[i], model_reads[i])
+              << method_name(m) << " depth " << depth << " episode "
+              << episode << " read " << i;
+        ByteVec img = fs->contents();
+        ByteVec want = model.image();
+        const std::size_t len = std::max(img.size(), want.size());
+        img.resize(len, Byte{0});
+        want.resize(len, Byte{0});
+        EXPECT_EQ(img, want)
+            << method_name(m) << " depth " << depth << " episode " << episode;
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ModelFuzz,
                          ::testing::Values(101u, 202u, 303u, 404u, 505u));
 

@@ -83,6 +83,92 @@ TEST(PosixFile, BackendContract) {
   std::remove(path.c_str());
 }
 
+template <typename MakeFile>
+void vectored_contract(MakeFile make) {
+  auto f = make();
+  // Scattered pwritev lands every segment; a whole batch is one op.
+  const ByteVec a = pattern_bytes(10, 1);
+  const ByteVec b = pattern_bytes(20, 2);
+  const ByteVec c = pattern_bytes(5, 3);
+  const ConstIoVec w[] = {{0, a}, {30, b}, {100, c}};
+  f->pwritev(w);
+  EXPECT_EQ(f->size(), 105);
+  EXPECT_EQ(f->stats().write_ops, 1u);
+  EXPECT_EQ(f->stats().write_bytes, 35u);
+
+  // preadv: written segments come back, the hole reads zero, and the
+  // segment crossing EOF is valid bytes + zero fill; the return value
+  // counts only bytes actually read.
+  ByteVec ra(10), rb(20), hole(10, Byte{0xEE}), tail(15, Byte{0xEE});
+  const IoVec r[] = {{0, ra}, {30, rb}, {10, hole}, {95, tail}};
+  EXPECT_EQ(f->preadv(r), 10 + 20 + 10 + 10);
+  EXPECT_EQ(f->stats().read_ops, 1u);
+  EXPECT_EQ(ra, a);
+  EXPECT_EQ(rb, b);
+  for (Byte x : hole) EXPECT_EQ(x, Byte{0});
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(tail[i], Byte{0});  // hole
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(tail[5 + i], c[i]);
+  for (std::size_t i = 10; i < 15; ++i)
+    EXPECT_EQ(tail[i], Byte{0});  // past EOF
+
+  // Negative offsets rejected for the whole batch.
+  const IoVec bad[] = {{-1, ra}};
+  EXPECT_THROW(f->preadv(bad), Error);
+}
+
+TEST(MemFile, VectoredContract) {
+  vectored_contract([] { return MemFile::create(); });
+}
+
+TEST(PosixFile, VectoredContract) {
+  const std::string path = ::testing::TempDir() + "/llio_posix_vec_test.bin";
+  vectored_contract([&] { return PosixFile::open(path, /*truncate=*/true); });
+  std::remove(path.c_str());
+}
+
+TEST(StripedFile, VectoredContract) {
+  vectored_contract([] {
+    std::vector<FilePtr> devs = {MemFile::create(), MemFile::create(),
+                                 MemFile::create()};
+    return StripedFile::create(std::move(devs), 16);
+  });
+}
+
+TEST(ThrottledFile, VectoredContract) {
+  vectored_contract([] {
+    ThrottleConfig cfg;
+    cfg.read_bandwidth_bps = 100e6;
+    cfg.write_bandwidth_bps = 100e6;
+    return ThrottledFile::wrap(MemFile::create(), cfg);
+  });
+}
+
+TEST(FaultyFile, VectoredContract) {
+  vectored_contract([] {
+    return FaultyFile::wrap(MemFile::create(), FaultPlan{});
+  });
+}
+
+TEST(ActiveBufferFile, VectoredContract) {
+  vectored_contract([] { return ActiveBufferFile::wrap(MemFile::create()); });
+}
+
+TEST(FaultyFile, VectoredOpsTriggerFaults) {
+  FaultPlan plan;
+  plan.fail_after_writes = 0;
+  auto f = FaultyFile::wrap(MemFile::create(), plan);
+  const ByteVec d = pattern_bytes(8);
+  const ConstIoVec w[] = {{0, d}, {16, d}};
+  try {
+    f->pwritev(w);
+    FAIL() << "expected injected fault";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::Io);
+  }
+  f->pwritev(w);  // one-shot: the batch now succeeds
+  EXPECT_EQ(f->size(), 24);
+}
+
 TEST(MemFile, InitialSizeZeroFilled) {
   auto f = MemFile::create(32);
   EXPECT_EQ(f->size(), 32);

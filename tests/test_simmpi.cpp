@@ -78,6 +78,54 @@ TEST(PointToPoint, BadRankThrows) {
   });
 }
 
+TEST(PointToPoint, MoveSendIsZeroCopy) {
+  // The rvalue send overload must hand the sender's buffer to the
+  // receiver without reallocating: the receiver sees the same data
+  // pointer and capacity, and the stats accounting matches the copying
+  // overload.
+  Runtime::run(2, [&](Comm& c) {
+    if (c.rank() == 0) {
+      ByteVec big = bytes_of("zero-copy payload");
+      big.reserve(4096);
+      // Ship the buffer's identity out of band so rank 1 can verify.
+      const auto ptr = reinterpret_cast<std::uintptr_t>(big.data());
+      const auto cap = static_cast<std::uint64_t>(big.capacity());
+      ByteVec ident(sizeof(ptr) + sizeof(cap));
+      std::memcpy(ident.data(), &ptr, sizeof(ptr));
+      std::memcpy(ident.data() + sizeof(ptr), &cap, sizeof(cap));
+      c.send(1, 1, ident, MsgClass::Meta);
+      c.send(1, 2, std::move(big));
+      EXPECT_EQ(c.stats().data_bytes_sent, 17u);  // charged before the move
+    } else {
+      const ByteVec ident = c.recv(0, 1);
+      std::uintptr_t ptr;
+      std::uint64_t cap;
+      std::memcpy(&ptr, ident.data(), sizeof(ptr));
+      std::memcpy(&cap, ident.data() + sizeof(ptr), sizeof(cap));
+      const ByteVec got = c.recv(0, 2);
+      EXPECT_EQ(string_of(got), "zero-copy payload");
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(got.data()), ptr);
+      EXPECT_EQ(static_cast<std::uint64_t>(got.capacity()), cap);
+    }
+  });
+}
+
+TEST(Collectives, AlltoallAndAllgatherMoveTheSelfSlot) {
+  Runtime::run(2, [&](Comm& c) {
+    std::vector<ByteVec> out(2);
+    for (int r = 0; r < 2; ++r) out[to_size(Off{r})] = bytes_of("payload");
+    const Byte* self = out[to_size(Off{c.rank()})].data();
+    auto in = c.alltoall(std::move(out));
+    EXPECT_EQ(in[to_size(Off{c.rank()})].data(), self);
+
+    ByteVec mine = bytes_of("gathered");
+    const Byte* mptr = mine.data();
+    auto all = c.allgather(std::move(mine));
+    EXPECT_EQ(all[to_size(Off{c.rank()})].data(), mptr);
+    EXPECT_EQ(string_of(all[to_size(Off{1 - c.rank()})]), "gathered");
+  });
+}
+
 TEST(Collectives, Allgather) {
   Runtime::run(4, [&](Comm& c) {
     auto all = c.allgather(bytes_of(std::string(1, char('a' + c.rank()))));
