@@ -17,6 +17,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -81,6 +82,7 @@ struct BenchPoint {
   int repeats = 1;
   Off list_bytes_sent = 0;  ///< per op, summed over ranks
   Off data_bytes_sent = 0;
+  mpiio::IoOpStats op_stats;  ///< last op, folded (operator+=) over ranks
 
   double mbps_pp() const {
     return seconds > 0
@@ -98,6 +100,8 @@ inline BenchPoint run_noncontig(const NoncontigConfig& cfg) {
   std::atomic<long> time_ns{0};
   std::atomic<int> repeats_out{1};
   std::atomic<Off> list_bytes{0}, data_bytes{0};
+  std::mutex stats_mu;
+  mpiio::IoOpStats folded;
 
   auto fs = pfs::MemFile::create();
   if (!cfg.write) fs->resize(Off{cfg.nprocs} * nbytes + 64);
@@ -166,6 +170,10 @@ inline BenchPoint run_noncontig(const NoncontigConfig& cfg) {
     }
     list_bytes.fetch_add(f.last_stats().list_bytes_sent);
     data_bytes.fetch_add(f.last_stats().data_bytes_sent);
+    {
+      std::lock_guard<std::mutex> lk(stats_mu);
+      folded += f.last_stats();
+    }
   });
 
   BenchPoint p;
@@ -174,6 +182,7 @@ inline BenchPoint run_noncontig(const NoncontigConfig& cfg) {
   p.repeats = repeats_out.load();
   p.list_bytes_sent = list_bytes.load();
   p.data_bytes_sent = data_bytes.load();
+  p.op_stats = folded;
   return p;
 }
 

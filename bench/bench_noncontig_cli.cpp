@@ -13,6 +13,7 @@
 //     --write
 //     --hint K=V      MPI_Info hint applied to the open (repeatable),
 //                     e.g. --hint romio_ds_write=disable
+//     --stats         print the per-op stats breakdown (format_stats)
 //
 // Prints B_pp plus the overhead decomposition (ol-list bytes shipped,
 // copy/exchange/file time shares).
@@ -36,6 +37,7 @@ struct CliArgs {
   std::string combo = "nc-nc";
   bool do_write = true;
   bool do_read = true;
+  bool stats = false;
   mpiio::Info hints;
 };
 
@@ -44,7 +46,7 @@ struct CliArgs {
                "usage: bench_noncontig_cli [--method list|listless|both] "
                "[--nblock N] [--sblock N] [--procs N] [--target-kb N] "
                "[--collective] [--combo nc-nc|nc-c|c-nc|c-c] "
-               "[--read] [--write]\n");
+               "[--read] [--write] [--hint K=V] [--stats]\n");
   std::exit(2);
 }
 
@@ -70,6 +72,7 @@ CliArgs parse(int argc, char** argv) {
       if (eq == std::string::npos || eq == 0) usage();
       a.hints.set(kv.substr(0, eq), kv.substr(eq + 1));
     }
+    else if (arg == "--stats") a.stats = true;
     else if (arg == "--read") { if (!rw_explicit) a.do_write = false; a.do_read = true; rw_explicit = true; }
     else if (arg == "--write") { if (!rw_explicit) a.do_read = false; a.do_write = true; rw_explicit = true; }
     else usage();
@@ -103,6 +106,8 @@ void run_one(const CliArgs& a, mpiio::Method m, bool write) {
               fmt_mbps(p.mbps_pp()).c_str(),
               human_bytes(p.bytes_pp).c_str(), p.repeats,
               static_cast<long long>(p.list_bytes_sent));
+  if (a.stats)
+    std::printf("%s", mpiio::format_stats(p.op_stats).c_str());
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include "core/fotf_mover.hpp"
 #include "dtype/normalize.hpp"
 #include "dtype/serialize.hpp"
+#include "mpiio/mergeview.hpp"
 #include "mpiio/pipeline.hpp"
 #include "mpiio/sieve.hpp"
 #include "mpiio/twophase.hpp"
@@ -17,6 +18,7 @@ namespace llio::core {
 
 using mpiio::AccessRange;
 using mpiio::Domain;
+using mpiio::MergeContig;
 using mpiio::SieveContext;
 using mpiio::View;
 
@@ -41,6 +43,7 @@ Off get_off(ConstByteSpan data, std::size_t at) {
 void ListlessEngine::set_view(const View& v) {
   validate_view(v);
   view_ = v;
+  ++view_epoch_;  // invalidates cached mergeview verdicts
   // Normalize once: the cursor then sees the largest regular strata, and
   // the cached wire form shrinks.  The typemap is provably unchanged.
   const dt::Type ft = dt::normalize(v.filetype);
@@ -115,6 +118,23 @@ Off ListlessEngine::do_write_at_all(Off stream_lo, const void* buf, Off count,
     comm_->barrier();
     return 0;
   }
+
+  // Mergeview bypass: every participant's restriction to its access range
+  // is one contiguous extent and the extents are pairwise disjoint — each
+  // rank writes its own extent directly, no exchange, no RMW.
+  if (opts_.merge_contig != MergeContig::Off &&
+      mpiio::ranges_dense_disjoint(ranges)) {
+    if (nbytes > 0) {
+      SieveContext ctx{*file_, *locks_, opts_, stats_};
+      auto m = make_mover(buf, count, mt);
+      pfs::ScopedRangeLock lock(*locks_, mine.abs_lo, mine.abs_hi);
+      mpiio::dense_write(ctx, mine.abs_lo, nbytes, *m);
+    }
+    comm_->barrier();
+    stats_.merge_contig = true;
+    return nbytes;  // dense_write already counted bytes_moved
+  }
+
   const auto domains = mpiio::partition_domains(g, niops, fbs);
 
   // Phase 1 (AP side): for each IOP, ship the slice of my packed stream
@@ -158,6 +178,32 @@ Off ListlessEngine::do_write_at_all(Off stream_lo, const void* buf, Off count,
   if (rank < niops && !domains[to_size(Off{rank})].empty()) {
     const Domain dom = domains[to_size(Off{rank})];
     SieveContext ctx{*file_, *locks_, opts_, stats_};
+
+    // Mergeview analysis (§3.2.4): per-window hole-freeness over the
+    // cached fileviews, memoized across repeated collectives on the same
+    // view.  Off/Force skip the analysis entirely.
+    const MergeContig mode = opts_.merge_contig;
+    const mpiio::DomainWindows* verdict = nullptr;
+    if (mode == MergeContig::Auto) {
+      StopWatch mw;
+      mw.start();
+      verdict = &merge_cache_.get(
+          mpiio::MergeCache::Key{view_epoch_, dom.lo, dom.hi, fbs, ranges},
+          [&] {
+            std::vector<mpiio::ViewContribution> contribs;
+            for (int r = 0; r < p; ++r) {
+              const AccessRange& ar = ranges[to_size(Off{r})];
+              if (ar.nbytes <= 0) continue;
+              const CachedView& cv = cached_[to_size(Off{r})];
+              contribs.push_back({cv.filetype, cv.disp, ar.stream_lo,
+                                  ar.stream_lo + ar.nbytes});
+            }
+            return mpiio::analyze_view_domain(dom.lo, dom.hi, fbs, contribs);
+          });
+      mw.stop();
+      stats_.merge_analysis_s += mw.seconds();
+    }
+
     struct Incoming {
       int src;
       Off s_lo, s_hi;
@@ -193,10 +239,7 @@ Off ListlessEngine::do_write_at_all(Off stream_lo, const void* buf, Off count,
         const Off win_lo = pos;
         const Off win_hi = std::min(dom.hi, pos + fbs);
         pos = win_hi;
-        const Off win = win_hi - win_lo;
-        // Mergeview coverage test: stream bytes all ranks contribute here.
         std::vector<Slice> slices;
-        Off covered = 0;
         for (const Incoming& in : srcs) {
           const Off s1 = std::clamp(in.nav->file_to_stream(win_lo - in.disp),
                                     in.s_lo, in.s_hi);
@@ -204,12 +247,13 @@ Off ListlessEngine::do_write_at_all(Off stream_lo, const void* buf, Off count,
                                     in.s_lo, in.s_hi);
           if (s2 <= s1) continue;
           slices.push_back({&in, s1, s2});
-          covered += s2 - s1;
         }
         if (slices.empty()) continue;
         plan.lo = win_lo;
         plan.hi = win_hi;
-        plan.preread = !(covered == win && opts_.collective_merge_opt);
+        plan.preread = mode == MergeContig::Off    ? true
+                       : mode == MergeContig::Force ? false
+                                                    : !verdict->dense_at(win_lo);
         plan.writeback = true;
         plan.lock = true;
         queued.push_back(std::move(slices));

@@ -4,14 +4,15 @@
 // compact form exactly once, at set_view, so collective operations move
 // only file data, never ol-lists.
 //
-// The *mergeview* write optimization (§3.2.3): before pre-reading a file
-// block for read-modify-write, the IOP computes how many stream bytes the
-// combined cached fileviews (clamped to the ranks' actual access ranges)
-// contribute to the block; when that equals the block size the pre-read
-// is skipped.  This is semantically the paper's
-// "MPIR_Type_ff_size(mergetype, ...) >= extent" test, evaluated as a sum
-// over the cached views (our navigation requires monotone types, and the
-// merge struct interleaves its children).
+// The *mergeview* write optimization (§3.2.4) lives in mpiio/mergeview:
+// per file-buffer window the IOP decides — exactly, via a k-way segment
+// merge over the cached fileviews clamped to the ranks' access ranges —
+// whether the combined accesses tile the window hole-free, and skips the
+// read-modify-write pre-read when they do.  This is the paper's
+// "MPIR_Type_ff_size(mergetype, ...) == extent" test without ever
+// building the merge struct.  When additionally every rank's restriction
+// is one contiguous extent and the extents are disjoint, the engine
+// bypasses the two-phase exchange with direct per-rank writes.
 #pragma once
 
 #include <memory>

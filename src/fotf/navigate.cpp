@@ -174,6 +174,11 @@ Off data_in_window(const Type& t, Off lo, Off hi) {
   return data_below(t, hi) - data_below(t, lo);
 }
 
+bool window_dense(const Type& t, Off lo, Off hi) {
+  if (hi <= lo) return true;
+  return data_in_window(t, lo, hi) == hi - lo;
+}
+
 Off ff_size(const Type& t, Off skipbytes, Off extent) {
   if (extent <= 0) return 0;
   const Off a = mem_start(t, skipbytes);

@@ -44,6 +44,12 @@ Off data_below(const Type& t, Off mem);
 /// Stream bytes with layout offset in [lo, hi) (monotone types).
 Off data_in_window(const Type& t, Off lo, Off hi);
 
+/// True when the layout window [lo, hi) is completely covered by data
+/// bytes — every offset in it belongs to some segment.  This is the
+/// paper's mergeview condition "ff_size == extent" for one view; the
+/// collective analysis (mpiio/mergeview) extends it to unions of views.
+bool window_dense(const Type& t, Off lo, Off hi);
+
 /// True when t satisfies the MPI-IO filetype rules our navigation relies
 /// on: monotonically increasing non-overlapping segments, non-negative
 /// offsets, and instances tiled at extent(t) without interleaving.

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "listio/list_mover.hpp"
+#include "mpiio/mergeview.hpp"
 #include "mpiio/pipeline.hpp"
 #include "mpiio/sieve.hpp"
 #include "mpiio/twophase.hpp"
@@ -15,6 +16,7 @@ namespace llio::listio {
 
 using mpiio::AccessRange;
 using mpiio::Domain;
+using mpiio::MergeContig;
 using mpiio::SieveContext;
 using mpiio::View;
 
@@ -89,27 +91,12 @@ void collect_window_spans(RecvList& r, Off pos, Off win_hi,
   }
 }
 
-/// Union length of (possibly unsorted) spans — the list-merge coverage
-/// test of §2.3.  O(k log k).
-Off merged_coverage(std::vector<WinSpan>& spans) {
-  std::sort(spans.begin(), spans.end(),
-            [](const WinSpan& a, const WinSpan& b) { return a.off < b.off; });
-  Off covered = 0;
-  Off end = -1;
-  for (const WinSpan& s : spans) {
-    const Off lo = std::max(s.off, end);
-    const Off hi = s.off + s.len;
-    if (hi > lo) covered += hi - lo;
-    end = std::max(end, hi);
-  }
-  return covered;
-}
-
 }  // namespace
 
 void ListEngine::set_view(const View& v) {
   validate_view(v);
   view_ = v;
+  ++view_epoch_;  // invalidates cached mergeview verdicts
   stats_ = mpiio::IoOpStats{};
   // Explicit flattening (§2.1): build and store the filetype ol-list.
   WallTimer t;
@@ -235,6 +222,23 @@ Off ListEngine::do_write_at_all(Off stream_lo, const void* buf, Off count,
     comm_->barrier();
     return 0;
   }
+
+  // Mergeview bypass: every participant's restriction to its access range
+  // is one contiguous extent and the extents are pairwise disjoint — each
+  // rank writes its own extent directly, no lists, no exchange, no RMW.
+  if (opts_.merge_contig != MergeContig::Off &&
+      mpiio::ranges_dense_disjoint(ranges)) {
+    if (nbytes > 0) {
+      SieveContext ctx{*file_, *locks_, opts_, stats_};
+      auto m = make_mover(buf, count, mt);
+      pfs::ScopedRangeLock lock(*locks_, mine.abs_lo, mine.abs_hi);
+      mpiio::dense_write(ctx, mine.abs_lo, nbytes, *m);
+    }
+    comm_->barrier();
+    stats_.merge_contig = true;
+    return nbytes;  // dense_write already counted bytes_moved
+  }
+
   const auto domains = mpiio::partition_domains(g, niops, fbs);
 
   // AP phase 1: build and ship per-IOP ol-lists (Meta) ...
@@ -296,6 +300,28 @@ Off ListEngine::do_write_at_all(Off stream_lo, const void* buf, Off count,
       recvs.push_back(std::move(rl));
       recvs.back().data = data_in[to_size(Off{r})].data();
     }
+
+    // Mergeview analysis (§3.2.4): per-window hole-freeness as a union of
+    // the received (sorted, domain-clipped) ol-lists, memoized across
+    // repeated collectives on the same view.
+    const MergeContig mode = opts_.merge_contig;
+    const mpiio::DomainWindows* verdict = nullptr;
+    if (mode == MergeContig::Auto) {
+      StopWatch mw;
+      mw.start();
+      verdict = &merge_cache_.get(
+          mpiio::MergeCache::Key{view_epoch_, dom.lo, dom.hi, fbs, ranges},
+          [&] {
+            std::vector<std::span<const dt::OlTuple>> lists;
+            lists.reserve(recvs.size());
+            for (const RecvList& rl : recvs)
+              lists.push_back({rl.tuples.data(), rl.tuples.size()});
+            return mpiio::analyze_tuple_domain(dom.lo, dom.hi, fbs, lists);
+          });
+      mw.stop();
+      stats_.merge_analysis_s += mw.seconds();
+    }
+
     // collect_window_spans advances the recv-list cursors, so spans are
     // produced by `next` (strictly in window order) and handed to `fill`
     // through a queue.
@@ -306,19 +332,15 @@ Off ListEngine::do_write_at_all(Off stream_lo, const void* buf, Off count,
         const Off win_lo = pos;
         const Off win_hi = std::min(dom.hi, pos + fbs);
         pos = win_hi;
-        const Off win = win_hi - win_lo;
         std::vector<WinSpan> spans;
         for (RecvList& rl : recvs)
           collect_window_spans(rl, win_lo, win_hi, spans);
         if (spans.empty()) continue;
-        StopWatch mw;
-        mw.start();
-        const Off covered = merged_coverage(spans);
-        mw.stop();
-        stats_.list_build_s += mw.seconds();
         plan.lo = win_lo;
         plan.hi = win_hi;
-        plan.preread = !(covered == win && opts_.collective_merge_opt);
+        plan.preread = mode == MergeContig::Off    ? true
+                       : mode == MergeContig::Force ? false
+                                                    : !verdict->dense_at(win_lo);
         plan.writeback = true;
         plan.lock = true;
         queued.push_back(std::move(spans));

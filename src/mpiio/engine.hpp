@@ -11,6 +11,7 @@
 
 #include "dtype/datatype.hpp"
 #include "mpiio/io_stats.hpp"
+#include "mpiio/mergeview.hpp"
 #include "mpiio/navigator.hpp"
 #include "mpiio/options.hpp"
 #include "mpiio/view.hpp"
@@ -101,6 +102,12 @@ class IoEngine {
   View view_;
   IoOpStats stats_;
   IoOpStats cumulative_;
+
+  /// Mergeview analysis cache and its invalidation counter; engines bump
+  /// the epoch in set_view (collective, so it stays rank-consistent).
+  MergeCache merge_cache_;
+  std::uint64_t view_epoch_ = 0;
+
   bool atomic_ = false;
   std::mutex op_mu_;  ///< serializes operations (async vs caller thread)
 };

@@ -75,8 +75,20 @@ Options apply_info(const Info& info, Options base) {
                    Errc::InvalidArgument,
                    "hint llio_sieve_min_fill: expected a ratio in [0, 1]");
       base.sieve_min_fill = f;
+    } else if (key == "llio_merge_contig") {
+      if (value == "auto")
+        base.merge_contig = MergeContig::Auto;
+      else if (value == "off")
+        base.merge_contig = MergeContig::Off;
+      else if (value == "force")
+        base.merge_contig = MergeContig::Force;
+      else
+        throw_error(Errc::InvalidArgument,
+                    "hint llio_merge_contig: expected auto/off/force");
     } else if (key == "llio_merge_opt") {
-      base.collective_merge_opt = parse_enable(key, value);
+      // Backwards-compatible alias: enable = the analyzed default.
+      base.merge_contig = parse_enable(key, value) ? MergeContig::Auto
+                                                   : MergeContig::Off;
     } else if (key == "llio_pipeline_depth") {
       base.pipeline_depth = parse_int(key, value);
     } else if (key == "llio_iov_batch_max") {
@@ -114,7 +126,7 @@ Info options_to_info(const Options& o) {
   info.set("romio_ds_write", sieving_name(o.ds_write));
   info.set("romio_ds_read", sieving_name(o.ds_read));
   info.set("llio_sieve_min_fill", strprintf("%.3f", o.sieve_min_fill));
-  info.set("llio_merge_opt", o.collective_merge_opt ? "enable" : "disable");
+  info.set("llio_merge_contig", merge_contig_name(o.merge_contig));
   info.set("llio_pipeline_depth", strprintf("%d", o.pipeline_depth));
   info.set("llio_iov_batch_max", strprintf("%lld", (long long)o.iov_batch_max));
   return info;

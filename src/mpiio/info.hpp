@@ -13,7 +13,12 @@
 //                        "enable" (always sieve) | "disable" (direct) |
 //                        "automatic" (fill-ratio heuristic, paper §5)
 //   llio_sieve_min_fill  fill-ratio threshold in [0, 1] for "automatic"
-//   llio_merge_opt       "enable" | "disable" collective coverage test
+//   llio_merge_contig    "auto" (exact mergeview analysis: skip the
+//                        collective-write pre-read on hole-free windows,
+//                        bypass the exchange for dense disjoint ranges) |
+//                        "off" (always pre-read dirty windows) |
+//                        "force" (never pre-read; unsafe on holey views)
+//   llio_merge_opt       deprecated alias: "enable" = auto, "disable" = off
 //   llio_pipeline_depth  collective windows in flight on the IOP side
 //                        (0 = serial two-phase, >= 2 overlaps file I/O
 //                        with gather/scatter)

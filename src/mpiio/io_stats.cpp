@@ -1,0 +1,33 @@
+#include "mpiio/io_stats.hpp"
+
+#include "common/format.hpp"
+
+namespace llio::mpiio {
+
+std::string format_stats(const IoOpStats& s) {
+  std::string out;
+  out += strprintf("total            %10.6f s\n", s.total_s);
+  out += strprintf("  list build     %10.6f s\n", s.list_build_s);
+  out += strprintf("  copy           %10.6f s\n", s.copy_s);
+  out += strprintf("  file I/O       %10.6f s\n", s.file_s);
+  out += strprintf("  exchange       %10.6f s\n", s.exchange_s);
+  out += strprintf("  merge analysis %10.6f s\n", s.merge_analysis_s);
+  out += strprintf("  overlap        %10.6f s\n", s.overlap_s);
+  out += strprintf("  io wait        %10.6f s\n", s.io_wait_s);
+  out += strprintf("bytes moved      %lld\n", (long long)s.bytes_moved);
+  out += strprintf("file read        %lld B in %llu ops\n",
+                   (long long)s.file_read_bytes,
+                   (unsigned long long)s.file_read_ops);
+  out += strprintf("file write       %lld B in %llu ops\n",
+                   (long long)s.file_write_bytes,
+                   (unsigned long long)s.file_write_ops);
+  out += strprintf("list sent        %lld B\n", (long long)s.list_bytes_sent);
+  out += strprintf("data sent        %lld B\n", (long long)s.data_bytes_sent);
+  out += strprintf("list memory      %lld B\n", (long long)s.list_mem_bytes);
+  out += strprintf("preread skipped  %llu windows\n",
+                   (unsigned long long)s.preread_skipped_windows);
+  out += strprintf("merge contig     %s\n", s.merge_contig ? "yes" : "no");
+  return out;
+}
+
+}  // namespace llio::mpiio

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "common/bytes.hpp"
 
@@ -28,6 +29,13 @@ struct IoOpStats {
   Off data_bytes_sent = 0;  ///< data exchange volume (collective)
   Off list_mem_bytes = 0;   ///< peak ol-list memory this operation
 
+  /// Mergeview contiguity analysis (paper §3.2.4).
+  std::uint64_t preread_skipped_windows = 0;  ///< RMW pre-reads elided
+  double merge_analysis_s = 0;  ///< time in the hole-freeness analysis
+                                ///< (~0 on a MergeCache hit)
+  bool merge_contig = false;    ///< dense-disjoint bypass taken: the
+                                ///< two-phase exchange was skipped
+
   IoOpStats& operator+=(const IoOpStats& o) {
     total_s += o.total_s;
     list_build_s += o.list_build_s;
@@ -45,8 +53,15 @@ struct IoOpStats {
     data_bytes_sent += o.data_bytes_sent;
     list_mem_bytes = list_mem_bytes > o.list_mem_bytes ? list_mem_bytes
                                                        : o.list_mem_bytes;
+    preread_skipped_windows += o.preread_skipped_windows;
+    merge_analysis_s += o.merge_analysis_s;
+    merge_contig = merge_contig || o.merge_contig;
     return *this;
   }
 };
+
+/// Human-readable multi-line rendering of the decomposition (benches,
+/// CLI --stats).
+std::string format_stats(const IoOpStats& s);
 
 }  // namespace llio::mpiio

@@ -19,6 +19,17 @@ enum class Sieving {
   Never,      ///< one file access per contiguous block
 };
 
+/// Mergeview contiguity analysis for collective writes (paper §3.2.4):
+/// decide per file-buffer window whether the combined accesses tile it
+/// hole-free, so the read-modify-write pre-read can be skipped.
+enum class MergeContig {
+  Off,    ///< never elide the pre-read (every dirty window does RMW)
+  Auto,   ///< exact per-window analysis; skip the pre-read when provably
+          ///< hole-free, bypass pack+alltoall for dense disjoint accesses
+  Force,  ///< assert density: never pre-read (unsafe on holey patterns —
+          ///< gap bytes are clobbered with stale buffer contents)
+};
+
 struct Options {
   Method method = Method::Listless;
 
@@ -34,8 +45,10 @@ struct Options {
   int io_procs = 0;
 
   /// Collective-write contiguity optimization: skip the pre-read of a file
-  /// block when the combined accesses fully cover it (paper §2.3 / §3.2.3).
-  bool collective_merge_opt = true;
+  /// block when the combined accesses provably cover it, and bypass the
+  /// two-phase exchange when every rank's access is one contiguous extent
+  /// (paper §2.3 / §3.2.4).
+  MergeContig merge_contig = MergeContig::Auto;
 
   /// Independent writes: skip the sieving pre-read when the window is
   /// fully covered by the access.
@@ -67,5 +80,6 @@ struct Options {
 };
 
 const char* method_name(Method m) noexcept;
+const char* merge_contig_name(MergeContig m) noexcept;
 
 }  // namespace llio::mpiio

@@ -115,6 +115,7 @@ void run_serial(SieveContext& ctx, Off buffer_bytes, const WindowSource& next,
   WindowPlan plan;
   while (next(plan)) {
     const Off win = plan.hi - plan.lo;
+    if (plan.writeback && !plan.preread) ++ctx.stats.preread_skipped_windows;
     std::optional<pfs::ScopedRangeLock> lock;
     if (plan.lock) lock.emplace(ctx.locks, plan.lo, plan.hi);
     if (plan.preread)
@@ -187,6 +188,8 @@ void run_pipelined(SieveContext& ctx, int depth, Off buffer_bytes,
         err = std::current_exception();
         break;
       }
+      if (plan.writeback && !plan.preread)
+        ++ctx.stats.preread_skipped_windows;
       Flight fl;
       fl.plan = plan;
       fl.buf = free_bufs.back();

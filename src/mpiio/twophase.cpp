@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 
 #include "common/error.hpp"
 
@@ -45,13 +46,22 @@ std::vector<Domain> partition_domains(const GlobalRange& g, int niops,
   if (!g.any) return out;
   const Off total = g.hi - g.lo;
   // Equal shares rounded up to the alignment; trailing IOPs may be empty.
-  const Off chunk = round_up(ceil_div(total, niops), align);
+  // Both the rounding and the `lo + chunk` advance are guarded against
+  // signed overflow for ranges near the Off maximum (overflow used to
+  // wrap chunk negative and emit empty *leading* domains that dropped
+  // coverage of the tail of the range).
+  const Off max_off = std::numeric_limits<Off>::max();
+  Off chunk = total / niops + (total % niops != 0 ? 1 : 0);
+  chunk = chunk <= max_off - (align - 1) ? round_up(chunk, align) : total;
   Off lo = g.lo;
   for (int i = 0; i < niops; ++i) {
-    const Off hi = std::min(g.hi, lo + chunk);
-    out[to_size(Off{i})] = {lo, std::max(lo, hi)};
-    lo = std::max(lo, hi);
+    const Off hi = g.hi - lo > chunk ? lo + chunk : g.hi;
+    out[to_size(Off{i})] = {lo, hi};
+    lo = hi;
   }
+  // Invariant the IOP loops rely on: only trailing domains are empty.
+  std::stable_partition(out.begin(), out.end(),
+                        [](const Domain& d) { return !d.empty(); });
   return out;
 }
 

@@ -10,6 +10,15 @@ const char* method_name(Method m) noexcept {
   return m == Method::ListBased ? "list-based" : "listless";
 }
 
+const char* merge_contig_name(MergeContig m) noexcept {
+  switch (m) {
+    case MergeContig::Off: return "off";
+    case MergeContig::Auto: return "auto";
+    case MergeContig::Force: return "force";
+  }
+  return "auto";
+}
+
 View default_view() {
   return View{0, dt::byte(), dt::byte()};
 }

@@ -283,6 +283,69 @@ TEST_P(CollectiveBehaviors, PipelinedWriteIsBitIdenticalToSerial) {
   EXPECT_EQ(run(0), run(2));
 }
 
+TEST_P(CollectiveBehaviors, MergeviewSkipCounterTracksDensity) {
+  // Dense tiling: every IOP window is provably hole-free, so the engines
+  // must report elided pre-reads.  Holey tiling (the last rank abstains,
+  // leaving its blocks as gaps): exactly none.  Off: never, by contract.
+  const int P = 3;
+  const Off nblock = 8, sblock = 8;
+  const Off nbytes = nblock * sblock;
+  auto run = [&](bool holey, MergeContig mode) {
+    auto fs = pfs::MemFile::create();
+    std::atomic<std::uint64_t> skipped{0};
+    sim::Runtime::run(P, [&](sim::Comm& comm) {
+      Options o;
+      o.method = GetParam();
+      o.file_buffer_size = 64;
+      o.merge_contig = mode;
+      File f = File::open(comm, fs, o);
+      f.set_view(0, dt::byte(),
+                 noncontig_filetype(nblock, sblock, P, comm.rank()));
+      const ByteVec stream = payload_stream(comm.rank(), nbytes);
+      const Off mine = holey && comm.rank() == P - 1 ? 0 : nbytes;
+      EXPECT_EQ(f.write_at_all(0, stream.data(), mine, dt::byte()), mine);
+      skipped.fetch_add(f.last_stats().preread_skipped_windows);
+    });
+    return skipped.load();
+  };
+  EXPECT_GT(run(false, MergeContig::Auto), 0u);
+  EXPECT_EQ(run(true, MergeContig::Auto), 0u);
+  EXPECT_EQ(run(false, MergeContig::Off), 0u);
+}
+
+TEST_P(CollectiveBehaviors, DenseDisjointBypassSkipsExchange) {
+  // Every rank's restriction is one contiguous extent (dense filetype,
+  // per-rank displacement): the collective must bypass pack+alltoall and
+  // write directly, flagging merge_contig in the stats.
+  const int P = 3;
+  const Off n = 64;
+  auto fs = pfs::MemFile::create();
+  std::atomic<int> bypassed{0};
+  std::atomic<Off> data_sent{0};
+  sim::Runtime::run(P, [&](sim::Comm& comm) {
+    Options o;
+    o.method = GetParam();
+    o.file_buffer_size = 32;
+    File f = File::open(comm, fs, o);
+    f.set_view(comm.rank() * n, dt::byte(), dt::byte());
+    const ByteVec stream = payload_stream(comm.rank(), n);
+    EXPECT_EQ(f.write_at_all(0, stream.data(), n, dt::byte()), n);
+    bypassed.fetch_add(f.last_stats().merge_contig ? 1 : 0);
+    data_sent.fetch_add(f.last_stats().data_bytes_sent);
+    ByteVec back(to_size(n));
+    EXPECT_EQ(f.read_at_all(0, back.data(), n, dt::byte()), n);
+    EXPECT_EQ(back, stream);
+  });
+  EXPECT_EQ(bypassed.load(), P);
+  EXPECT_EQ(data_sent.load(), 0);
+  // The file image is the concatenation of the per-rank payloads.
+  const ByteVec img = fs->contents();
+  ASSERT_EQ(img.size(), to_size(P * n));
+  for (int r = 0; r < P; ++r)
+    for (Off s = 0; s < n; ++s)
+      EXPECT_EQ(img[to_size(r * n + s)], iotest::payload_byte(r, s));
+}
+
 INSTANTIATE_TEST_SUITE_P(BothMethods, CollectiveBehaviors,
                          ::testing::Values(Method::ListBased,
                                            Method::Listless),

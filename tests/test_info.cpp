@@ -61,10 +61,23 @@ TEST(ApplyInfo, DataSievingStrategies) {
 }
 
 TEST(ApplyInfo, CbNodesAndMergeOpt) {
+  // llio_merge_opt is the deprecated alias of llio_merge_contig.
   Options o = apply_info(
       Info{{"cb_nodes", "2"}, {"llio_merge_opt", "disable"}}, {});
   EXPECT_EQ(o.io_procs, 2);
-  EXPECT_FALSE(o.collective_merge_opt);
+  EXPECT_EQ(o.merge_contig, MergeContig::Off);
+  o = apply_info(Info{{"llio_merge_opt", "enable"}}, {});
+  EXPECT_EQ(o.merge_contig, MergeContig::Auto);
+}
+
+TEST(ApplyInfo, MergeContigModes) {
+  EXPECT_EQ(apply_info(Info{{"llio_merge_contig", "off"}}, {}).merge_contig,
+            MergeContig::Off);
+  EXPECT_EQ(apply_info(Info{{"llio_merge_contig", "auto"}}, {}).merge_contig,
+            MergeContig::Auto);
+  EXPECT_EQ(apply_info(Info{{"llio_merge_contig", "force"}}, {}).merge_contig,
+            MergeContig::Force);
+  EXPECT_THROW(apply_info(Info{{"llio_merge_contig", "on"}}, {}), Error);
 }
 
 TEST(ApplyInfo, UnknownKeysIgnored) {
@@ -78,12 +91,14 @@ TEST(ApplyInfo, RoundTripThroughOptionsToInfo) {
   o.io_procs = 3;
   o.cb_write = false;
   o.ds_read = Sieving::Automatic;
+  o.merge_contig = MergeContig::Force;
   const Options back = apply_info(options_to_info(o), Options{});
   EXPECT_EQ(back.method, o.method);
   EXPECT_EQ(back.file_buffer_size, o.file_buffer_size);
   EXPECT_EQ(back.io_procs, o.io_procs);
   EXPECT_EQ(back.cb_write, o.cb_write);
   EXPECT_EQ(back.ds_read, o.ds_read);
+  EXPECT_EQ(back.merge_contig, o.merge_contig);
 }
 
 TEST(FileWithInfo, OpensAndReports) {

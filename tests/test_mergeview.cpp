@@ -1,0 +1,222 @@
+// Unit tests for the mergeview contiguity analysis (mpiio/mergeview):
+// the per-window k-way hole detector over fileviews and ol-lists, the
+// dense-disjoint bypass predicate, and the verdict cache.
+#include <gtest/gtest.h>
+
+#include "io_test_util.hpp"
+#include "mpiio/mergeview.hpp"
+
+namespace llio::mpiio {
+namespace {
+
+/// Contribution covering exactly the absolute file range [lo, hi).
+ViewContribution extent_contrib(Off lo, Off hi) {
+  return {dt::contiguous(hi - lo, dt::byte()), lo, 0, hi - lo};
+}
+
+TEST(AnalyzeViewDomain, ExactTilingIsDense) {
+  // Three ranks of the paper's noncontig pattern tile the file without
+  // holes: 8-byte blocks at stride 24, rank r displaced by r*8.
+  std::vector<ViewContribution> contribs;
+  for (int r = 0; r < 3; ++r)
+    contribs.push_back(
+        {iotest::noncontig_filetype(4, 8, 3, r), 0, 0, 32});
+  const DomainWindows dw = analyze_view_domain(0, 96, 32, contribs);
+  ASSERT_EQ(dw.dense.size(), 3u);
+  EXPECT_TRUE(dw.all_dense);
+  EXPECT_EQ(dw.dense_count(), 3);
+  EXPECT_TRUE(dw.dense_at(0));
+  EXPECT_TRUE(dw.dense_at(32));
+  EXPECT_TRUE(dw.dense_at(64));
+
+  // A window size that does not divide the domain: same verdicts.
+  const DomainWindows odd = analyze_view_domain(0, 96, 40, contribs);
+  ASSERT_EQ(odd.dense.size(), 3u);  // [0,40) [40,80) [80,96)
+  EXPECT_TRUE(odd.all_dense);
+}
+
+TEST(AnalyzeViewDomain, MissingRankLeavesEveryWindowHoley) {
+  // Only 2 of the 3 interleaved ranks participate: every third block is
+  // a hole, so no window is dense.
+  std::vector<ViewContribution> contribs;
+  for (int r = 0; r < 2; ++r)
+    contribs.push_back(
+        {iotest::noncontig_filetype(4, 8, 3, r), 0, 0, 32});
+  const DomainWindows dw = analyze_view_domain(0, 96, 32, contribs);
+  EXPECT_FALSE(dw.all_dense);
+  EXPECT_EQ(dw.dense_count(), 0);
+}
+
+TEST(AnalyzeViewDomain, OneByteHoleAtWindowBoundary) {
+  // Union covers [0, 64) except byte 32 — the first byte of window 1.
+  const std::vector<ViewContribution> contribs = {
+      extent_contrib(0, 32),
+      extent_contrib(33, 64),
+      extent_contrib(10, 30),
+  };
+  const DomainWindows dw = analyze_view_domain(0, 64, 32, contribs);
+  ASSERT_EQ(dw.dense.size(), 2u);
+  EXPECT_TRUE(dw.dense_at(0));
+  EXPECT_FALSE(dw.dense_at(32));
+  EXPECT_FALSE(dw.all_dense);
+}
+
+TEST(AnalyzeViewDomain, OverlapDoesNotMaskAHole) {
+  // The latent bug of a sum-based coverage test: contributions overlap,
+  // so their sizes sum to >= the window size, yet byte 63 is a hole.
+  // Only the exact k-way merge catches it.
+  const std::vector<ViewContribution> contribs = {
+      extent_contrib(32, 48),
+      extent_contrib(48, 63),
+      extent_contrib(40, 56),
+  };
+  const DomainWindows dw = analyze_view_domain(32, 64, 32, contribs);
+  ASSERT_EQ(dw.dense.size(), 1u);
+  EXPECT_FALSE(dw.dense_at(32));
+
+  // Plugging the hole flips the verdict.
+  auto plugged = contribs;
+  plugged.push_back(extent_contrib(56, 64));
+  EXPECT_TRUE(analyze_view_domain(32, 64, 32, plugged).all_dense);
+}
+
+TEST(AnalyzeViewDomain, HolesOnlyInOneDomain) {
+  // The same global access analyzed per IOP domain: the hole at [96, 100)
+  // lives entirely in the second domain and must not leak into the first.
+  const std::vector<ViewContribution> contribs = {
+      extent_contrib(0, 96),
+      extent_contrib(100, 128),
+  };
+  const DomainWindows d0 = analyze_view_domain(0, 64, 32, contribs);
+  EXPECT_TRUE(d0.all_dense);
+  const DomainWindows d1 = analyze_view_domain(64, 128, 32, contribs);
+  ASSERT_EQ(d1.dense.size(), 2u);
+  EXPECT_TRUE(d1.dense_at(64));
+  EXPECT_FALSE(d1.dense_at(96));
+}
+
+TEST(AnalyzeViewDomain, AccessRangeClampsTheView) {
+  // The fileview alone would tile the domain, but the rank only accesses
+  // the first 16 stream bytes: the tail windows are holey.
+  const std::vector<ViewContribution> contribs = {
+      {dt::contiguous(64, dt::byte()), 0, 0, 16},
+  };
+  const DomainWindows dw = analyze_view_domain(0, 64, 16, contribs);
+  ASSERT_EQ(dw.dense.size(), 4u);
+  EXPECT_TRUE(dw.dense_at(0));
+  EXPECT_FALSE(dw.dense_at(16));
+  EXPECT_FALSE(dw.dense_at(32));
+  EXPECT_FALSE(dw.dense_at(48));
+}
+
+TEST(AnalyzeViewDomain, NonParticipantsAreIgnored) {
+  std::vector<ViewContribution> contribs = {
+      extent_contrib(0, 64),
+      {dt::contiguous(64, dt::byte()), 0, 5, 5},  // s_hi == s_lo
+  };
+  const DomainWindows dw = analyze_view_domain(0, 64, 32, contribs);
+  EXPECT_TRUE(dw.all_dense);
+}
+
+TEST(AnalyzeTupleDomain, DenseAndHoleyUnions) {
+  using dt::OlTuple;
+  const std::vector<OlTuple> a = {{0, 16}, {32, 16}};
+  const std::vector<OlTuple> b = {{16, 16}, {48, 15}};  // byte 63 missing
+  const std::vector<OlTuple> overlap = {{40, 16}};      // sum >= size anyway
+  std::vector<std::span<const OlTuple>> lists = {a, b, overlap};
+  const DomainWindows dw = analyze_tuple_domain(0, 64, 32, lists);
+  ASSERT_EQ(dw.dense.size(), 2u);
+  EXPECT_TRUE(dw.dense_at(0));
+  EXPECT_FALSE(dw.dense_at(32));
+
+  const std::vector<OlTuple> plug = {{63, 1}};
+  std::vector<std::span<const OlTuple>> plugged = {a, b, overlap, plug};
+  EXPECT_TRUE(analyze_tuple_domain(0, 64, 32, plugged).all_dense);
+}
+
+TEST(AnalyzeTupleDomain, TuplesStraddlingWindowsAreSplit) {
+  using dt::OlTuple;
+  const std::vector<OlTuple> a = {{0, 50}};  // crosses the window edge
+  const std::vector<OlTuple> b = {{50, 14}};
+  std::vector<std::span<const OlTuple>> lists = {a, b};
+  const DomainWindows dw = analyze_tuple_domain(0, 64, 32, lists);
+  EXPECT_TRUE(dw.all_dense);
+}
+
+TEST(RangesDenseDisjoint, Predicate) {
+  auto range = [](Off s_lo, Off n, Off lo, Off hi) {
+    return AccessRange{s_lo, n, lo, hi};
+  };
+  // Dense and disjoint (a gap between extents is fine — it just stays
+  // untouched, exactly like the two-phase result).
+  EXPECT_TRUE(ranges_dense_disjoint({range(0, 64, 0, 64),
+                                     range(0, 64, 64, 128),
+                                     range(0, 32, 200, 232)}));
+  // Zero-participation ranks are ignored.
+  EXPECT_TRUE(ranges_dense_disjoint({range(0, 64, 0, 64),
+                                     range(0, 0, 999, 99999)}));
+  // A holey restriction (span wider than the byte count) disqualifies.
+  EXPECT_FALSE(ranges_dense_disjoint({range(0, 64, 0, 64),
+                                      range(0, 32, 64, 128)}));
+  // Overlapping extents disqualify (outcome would depend on ordering).
+  EXPECT_FALSE(ranges_dense_disjoint({range(0, 64, 0, 64),
+                                      range(0, 64, 32, 96)}));
+  // Nobody participating: nothing to bypass.
+  EXPECT_FALSE(ranges_dense_disjoint({range(0, 0, 0, 0)}));
+  EXPECT_FALSE(ranges_dense_disjoint({}));
+}
+
+TEST(MergeCacheTest, HitsMissesAndEpochInvalidation) {
+  MergeCache cache;
+  const std::vector<AccessRange> ranges = {{0, 64, 0, 64}, {64, 64, 64, 128}};
+  int computes = 0;
+  auto compute = [&] {
+    ++computes;
+    DomainWindows dw;
+    dw.lo = 0;
+    dw.hi = 128;
+    dw.win = 64;
+    dw.dense = {1, 1};
+    dw.all_dense = true;
+    return dw;
+  };
+  const auto key = [&](std::uint64_t epoch) {
+    return MergeCache::Key{epoch, 0, 128, 64, ranges};
+  };
+
+  EXPECT_TRUE(cache.get(key(1), compute).all_dense);
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  // Same epoch + key: served from cache.
+  EXPECT_TRUE(cache.get(key(1), compute).all_dense);
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  // A view change (new epoch) invalidates.
+  cache.get(key(2), compute);
+  EXPECT_EQ(computes, 2);
+
+  // Different access ranges miss too.
+  std::vector<AccessRange> other = ranges;
+  other[0].nbytes = 32;
+  cache.get(MergeCache::Key{2, 0, 128, 64, other}, compute);
+  EXPECT_EQ(computes, 3);
+}
+
+TEST(MergeCacheTest, EvictsLeastRecentlyUsed) {
+  MergeCache cache;
+  auto compute = [] { return DomainWindows{}; };
+  // Fill well past capacity with distinct domains …
+  for (Off i = 0; i < 12; ++i)
+    cache.get(MergeCache::Key{1, i * 100, i * 100 + 50, 50, {}}, compute);
+  const auto misses = cache.misses();
+  // … the newest key is still cached, the oldest has been evicted.
+  cache.get(MergeCache::Key{1, 1100, 1150, 50, {}}, compute);
+  EXPECT_EQ(cache.misses(), misses);
+  cache.get(MergeCache::Key{1, 0, 50, 50, {}}, compute);
+  EXPECT_EQ(cache.misses(), misses + 1);
+}
+
+}  // namespace
+}  // namespace llio::mpiio

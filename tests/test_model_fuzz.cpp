@@ -252,6 +252,86 @@ TEST_P(ModelFuzz, SingleRankCollectivesMatchTheModelAtBothDepths) {
   }
 }
 
+TEST_P(ModelFuzz, MultiRankCollectiveWritesIdenticalOffVsAuto) {
+  // Mergeview must be a pure optimization: with the analysis enabled
+  // (auto — elided pre-reads, dense-disjoint bypass) collective writes
+  // produce byte-identical file images to the always-pre-read baseline
+  // (off) — across overlapping random views, zero-participation ranks,
+  // and pre-existing file contents.
+  Rng rng(GetParam() + 31337u);
+  for (int episode = 0; episode < 3; ++episode) {
+    const int P = static_cast<int>(testutil::rnd(rng, 2, 4));
+    std::vector<dt::Type> fts;
+    std::vector<Off> disps;
+    for (int r = 0; r < P; ++r) {
+      fts.push_back(testutil::random_navigable_type(rng, 2));
+      // Small random displacements: the ranks' views overlap arbitrarily.
+      disps.push_back(testutil::rnd(rng, 0, 48));
+    }
+    struct Op {
+      std::vector<Off> offset, nbytes;
+      std::vector<unsigned> seed;
+    };
+    std::vector<Op> ops;
+    for (int i = 0; i < 6; ++i) {
+      Op op;
+      for (int r = 0; r < P; ++r) {
+        op.offset.push_back(testutil::rnd(rng, 0, 2 * fts[to_size(Off{r})]->size()));
+        // 1 in 4: this rank participates with zero bytes.
+        op.nbytes.push_back(testutil::rnd(rng, 0, 3) == 0
+                                ? 0
+                                : testutil::rnd(rng, 1, 3 * fts[to_size(Off{r})]->size()));
+        op.seed.push_back(static_cast<unsigned>(testutil::rnd(rng, 1, 1 << 20)));
+      }
+      ops.push_back(std::move(op));
+    }
+    const Off fbs = static_cast<Off>(testutil::rnd(rng, 1, 4)) * 64;
+
+    auto run = [&](Method m, int depth, MergeContig mode) {
+      auto fs = pfs::MemFile::create();
+      ByteVec old(2048);
+      for (std::size_t i = 0; i < old.size(); ++i)
+        old[i] = Byte{static_cast<unsigned char>(0xA0 + (i % 37))};
+      fs->pwrite(0, old);
+      sim::Runtime::run(P, [&](sim::Comm& comm) {
+        Options o;
+        o.method = m;
+        o.file_buffer_size = fbs;
+        o.pack_buffer_size = 64;
+        o.pipeline_depth = depth;
+        o.merge_contig = mode;
+        File f = File::open(comm, fs, o);
+        const int r = comm.rank();
+        f.set_view(disps[to_size(Off{r})], dt::byte(), fts[to_size(Off{r})]);
+        for (const Op& op : ops) {
+          const Off n = op.nbytes[to_size(Off{r})];
+          ByteVec payload(to_size(n));
+          for (Off j = 0; j < n; ++j)
+            payload[to_size(j)] = iotest::payload_byte(
+                static_cast<int>(op.seed[to_size(Off{r})] & 0xFF),
+                j + op.seed[to_size(Off{r})]);
+          f.write_at_all(op.offset[to_size(Off{r})], payload.data(), n,
+                         dt::byte());
+        }
+      });
+      return fs->contents();
+    };
+
+    for (Method m : {Method::ListBased, Method::Listless}) {
+      for (int depth : {0, 2}) {
+        ByteVec off_img = run(m, depth, MergeContig::Off);
+        ByteVec auto_img = run(m, depth, MergeContig::Auto);
+        const std::size_t len = std::max(off_img.size(), auto_img.size());
+        off_img.resize(len, Byte{0});
+        auto_img.resize(len, Byte{0});
+        EXPECT_EQ(off_img, auto_img)
+            << method_name(m) << " depth " << depth << " episode " << episode
+            << " seed " << GetParam();
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ModelFuzz,
                          ::testing::Values(101u, 202u, 303u, 404u, 505u));
 

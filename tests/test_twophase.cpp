@@ -2,6 +2,8 @@
 // exchange), the View machinery, and the OlWalker baseline primitive.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "io_test_util.hpp"
 #include "listio/ol_walker.hpp"
 #include "mpiio/twophase.hpp"
@@ -54,6 +56,53 @@ TEST(PartitionDomains, SingleIop) {
 TEST(PartitionDomains, RejectsBadArguments) {
   EXPECT_THROW(partition_domains(GlobalRange{}, 0, 64), Error);
   EXPECT_THROW(partition_domains(GlobalRange{}, 2, 0), Error);
+}
+
+// Regression: the chunk computation used to overflow Off for ranges near
+// the type maximum (round_up(ceil_div(total, niops), align) wrapped
+// negative), which produced empty *leading* domains and dropped coverage
+// of the tail of the range.
+TEST(PartitionDomains, HugeRangeNearOffMaxDoesNotOverflow) {
+  const Off max = std::numeric_limits<Off>::max();
+  GlobalRange g{0, max - 1, true};
+  const auto doms = partition_domains(g, 3, 1 << 20);
+  ASSERT_EQ(doms.size(), 3u);
+  Off at = g.lo;
+  for (const Domain& d : doms) {
+    if (d.empty()) continue;
+    EXPECT_EQ(d.lo, at);
+    at = d.hi;
+  }
+  EXPECT_EQ(at, g.hi);  // full coverage, nothing dropped
+}
+
+// Invariant the IOP loops rely on: every empty domain trails every
+// non-empty one, across alignments larger and smaller than the range.
+TEST(PartitionDomains, EmptyDomainsOnlyTrail) {
+  const Off aligns[] = {1, 64, 1000, 4096, Off{1} << 40};
+  const Off totals[] = {1, 63, 64, 65, 1000, (Off{1} << 41) + 17};
+  for (const Off align : aligns) {
+    for (const Off total : totals) {
+      for (const int niops : {1, 2, 3, 7}) {
+        GlobalRange g{100, 100 + total, true};
+        const auto doms = partition_domains(g, niops, align);
+        bool seen_empty = false;
+        Off at = g.lo;
+        for (const Domain& d : doms) {
+          if (d.empty()) {
+            seen_empty = true;
+            continue;
+          }
+          EXPECT_FALSE(seen_empty)
+              << "empty domain precedes a non-empty one: total=" << total
+              << " align=" << align << " niops=" << niops;
+          EXPECT_EQ(d.lo, at);
+          at = d.hi;
+        }
+        EXPECT_EQ(at, g.hi);
+      }
+    }
+  }
 }
 
 TEST(GlobalRangeOf, SkipsEmptyParticipants) {
