@@ -123,7 +123,7 @@ Point run_point(const std::string& workload, bool striped,
         static_cast<long>(f.last_stats().preread_skipped_windows));
     analysis_ns.fetch_add(
         static_cast<long>(f.last_stats().merge_analysis_s * 1e9));
-    if (f.last_stats().merge_contig) contig.fetch_add(1);
+    if (f.last_stats().merge_contig_ops > 0) contig.fetch_add(1);
   });
 
   Point p;

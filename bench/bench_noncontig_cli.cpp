@@ -14,6 +14,11 @@
 //     --hint K=V      MPI_Info hint applied to the open (repeatable),
 //                     e.g. --hint romio_ds_write=disable
 //     --stats         print the per-op stats breakdown (format_stats)
+//     --explain       trace the run (llio_trace=spans, llio_metrics=on,
+//                     repeats pinned to 1 so the trace covers exactly the
+//                     measured op) and print the pipeline timeline
+//                     breakdown (obs::explain_pipeline) plus a
+//                     reconciliation against the op stats
 //
 // Prints B_pp plus the overhead decomposition (ol-list bytes shipped,
 // copy/exchange/file time shares).
@@ -21,6 +26,7 @@
 #include <string>
 
 #include "bench_common.hpp"
+#include "obs/explain.hpp"
 
 using namespace llio;
 using namespace llio::bench;
@@ -38,6 +44,7 @@ struct CliArgs {
   bool do_write = true;
   bool do_read = true;
   bool stats = false;
+  bool explain = false;
   mpiio::Info hints;
 };
 
@@ -46,7 +53,7 @@ struct CliArgs {
                "usage: bench_noncontig_cli [--method list|listless|both] "
                "[--nblock N] [--sblock N] [--procs N] [--target-kb N] "
                "[--collective] [--combo nc-nc|nc-c|c-nc|c-c] "
-               "[--read] [--write] [--hint K=V] [--stats]\n");
+               "[--read] [--write] [--hint K=V] [--stats] [--explain]\n");
   std::exit(2);
 }
 
@@ -73,6 +80,7 @@ CliArgs parse(int argc, char** argv) {
       a.hints.set(kv.substr(0, eq), kv.substr(eq + 1));
     }
     else if (arg == "--stats") a.stats = true;
+    else if (arg == "--explain") a.explain = true;
     else if (arg == "--read") { if (!rw_explicit) a.do_write = false; a.do_read = true; rw_explicit = true; }
     else if (arg == "--write") { if (!rw_explicit) a.do_read = false; a.do_write = true; rw_explicit = true; }
     else usage();
@@ -99,6 +107,18 @@ void run_one(const CliArgs& a, mpiio::Method m, bool write) {
   cfg.target_bytes_pp = a.target_kb * 1024;
   cfg.min_seconds = env_double("LLIO_BENCH_MIN_SECONDS", 0.2);
   cfg.hints = a.hints;
+  if (a.explain) {
+    // One measured op, traced: the trace then reconciles with the folded
+    // last_stats() the bench reports (run_noncontig clears the tracer and
+    // the metrics registry right before the measured loop).
+    cfg.min_seconds = 0;
+    // Default-enable; never downgrade a level already set via a --hint or
+    // the LLIO_TRACE / LLIO_METRICS environment.
+    if (!cfg.hints.get("llio_trace") && !obs::trace_enabled())
+      cfg.hints.set("llio_trace", "spans");
+    if (!cfg.hints.get("llio_metrics") && !obs::metrics_enabled())
+      cfg.hints.set("llio_metrics", "on");
+  }
   const BenchPoint p = run_noncontig(cfg);
   std::printf("%-10s %-5s  Bpp %10s   payload/proc %s  repeats %d  "
               "ol-list bytes/op %lld\n",
@@ -106,8 +126,25 @@ void run_one(const CliArgs& a, mpiio::Method m, bool write) {
               fmt_mbps(p.mbps_pp()).c_str(),
               human_bytes(p.bytes_pp).c_str(), p.repeats,
               static_cast<long long>(p.list_bytes_sent));
+  std::printf(
+      "json:{\"bench\":\"noncontig_cli\",\"method\":\"%s\",\"op\":\"%s\","
+      "\"mbps_pp\":%.3f,\"repeats\":%d%s}\n",
+      mpiio::method_name(m), write ? "write" : "read", p.mbps_pp(),
+      p.repeats, p.latency_json().c_str());
   if (a.stats)
     std::printf("%s", mpiio::format_stats(p.op_stats).c_str());
+  if (a.explain) {
+    const auto report =
+        obs::explain_pipeline(obs::Tracer::instance().snapshot());
+    std::printf("%s", obs::format_pipeline_report(report).c_str());
+    // Reconcile the trace-derived totals with the engine's own stats.
+    const double trace_wait_s = report.io_wait_us / 1e6;
+    const double trace_overlap_s = report.overlap_us / 1e6;
+    std::printf("reconcile: io_wait %.4fs (stats %.4fs)  overlap %.4fs "
+                "(stats %.4fs)\n",
+                trace_wait_s, p.op_stats.io_wait_s, trace_overlap_s,
+                p.op_stats.overlap_s);
+  }
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include "mpiio/pipeline.hpp"
 #include "mpiio/sieve.hpp"
 #include "mpiio/twophase.hpp"
+#include "obs/trace.hpp"
 
 namespace llio::core {
 
@@ -108,9 +109,14 @@ Off ListlessEngine::do_write_at_all(Off stream_lo, const void* buf, Off count,
     mine.abs_hi = view_.disp + nav_->stream_to_file_end(stream_lo + nbytes);
   }
   StopWatch xw;
-  xw.start();
-  auto ranges = mpiio::exchange_ranges(*comm_, mine);
-  xw.stop();
+  std::vector<AccessRange> ranges;
+  {
+    obs::Span span("exchange");
+    span.arg("what", "ranges");
+    xw.start();
+    ranges = mpiio::exchange_ranges(*comm_, mine);
+    xw.stop();
+  }
   stats_.exchange_s += xw.seconds();
 
   const auto g = mpiio::global_range(ranges);
@@ -131,7 +137,7 @@ Off ListlessEngine::do_write_at_all(Off stream_lo, const void* buf, Off count,
       mpiio::dense_write(ctx, mine.abs_lo, nbytes, *m);
     }
     comm_->barrier();
-    stats_.merge_contig = true;
+    ++stats_.merge_contig_ops;
     return nbytes;  // dense_write already counted bytes_moved
   }
 
@@ -143,6 +149,8 @@ Off ListlessEngine::do_write_at_all(Off stream_lo, const void* buf, Off count,
   if (nbytes > 0) mover = make_mover(buf, count, mt);
   std::vector<ByteVec> outgoing(to_size(Off{p}));
   if (nbytes > 0) {
+    obs::Span span("pack");
+    span.arg("what", "phase1_gather");
     for (int i = 0; i < niops; ++i) {
       const Domain& d = domains[to_size(Off{i})];
       const Off lo = std::max(d.lo, mine.abs_lo);
@@ -167,9 +175,14 @@ Off ListlessEngine::do_write_at_all(Off stream_lo, const void* buf, Off count,
     }
   }
   xw.reset();
-  xw.start();
-  auto incoming = comm_->alltoall(std::move(outgoing), sim::MsgClass::Data);
-  xw.stop();
+  std::vector<ByteVec> incoming;
+  {
+    obs::Span span("exchange");
+    span.arg("what", "data");
+    xw.start();
+    incoming = comm_->alltoall(std::move(outgoing), sim::MsgClass::Data);
+    xw.stop();
+  }
   stats_.exchange_s += xw.seconds();
 
   // Phase 2 (IOP side): patch file blocks with the received stream slices
@@ -185,6 +198,7 @@ Off ListlessEngine::do_write_at_all(Off stream_lo, const void* buf, Off count,
     const MergeContig mode = opts_.merge_contig;
     const mpiio::DomainWindows* verdict = nullptr;
     if (mode == MergeContig::Auto) {
+      obs::Span span("merge_analysis");
       StopWatch mw;
       mw.start();
       verdict = &merge_cache_.get(
@@ -264,6 +278,9 @@ Off ListlessEngine::do_write_at_all(Off stream_lo, const void* buf, Off count,
     auto fill = [&](const mpiio::WindowPlan& plan, ByteSpan fbuf) {
       std::vector<Slice> slices = std::move(queued.front());
       queued.pop_front();
+      obs::Span span("pack");
+      span.arg("win", plan.index);
+      span.arg("slices", to_off(slices.size()));
       StopWatch cw;
       cw.start();
       for (const Slice& sl : slices) {
@@ -300,9 +317,14 @@ Off ListlessEngine::do_read_at_all(Off stream_lo, void* buf, Off count,
     mine.abs_hi = view_.disp + nav_->stream_to_file_end(stream_lo + nbytes);
   }
   StopWatch xw;
-  xw.start();
-  auto ranges = mpiio::exchange_ranges(*comm_, mine);
-  xw.stop();
+  std::vector<AccessRange> ranges;
+  {
+    obs::Span span("exchange");
+    span.arg("what", "ranges");
+    xw.start();
+    ranges = mpiio::exchange_ranges(*comm_, mine);
+    xw.stop();
+  }
   stats_.exchange_s += xw.seconds();
 
   const auto g = mpiio::global_range(ranges);
@@ -333,9 +355,14 @@ Off ListlessEngine::do_read_at_all(Off stream_lo, void* buf, Off count,
     }
   }
   xw.reset();
-  xw.start();
-  auto reqs = comm_->alltoall(std::move(requests), sim::MsgClass::Meta);
-  xw.stop();
+  std::vector<ByteVec> reqs;
+  {
+    obs::Span span("exchange");
+    span.arg("what", "requests");
+    xw.start();
+    reqs = comm_->alltoall(std::move(requests), sim::MsgClass::Meta);
+    xw.stop();
+  }
   stats_.exchange_s += xw.seconds();
 
   // Phase 2 (IOP side): read my domain blockwise, gather each AP's slice
@@ -397,6 +424,9 @@ Off ListlessEngine::do_read_at_all(Off stream_lo, void* buf, Off count,
     auto fill = [&](const mpiio::WindowPlan& plan, ByteSpan fbuf) {
       std::vector<Slice> slices = std::move(queued.front());
       queued.pop_front();
+      obs::Span span("pack");
+      span.arg("win", plan.index);
+      span.arg("slices", to_off(slices.size()));
       StopWatch cw;
       cw.start();
       for (const Slice& sl : slices) {
@@ -412,14 +442,21 @@ Off ListlessEngine::do_read_at_all(Off stream_lo, void* buf, Off count,
     for (const Req& rq : active) stats_.data_bytes_sent += rq.s_hi - rq.s_lo;
   }
   xw.reset();
-  xw.start();
-  auto incoming = comm_->alltoall(std::move(replies), sim::MsgClass::Data);
-  xw.stop();
+  std::vector<ByteVec> incoming;
+  {
+    obs::Span span("exchange");
+    span.arg("what", "data");
+    xw.start();
+    incoming = comm_->alltoall(std::move(replies), sim::MsgClass::Data);
+    xw.stop();
+  }
   stats_.exchange_s += xw.seconds();
 
   // Phase 3 (AP side): unpack each IOP's reply into the user buffer.
   if (nbytes > 0) {
     auto mover = make_mover(buf, count, mt);
+    obs::Span span("pack");
+    span.arg("what", "phase3_unpack");
     StopWatch cw;
     cw.start();
     for (int i = 0; i < niops; ++i) {

@@ -1,6 +1,7 @@
 #include "dtype/flatten.hpp"
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace llio::dt {
 
@@ -91,6 +92,8 @@ void walk(const Node& n, Off base, std::vector<OlTuple>& out, bool coalesce) {
 
 OlList flatten(const Type& t, bool coalesce) {
   LLIO_REQUIRE(t != nullptr, Errc::InvalidDatatype, "flatten: null type");
+  obs::Span span("flatten", obs::TraceLevel::Full);
+  span.arg("blocks", t->block_count());
   std::vector<OlTuple> out;
   if (t->block_count() > 0)
     out.reserve(static_cast<std::size_t>(t->block_count()));

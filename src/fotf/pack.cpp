@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace llio::fotf {
 
@@ -110,6 +111,8 @@ Off transfer_unpack(SegmentCursor& cur, Byte* typed_base, Off mem_bias,
 Off ff_pack_window(const void* window_buf, Off mem_bias, Off count,
                    const Type& datatype, Off skipbytes, void* packbuf,
                    Off packsize) {
+  obs::Span span("ff_pack", obs::TraceLevel::Full);
+  span.arg("bytes", packsize);
   SegmentCursor cur(datatype, count);
   LLIO_REQUIRE(skipbytes >= 0, Errc::InvalidArgument, "negative skipbytes");
   cur.seek(std::min(skipbytes, cur.total_bytes()));
@@ -120,6 +123,8 @@ Off ff_pack_window(const void* window_buf, Off mem_bias, Off count,
 Off ff_unpack_window(const void* packbuf, Off packsize, void* window_buf,
                      Off mem_bias, Off count, const Type& datatype,
                      Off skipbytes) {
+  obs::Span span("ff_unpack", obs::TraceLevel::Full);
+  span.arg("bytes", packsize);
   SegmentCursor cur(datatype, count);
   LLIO_REQUIRE(skipbytes >= 0, Errc::InvalidArgument, "negative skipbytes");
   cur.seek(std::min(skipbytes, cur.total_bytes()));

@@ -11,6 +11,7 @@
 #include "mpiio/pipeline.hpp"
 #include "mpiio/sieve.hpp"
 #include "mpiio/twophase.hpp"
+#include "obs/trace.hpp"
 
 namespace llio::listio {
 
@@ -136,6 +137,7 @@ std::vector<ListEngine::ClippedList> ListEngine::clip_lists(
   // The N_coll expansion (§2.3): walk my access tuple by tuple across
   // filetype instances and clip every block against the IOP domains.
   // Cost and memory are O(S_access / S_extent * N_block) in total.
+  obs::Span span("list_build");
   WallTimer t;
   std::vector<ClippedList> out(doms.size());
   for (auto& cl : out) cl.s_lo = cl.s_hi = -1;
@@ -212,9 +214,14 @@ Off ListEngine::do_write_at_all(Off stream_lo, const void* buf, Off count,
     mine.abs_hi = view_.disp + nav_->stream_to_file_end(stream_lo + nbytes);
   }
   StopWatch xw;
-  xw.start();
-  auto ranges = mpiio::exchange_ranges(*comm_, mine);
-  xw.stop();
+  std::vector<AccessRange> ranges;
+  {
+    obs::Span span("exchange");
+    span.arg("what", "ranges");
+    xw.start();
+    ranges = mpiio::exchange_ranges(*comm_, mine);
+    xw.stop();
+  }
   stats_.exchange_s += xw.seconds();
 
   const auto g = mpiio::global_range(ranges);
@@ -235,7 +242,7 @@ Off ListEngine::do_write_at_all(Off stream_lo, const void* buf, Off count,
       mpiio::dense_write(ctx, mine.abs_lo, nbytes, *m);
     }
     comm_->barrier();
-    stats_.merge_contig = true;
+    ++stats_.merge_contig_ops;
     return nbytes;  // dense_write already counted bytes_moved
   }
 
@@ -258,9 +265,14 @@ Off ListEngine::do_write_at_all(Off stream_lo, const void* buf, Off count,
     stats_.list_bytes_sent += to_off(cl.tuples.size() * sizeof(dt::OlTuple));
   }
   xw.reset();
-  xw.start();
-  auto meta_in = comm_->alltoall(std::move(meta), sim::MsgClass::Meta);
-  xw.stop();
+  std::vector<ByteVec> meta_in;
+  {
+    obs::Span span("exchange");
+    span.arg("what", "lists");
+    xw.start();
+    meta_in = comm_->alltoall(std::move(meta), sim::MsgClass::Meta);
+    xw.stop();
+  }
   stats_.exchange_s += xw.seconds();
 
   // ... and the corresponding data slices (Data), packed via the
@@ -268,22 +280,31 @@ Off ListEngine::do_write_at_all(Off stream_lo, const void* buf, Off count,
   std::unique_ptr<mpiio::StreamMover> mover;
   if (nbytes > 0) mover = make_mover(buf, count, mt);
   std::vector<ByteVec> data_out(to_size(Off{p}));
-  for (int i = 0; i < niops; ++i) {
-    const ClippedList& cl = clipped[to_size(Off{i})];
-    if (cl.tuples.empty()) continue;
-    ByteVec& msg = data_out[to_size(Off{i})];
-    msg.resize(to_size(cl.s_hi - cl.s_lo));
-    StopWatch cw;
-    cw.start();
-    mover->to_stream(msg.data(), cl.s_lo - stream_lo, cl.s_hi - cl.s_lo);
-    cw.stop();
-    stats_.copy_s += cw.seconds();
-    stats_.data_bytes_sent += cl.s_hi - cl.s_lo;
+  {
+    obs::Span span("pack");
+    span.arg("what", "phase1_pack");
+    for (int i = 0; i < niops; ++i) {
+      const ClippedList& cl = clipped[to_size(Off{i})];
+      if (cl.tuples.empty()) continue;
+      ByteVec& msg = data_out[to_size(Off{i})];
+      msg.resize(to_size(cl.s_hi - cl.s_lo));
+      StopWatch cw;
+      cw.start();
+      mover->to_stream(msg.data(), cl.s_lo - stream_lo, cl.s_hi - cl.s_lo);
+      cw.stop();
+      stats_.copy_s += cw.seconds();
+      stats_.data_bytes_sent += cl.s_hi - cl.s_lo;
+    }
   }
   xw.reset();
-  xw.start();
-  auto data_in = comm_->alltoall(std::move(data_out), sim::MsgClass::Data);
-  xw.stop();
+  std::vector<ByteVec> data_in;
+  {
+    obs::Span span("exchange");
+    span.arg("what", "data");
+    xw.start();
+    data_in = comm_->alltoall(std::move(data_out), sim::MsgClass::Data);
+    xw.stop();
+  }
   stats_.exchange_s += xw.seconds();
 
   // IOP phase 2: merge lists per block, patch and write back.
@@ -307,6 +328,7 @@ Off ListEngine::do_write_at_all(Off stream_lo, const void* buf, Off count,
     const MergeContig mode = opts_.merge_contig;
     const mpiio::DomainWindows* verdict = nullptr;
     if (mode == MergeContig::Auto) {
+      obs::Span span("merge_analysis");
       StopWatch mw;
       mw.start();
       verdict = &merge_cache_.get(
@@ -351,6 +373,9 @@ Off ListEngine::do_write_at_all(Off stream_lo, const void* buf, Off count,
     auto fill = [&](const mpiio::WindowPlan& plan, ByteSpan fbuf) {
       std::vector<WinSpan> spans = std::move(queued.front());
       queued.pop_front();
+      obs::Span span("pack");
+      span.arg("win", plan.index);
+      span.arg("spans", to_off(spans.size()));
       StopWatch cw;
       cw.start();
       for (const WinSpan& sp : spans) {
@@ -387,9 +412,14 @@ Off ListEngine::do_read_at_all(Off stream_lo, void* buf, Off count,
     mine.abs_hi = view_.disp + nav_->stream_to_file_end(stream_lo + nbytes);
   }
   StopWatch xw;
-  xw.start();
-  auto ranges = mpiio::exchange_ranges(*comm_, mine);
-  xw.stop();
+  std::vector<AccessRange> ranges;
+  {
+    obs::Span span("exchange");
+    span.arg("what", "ranges");
+    xw.start();
+    ranges = mpiio::exchange_ranges(*comm_, mine);
+    xw.stop();
+  }
   stats_.exchange_s += xw.seconds();
 
   const auto g = mpiio::global_range(ranges);
@@ -416,9 +446,14 @@ Off ListEngine::do_read_at_all(Off stream_lo, void* buf, Off count,
     stats_.list_bytes_sent += to_off(cl.tuples.size() * sizeof(dt::OlTuple));
   }
   xw.reset();
-  xw.start();
-  auto meta_in = comm_->alltoall(std::move(meta), sim::MsgClass::Meta);
-  xw.stop();
+  std::vector<ByteVec> meta_in;
+  {
+    obs::Span span("exchange");
+    span.arg("what", "lists");
+    xw.start();
+    meta_in = comm_->alltoall(std::move(meta), sim::MsgClass::Meta);
+    xw.stop();
+  }
   stats_.exchange_s += xw.seconds();
 
   // IOP phase 2: read blocks, gather each AP's tuples into its reply.
@@ -460,6 +495,9 @@ Off ListEngine::do_read_at_all(Off stream_lo, void* buf, Off count,
     auto fill = [&](const mpiio::WindowPlan& plan, ByteSpan fbuf) {
       std::vector<WinSpan> spans = std::move(queued.front());
       queued.pop_front();
+      obs::Span span("pack");
+      span.arg("win", plan.index);
+      span.arg("spans", to_off(spans.size()));
       StopWatch cw;
       cw.start();
       for (const WinSpan& sp : spans) {
@@ -473,14 +511,21 @@ Off ListEngine::do_read_at_all(Off stream_lo, void* buf, Off count,
                                std::min(fbs, dom.hi - dom.lo), next, fill);
   }
   xw.reset();
-  xw.start();
-  auto data_in = comm_->alltoall(std::move(replies), sim::MsgClass::Data);
-  xw.stop();
+  std::vector<ByteVec> data_in;
+  {
+    obs::Span span("exchange");
+    span.arg("what", "data");
+    xw.start();
+    data_in = comm_->alltoall(std::move(replies), sim::MsgClass::Data);
+    xw.stop();
+  }
   stats_.exchange_s += xw.seconds();
 
   // AP phase 3: unpack replies through the memtype ol-list.
   if (nbytes > 0) {
     auto mover = make_mover(buf, count, mt);
+    obs::Span span("pack");
+    span.arg("what", "phase3_unpack");
     StopWatch cw;
     cw.start();
     for (int i = 0; i < niops; ++i) {

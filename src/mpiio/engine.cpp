@@ -3,6 +3,7 @@
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "mpiio/sieve.hpp"
+#include "obs/trace.hpp"
 
 namespace llio::mpiio {
 
@@ -89,11 +90,12 @@ std::unique_ptr<StreamMover> IoEngine::make_mover(const void* buf, Off count,
 
 namespace {
 /// Times the whole operation into stats.total_s and folds the finished
-/// per-op record into the cumulative counters.
+/// per-op record into the cumulative counters.  Also opens a trace span
+/// covering the operation on the calling rank's track.
 class OpTimer {
  public:
-  OpTimer(IoOpStats& stats, IoOpStats& cumulative)
-      : stats_(stats), cumulative_(cumulative) {
+  OpTimer(const char* op, IoOpStats& stats, IoOpStats& cumulative)
+      : stats_(stats), cumulative_(cumulative), span_(op) {
     stats_ = IoOpStats{};
   }
   ~OpTimer() {
@@ -105,6 +107,7 @@ class OpTimer {
   IoOpStats& stats_;
   IoOpStats& cumulative_;
   WallTimer timer_;
+  obs::Span span_;
 };
 }  // namespace
 
@@ -112,7 +115,7 @@ Off IoEngine::read_at(Off offset_etypes, void* buf, Off count,
                       const dt::Type& mt) {
   const Off stream_lo = check_access(offset_etypes, buf, count, mt);
   std::lock_guard op_lock(op_mu_);
-  OpTimer op(stats_, cumulative_);
+  OpTimer op("read_at", stats_, cumulative_);
   return do_read_at(stream_lo, buf, count, mt);
 }
 
@@ -120,7 +123,7 @@ Off IoEngine::write_at(Off offset_etypes, const void* buf, Off count,
                        const dt::Type& mt) {
   const Off stream_lo = check_access(offset_etypes, buf, count, mt);
   std::lock_guard op_lock(op_mu_);
-  OpTimer op(stats_, cumulative_);
+  OpTimer op("write_at", stats_, cumulative_);
   return do_write_at(stream_lo, buf, count, mt);
 }
 
@@ -128,7 +131,7 @@ Off IoEngine::read_at_all(Off offset_etypes, void* buf, Off count,
                           const dt::Type& mt) {
   const Off stream_lo = check_access(offset_etypes, buf, count, mt);
   std::lock_guard op_lock(op_mu_);
-  OpTimer op(stats_, cumulative_);
+  OpTimer op("read_at_all", stats_, cumulative_);
   return do_read_at_all(stream_lo, buf, count, mt);
 }
 
@@ -136,7 +139,7 @@ Off IoEngine::write_at_all(Off offset_etypes, const void* buf, Off count,
                            const dt::Type& mt) {
   const Off stream_lo = check_access(offset_etypes, buf, count, mt);
   std::lock_guard op_lock(op_mu_);
-  OpTimer op(stats_, cumulative_);
+  OpTimer op("write_at_all", stats_, cumulative_);
   return do_write_at_all(stream_lo, buf, count, mt);
 }
 

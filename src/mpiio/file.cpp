@@ -6,6 +6,9 @@
 #include "common/error.hpp"
 #include "core/listless_engine.hpp"
 #include "listio/list_engine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "pfs/traced_file.hpp"
 
 namespace llio::mpiio {
 
@@ -93,6 +96,20 @@ File::~File() = default;
 File File::open(sim::Comm& comm, pfs::FilePtr backend, const Options& opts) {
   LLIO_REQUIRE(backend != nullptr, Errc::InvalidArgument,
                "open: null backend");
+  // Observability hints act on the process-global tracer/registry.  All
+  // ranks of a collective open carry the same Options, so the repeated
+  // stores are idempotent.
+  if (opts.trace) obs::Tracer::instance().set_level(*opts.trace);
+  if (opts.trace_file)
+    obs::Tracer::instance().set_output_path(*opts.trace_file);
+  if (opts.metrics) obs::set_metrics_enabled(*opts.metrics);
+  // Per-file-op observation needs the TracedFile decorator in the path.
+  // Wrapping is per-handle and forwards to the shared inner backend, so
+  // peers opening the same backend unwrapped stay coherent.
+  if ((obs::trace_enabled(obs::TraceLevel::Full) || obs::metrics_enabled()) &&
+      dynamic_cast<pfs::TracedFile*>(backend.get()) == nullptr) {
+    backend = pfs::TracedFile::wrap(std::move(backend));
+  }
   OpenShared shared = exchange_open_shared(comm);
   auto engine = make_engine(comm, backend, std::move(shared.locks), opts);
   engine->set_view(default_view());

@@ -96,6 +96,28 @@ Options apply_info(const Info& info, Options base) {
       LLIO_REQUIRE(n >= 1, Errc::InvalidArgument,
                    "hint llio_iov_batch_max: expected a count >= 1");
       base.iov_batch_max = n;
+    } else if (key == "llio_trace") {
+      if (value == "off")
+        base.trace = obs::TraceLevel::Off;
+      else if (value == "spans")
+        base.trace = obs::TraceLevel::Spans;
+      else if (value == "full")
+        base.trace = obs::TraceLevel::Full;
+      else
+        throw_error(Errc::InvalidArgument,
+                    "hint llio_trace: expected off/spans/full");
+    } else if (key == "llio_trace_file") {
+      LLIO_REQUIRE(!value.empty(), Errc::InvalidArgument,
+                   "hint llio_trace_file: empty path");
+      base.trace_file = value;
+    } else if (key == "llio_metrics") {
+      if (value == "on")
+        base.metrics = true;
+      else if (value == "off")
+        base.metrics = false;
+      else
+        throw_error(Errc::InvalidArgument,
+                    "hint llio_metrics: expected on/off");
     }
     // Unknown keys are ignored, as MPI_Info requires.
   }
@@ -129,6 +151,11 @@ Info options_to_info(const Options& o) {
   info.set("llio_merge_contig", merge_contig_name(o.merge_contig));
   info.set("llio_pipeline_depth", strprintf("%d", o.pipeline_depth));
   info.set("llio_iov_batch_max", strprintf("%lld", (long long)o.iov_batch_max));
+  // Observability hints appear only when explicitly set: unset means
+  // "leave the process-global tracer/registry alone".
+  if (o.trace) info.set("llio_trace", obs::trace_level_name(*o.trace));
+  if (o.trace_file) info.set("llio_trace_file", *o.trace_file);
+  if (o.metrics) info.set("llio_metrics", *o.metrics ? "on" : "off");
   return info;
 }
 

@@ -24,6 +24,14 @@
 //                        with gather/scatter)
 //   llio_iov_batch_max   max segments per vectored file access in the
 //                        direct (non-sieving) paths, count >= 1
+//   llio_trace           "off" | "spans" (engine phases, pipeline
+//                        windows) | "full" (adds per-file-op, comm, and
+//                        pack-kernel spans) — sets the process-global
+//                        tracer at open
+//   llio_trace_file      path the Chrome trace JSON is written to at
+//                        process exit
+//   llio_metrics         "on" | "off" — process-global metrics registry
+//                        (latency/size histograms, counters)
 //
 // Unknown keys are preserved but ignored (MPI_Info semantics).
 #pragma once

@@ -26,7 +26,8 @@ std::string format_stats(const IoOpStats& s) {
   out += strprintf("list memory      %lld B\n", (long long)s.list_mem_bytes);
   out += strprintf("preread skipped  %llu windows\n",
                    (unsigned long long)s.preread_skipped_windows);
-  out += strprintf("merge contig     %s\n", s.merge_contig ? "yes" : "no");
+  out += strprintf("merge contig     %llu ops\n",
+                   (unsigned long long)s.merge_contig_ops);
   return out;
 }
 

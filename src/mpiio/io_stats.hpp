@@ -33,8 +33,9 @@ struct IoOpStats {
   std::uint64_t preread_skipped_windows = 0;  ///< RMW pre-reads elided
   double merge_analysis_s = 0;  ///< time in the hole-freeness analysis
                                 ///< (~0 on a MergeCache hit)
-  bool merge_contig = false;    ///< dense-disjoint bypass taken: the
-                                ///< two-phase exchange was skipped
+  std::uint64_t merge_contig_ops = 0;  ///< operations that took the
+                                       ///< dense-disjoint bypass (the
+                                       ///< two-phase exchange was skipped)
 
   IoOpStats& operator+=(const IoOpStats& o) {
     total_s += o.total_s;
@@ -55,7 +56,7 @@ struct IoOpStats {
                                                        : o.list_mem_bytes;
     preread_skipped_windows += o.preread_skipped_windows;
     merge_analysis_s += o.merge_analysis_s;
-    merge_contig = merge_contig || o.merge_contig;
+    merge_contig_ops += o.merge_contig_ops;
     return *this;
   }
 };

@@ -1,7 +1,11 @@
 // Open-time options for an llio file handle.
 #pragma once
 
+#include <optional>
+#include <string>
+
 #include "common/bytes.hpp"
+#include "obs/trace.hpp"
 
 namespace llio::mpiio {
 
@@ -77,6 +81,17 @@ struct Options {
   /// Max number of segments coalesced into one vectored file access
   /// (preadv/pwritev) by the direct (non-sieving) access paths.
   Off iov_batch_max = 64;
+
+  /// Observability (hints llio_trace / llio_trace_file / llio_metrics).
+  /// The tracer and metrics registry are process-global; File::open
+  /// applies any value set here on top of the environment-seeded
+  /// defaults (LLIO_TRACE / LLIO_TRACE_FILE / LLIO_METRICS).  Unset =
+  /// leave the global setting alone.  When tracing sits at Full or
+  /// metrics are on, the backend is wrapped in a pfs::TracedFile so
+  /// individual file accesses are recorded.
+  std::optional<obs::TraceLevel> trace = std::nullopt;
+  std::optional<std::string> trace_file = std::nullopt;
+  std::optional<bool> metrics = std::nullopt;
 };
 
 const char* method_name(Method m) noexcept;

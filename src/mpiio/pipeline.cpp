@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pfs/range_lock.hpp"
 
 namespace llio::mpiio {
@@ -30,12 +32,16 @@ struct FileJobStats {
   std::uint64_t write_ops = 0;
 };
 
-FileJobStats read_job(pfs::FileBackend& file, Off lo, ByteSpan buf) {
+FileJobStats read_job(pfs::FileBackend& file, Off lo, ByteSpan buf,
+                      Off win) {
   FileJobStats s;
+  obs::Span span("preread");
   StopWatch w;
   w.start();
   const Off got = file.pread(lo, buf);
   w.stop();
+  span.arg("win", win);
+  span.arg("bytes", to_off(buf.size()));
   if (to_size(got) < buf.size())
     std::memset(buf.data() + got, 0, buf.size() - to_size(got));
   s.seconds = w.seconds();
@@ -44,12 +50,16 @@ FileJobStats read_job(pfs::FileBackend& file, Off lo, ByteSpan buf) {
   return s;
 }
 
-FileJobStats write_job(pfs::FileBackend& file, Off lo, ConstByteSpan buf) {
+FileJobStats write_job(pfs::FileBackend& file, Off lo, ConstByteSpan buf,
+                       Off win) {
   FileJobStats s;
+  obs::Span span("pwrite");
   StopWatch w;
   w.start();
   file.pwrite(lo, buf);
   w.stop();
+  span.arg("win", win);
+  span.arg("bytes", to_off(buf.size()));
   s.seconds = w.seconds();
   s.write_bytes = to_off(buf.size());
   s.write_ops = 1;
@@ -60,9 +70,18 @@ FileJobStats write_job(pfs::FileBackend& file, Off lo, ConstByteSpan buf) {
 class IoWorkerPool {
  public:
   explicit IoWorkerPool(int n) {
+    // Capture the owning rank on the compute thread so worker events
+    // land on that rank's track group (tid 1.., below the compute row).
+    const int owner = obs::current_pid();
     threads_.reserve(to_size(n));
     for (int i = 0; i < n; ++i)
-      threads_.emplace_back([this] { loop(); });
+      threads_.emplace_back([this, owner, i] {
+        std::optional<obs::ThreadTrackGuard> track;
+        if (owner >= 0)
+          track.emplace(owner, 1 + i, "",
+                        "io worker " + std::to_string(1 + i));
+        loop();
+      });
   }
 
   ~IoWorkerPool() {
@@ -113,8 +132,13 @@ void run_serial(SieveContext& ctx, Off buffer_bytes, const WindowSource& next,
                 const WindowFill& fill) {
   ByteVec buf(to_size(buffer_bytes));
   WindowPlan plan;
+  Off index = 0;
   while (next(plan)) {
+    plan.index = index++;
+    obs::Span span("window");
+    span.arg("win", plan.index);
     const Off win = plan.hi - plan.lo;
+    span.arg("bytes", win);
     if (plan.writeback && !plan.preread) ++ctx.stats.preread_skipped_windows;
     std::optional<pfs::ScopedRangeLock> lock;
     if (plan.lock) lock.emplace(ctx.locks, plan.lo, plan.hi);
@@ -145,6 +169,7 @@ void run_pipelined(SieveContext& ctx, int depth, Off buffer_bytes,
   std::deque<Flight> writing;  // write-back in flight
   FileJobStats worker;         // everything the workers did
   double wait_s = 0;           // compute-thread time blocked on a future
+  Off index = 0;               // sequential window number (for tracing)
   bool more = true;
   std::exception_ptr err;
 
@@ -153,6 +178,8 @@ void run_pipelined(SieveContext& ctx, int depth, Off buffer_bytes,
     // in; the wait doubles as the happens-before edge that hands the
     // buffer back to the compute thread.
     if (!fl.io.valid()) return;
+    obs::Span span("io_wait");
+    span.arg("win", fl.plan.index);
     StopWatch w;
     w.start();
     try {
@@ -188,6 +215,7 @@ void run_pipelined(SieveContext& ctx, int depth, Off buffer_bytes,
         err = std::current_exception();
         break;
       }
+      plan.index = index++;
       if (plan.writeback && !plan.preread)
         ++ctx.stats.preread_skipped_windows;
       Flight fl;
@@ -202,8 +230,9 @@ void run_pipelined(SieveContext& ctx, int depth, Off buffer_bytes,
         pfs::FileBackend& file = ctx.file;
         const ByteSpan span(bufs[fl.buf].data(), to_size(plan.hi - plan.lo));
         const Off lo = plan.lo;
-        fl.io =
-            pool.submit([&file, lo, span] { return read_job(file, lo, span); });
+        const Off win = plan.index;
+        fl.io = pool.submit(
+            [&file, lo, span, win] { return read_job(file, lo, span, win); });
       }
       pending.push_back(std::move(fl));
     }
@@ -219,6 +248,9 @@ void run_pipelined(SieveContext& ctx, int depth, Off buffer_bytes,
     // Fill the oldest window (waiting out its pre-read first).
     Flight fl = std::move(pending.front());
     pending.pop_front();
+    obs::Span win_span("window");
+    win_span.arg("win", fl.plan.index);
+    win_span.arg("bytes", fl.plan.hi - fl.plan.lo);
     settle(fl);
     if (!err) {
       try {
@@ -233,8 +265,9 @@ void run_pipelined(SieveContext& ctx, int depth, Off buffer_bytes,
       const ConstByteSpan span(bufs[fl.buf].data(),
                                to_size(fl.plan.hi - fl.plan.lo));
       const Off lo = fl.plan.lo;
-      fl.io =
-          pool.submit([&file, lo, span] { return write_job(file, lo, span); });
+      const Off win = fl.plan.index;
+      fl.io = pool.submit(
+          [&file, lo, span, win] { return write_job(file, lo, span, win); });
       writing.push_back(std::move(fl));
     } else {
       if (fl.locked) ctx.locks.unlock(fl.plan.lo, fl.plan.hi);
@@ -272,6 +305,14 @@ void run_pipelined(SieveContext& ctx, int depth, Off buffer_bytes,
   ctx.stats.file_write_ops += worker.write_ops;
   ctx.stats.io_wait_s += wait_s;
   ctx.stats.overlap_s += std::max(0.0, worker.seconds - wait_s);
+
+  if (obs::metrics_enabled()) {
+    obs::Registry& reg = obs::Registry::instance();
+    reg.histogram("pipeline.io_wait_us")
+        .record(static_cast<long long>(wait_s * 1e6));
+    reg.counter("pipeline.windows").add(static_cast<std::uint64_t>(index));
+    reg.counter("pipeline.runs").add(1);
+  }
 
   if (err) std::rethrow_exception(err);
 }

@@ -30,6 +30,12 @@ struct WindowPlan {
   bool preread = false;    ///< read-modify-write: load the window first
   bool writeback = false;  ///< write the window back after fill
   bool lock = false;       ///< hold the range lock across the window
+
+  /// Sequential window number, assigned by run_window_pipeline (the
+  /// engine's `next` need not set it).  Trace spans carry it as the
+  /// "win" argument so obs::explain_pipeline can correlate compute- and
+  /// worker-side slices of the same window.
+  Off index = -1;
 };
 
 /// Produce the next window (in file order); return false when done.

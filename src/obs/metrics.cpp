@@ -1,0 +1,234 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "common/format.hpp"
+
+namespace llio::obs {
+
+namespace {
+
+bool metrics_from_env() {
+  const char* v = std::getenv("LLIO_METRICS");
+  if (v == nullptr || *v == '\0') return false;
+  const std::string s = v;
+  return s == "on" || s == "1" || s == "true";
+}
+
+}  // namespace
+
+namespace detail {
+std::atomic<bool> g_metrics_enabled{metrics_from_env()};
+}
+
+void set_metrics_enabled(bool on) {
+  detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+// ---- histogram ---------------------------------------------------------
+
+namespace {
+
+/// Values < 16 map to their own bucket; above that, bucket = 16 +
+/// (msb - 4) * 4 + top-2-sub-bits.  Monotonic in v, 256 covers the full
+/// 64-bit range.
+int bucket_index(long long v) {
+  if (v < 0) v = 0;
+  const auto u = static_cast<unsigned long long>(v);
+  if (u < 16) return static_cast<int>(u);
+  const int msb = 63 - __builtin_clzll(u);
+  const int sub = static_cast<int>((u >> (msb - 2)) & 0x3);
+  const int idx = 16 + (msb - 4) * 4 + sub;
+  return std::min(idx, Histogram::kBuckets - 1);
+}
+
+/// Inclusive value range covered by a bucket.
+void bucket_bounds(int idx, long long& lo, long long& hi) {
+  if (idx < 16) {
+    lo = hi = idx;
+    return;
+  }
+  const int msb = 4 + (idx - 16) / 4;
+  const int sub = (idx - 16) % 4;
+  lo = (1LL << msb) + static_cast<long long>(sub) * (1LL << (msb - 2));
+  hi = lo + (1LL << (msb - 2)) - 1;
+}
+
+}  // namespace
+
+void Histogram::record(long long v) {
+  if (v < 0) v = 0;
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t n = count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  if (n == 0) {
+    // First recording initialises the extrema; racy seconds fix it below.
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+  }
+  long long cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based), then walk the cumulative
+  // distribution and interpolate inside the bucket that crosses it.
+  const double target = q * static_cast<double>(n);
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    const std::uint64_t prev = cum;
+    cum += c;
+    if (static_cast<double>(cum) >= target) {
+      long long lo = 0, hi = 0;
+      bucket_bounds(i, lo, hi);
+      const double frac =
+          (target - static_cast<double>(prev)) / static_cast<double>(c);
+      double v = static_cast<double>(lo) +
+                 frac * static_cast<double>(hi - lo);
+      v = std::max(v, static_cast<double>(min_.load(std::memory_order_relaxed)));
+      v = std::min(v, static_cast<double>(max_.load(std::memory_order_relaxed)));
+      return v;
+    }
+  }
+  return static_cast<double>(max_.load(std::memory_order_relaxed));
+}
+
+HistogramSummary Histogram::summary() const {
+  HistogramSummary s;
+  s.count = count_.load(std::memory_order_relaxed);
+  if (s.count == 0) return s;
+  s.mean = static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+           static_cast<double>(s.count);
+  s.p50 = quantile(0.50);
+  s.p95 = quantile(0.95);
+  s.p99 = quantile(0.99);
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+// ---- registry ----------------------------------------------------------
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // std::map: node-based, so references stay valid across inserts.
+  std::map<std::string, Counter> counters;
+  std::map<std::string, Gauge> gauges;
+  std::map<std::string, Histogram> histograms;
+};
+
+Registry::Registry() : impl_(new Impl) {}
+
+Registry& Registry::instance() {
+  static Registry* r = new Registry;  // leaked: see Tracer::instance
+  return *r;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard lock(impl_->mu);
+  return impl_->counters[name];
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard lock(impl_->mu);
+  return impl_->gauges[name];
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard lock(impl_->mu);
+  return impl_->histograms[name];
+}
+
+HistogramSummary Registry::histogram_summary(const std::string& name) const {
+  std::lock_guard lock(impl_->mu);
+  const auto it = impl_->histograms.find(name);
+  return it == impl_->histograms.end() ? HistogramSummary{}
+                                       : it->second.summary();
+}
+
+std::string Registry::to_json() const {
+  std::lock_guard lock(impl_->mu);
+  std::string out = "{";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ',';
+    first = false;
+  };
+  out += "\"counters\":{";
+  for (const auto& [name, c] : impl_->counters) {
+    sep();
+    out += strprintf("\"%s\":%llu", name.c_str(),
+                     static_cast<unsigned long long>(c.value()));
+  }
+  out += "},";
+  first = true;
+  out += "\"gauges\":{";
+  for (const auto& [name, g] : impl_->gauges) {
+    sep();
+    out += strprintf("\"%s\":%lld", name.c_str(), g.value());
+  }
+  out += "},";
+  first = true;
+  out += "\"histograms\":{";
+  for (const auto& [name, h] : impl_->histograms) {
+    sep();
+    const HistogramSummary s = h.summary();
+    out += strprintf(
+        "\"%s\":{\"count\":%llu,\"mean\":%.3f,\"p50\":%.3f,\"p95\":%.3f,"
+        "\"p99\":%.3f,\"min\":%lld,\"max\":%lld}",
+        name.c_str(), static_cast<unsigned long long>(s.count), s.mean,
+        s.p50, s.p95, s.p99, s.min, s.max);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string Registry::to_table() const {
+  std::lock_guard lock(impl_->mu);
+  std::string out;
+  for (const auto& [name, c] : impl_->counters)
+    out += strprintf("counter    %-36s %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(c.value()));
+  for (const auto& [name, g] : impl_->gauges)
+    out += strprintf("gauge      %-36s %lld\n", name.c_str(), g.value());
+  for (const auto& [name, h] : impl_->histograms) {
+    const HistogramSummary s = h.summary();
+    out += strprintf(
+        "histogram  %-36s n=%llu mean=%.1f p50=%.1f p95=%.1f p99=%.1f "
+        "min=%lld max=%lld\n",
+        name.c_str(), static_cast<unsigned long long>(s.count), s.mean,
+        s.p50, s.p95, s.p99, s.min, s.max);
+  }
+  return out;
+}
+
+void Registry::reset_values() {
+  std::lock_guard lock(impl_->mu);
+  for (auto& [name, c] : impl_->counters) c.reset();
+  for (auto& [name, g] : impl_->gauges) g.reset();
+  for (auto& [name, h] : impl_->histograms) h.reset();
+}
+
+}  // namespace llio::obs

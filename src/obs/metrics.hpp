@@ -1,0 +1,121 @@
+// Process-global metrics registry: counters, gauges, and log-linear
+// histograms with cheap quantile estimates (p50/p95/p99).
+//
+// Fed by the same instrumentation points as the tracer (TracedFile file
+// ops, the pipeline's wait path) but independent of it: metrics aggregate
+// across the whole run with O(1) memory, where the tracer records every
+// event.  Benches use the registry to put file-op latency quantiles into
+// their BENCH_*.json output instead of just means.
+//
+// Cost model: every recording site guards on metrics_enabled() — one
+// relaxed atomic load — and a recording is a handful of relaxed atomic
+// increments.  Object lookup by name takes a mutex; instrumentation
+// resolves its objects once and keeps references (they are stable for
+// the life of the process; the registry never deletes).
+//
+// Control: hint llio_metrics=on|off at File::open, or environment
+// LLIO_METRICS=on.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace llio::obs {
+
+namespace detail {
+extern std::atomic<bool> g_metrics_enabled;  ///< seeded from LLIO_METRICS
+}
+
+inline bool metrics_enabled() {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool on);
+
+class Counter {
+ public:
+  void add(std::uint64_t d = 1) {
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(long long v) { v_.store(v, std::memory_order_relaxed); }
+  void add(long long d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  long long value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<long long> v_{0};
+};
+
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  long long min = 0;
+  long long max = 0;
+};
+
+/// Log-linear histogram over non-negative integers (latencies in
+/// microseconds, sizes in bytes): values < 16 are exact, above that each
+/// power-of-two octave splits into 4 sub-buckets, so quantiles carry at
+/// most ~12% relative error.  Recording is 4 relaxed atomic RMWs.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 256;
+
+  void record(long long v);
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  /// Quantile estimate in [bucket lo, bucket hi), clamped to the
+  /// observed min/max; q in [0, 1].  0 when empty.
+  double quantile(double q) const;
+
+  HistogramSummary summary() const;
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<long long> sum_{0};
+  std::atomic<long long> min_{0};
+  std::atomic<long long> max_{0};
+};
+
+/// Name -> metric map.  References returned are stable for the process
+/// lifetime; reset_values() zeroes contents but keeps registrations.
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Summary of a histogram if it exists (it may simply never have been
+  /// registered when the instrumented path did not run).
+  HistogramSummary histogram_summary(const std::string& name) const;
+
+  std::string to_json() const;
+  std::string to_table() const;
+  void reset_values();
+
+ private:
+  Registry();
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace llio::obs

@@ -1,0 +1,295 @@
+#include "obs/trace_check.hpp"
+
+#include <cctype>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/format.hpp"
+
+namespace llio::obs {
+
+namespace {
+
+/// Minimal JSON value: just enough structure to inspect trace events.
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object } kind =
+      Kind::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> fields;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : fields)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    throw std::runtime_error(
+        strprintf("at byte %zu: %s", pos_, why.c_str()));
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(strprintf("expected '%c'", c));
+    ++pos_;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't': case 'f': return boolean();
+      case 'n': return null();
+      default: return number();
+    }
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Object;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') { ++pos_; return v; }
+    for (;;) {
+      skip_ws();
+      JsonValue key = string_value();
+      skip_ws();
+      expect(':');
+      v.fields.emplace_back(std::move(key.str), value());
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Array;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') { ++pos_; return v; }
+    for (;;) {
+      v.items.push_back(value());
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::String;
+    expect('"');
+    for (;;) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return v;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) fail("unterminated escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': v.str += '"'; break;
+          case '\\': v.str += '\\'; break;
+          case '/': v.str += '/'; break;
+          case 'b': v.str += '\b'; break;
+          case 'f': v.str += '\f'; break;
+          case 'n': v.str += '\n'; break;
+          case 'r': v.str += '\r'; break;
+          case 't': v.str += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+            for (int i = 0; i < 4; ++i) {
+              if (!std::isxdigit(static_cast<unsigned char>(s_[pos_ +
+                  static_cast<std::size_t>(i)])))
+                fail("bad \\u escape");
+            }
+            pos_ += 4;
+            v.str += '?';  // code point identity does not matter here
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        v.str += c;
+      }
+    }
+  }
+
+  JsonValue boolean() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Bool;
+    if (s_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (s_.compare(pos_, 5, "false") == 0) {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      fail("bad literal");
+    }
+    return v;
+  }
+
+  JsonValue null() {
+    if (s_.compare(pos_, 4, "null") != 0) fail("bad literal");
+    pos_ += 4;
+    return JsonValue{};
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    auto digits = [&] {
+      const std::size_t before = pos_;
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        ++pos_;
+      if (pos_ == before) fail("bad number");
+    };
+    digits();
+    if (pos_ < s_.size() && s_[pos_] == '.') { ++pos_; digits(); }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      digits();
+    }
+    JsonValue v;
+    v.kind = JsonValue::Kind::Number;
+    v.number = std::strtod(s_.substr(start, pos_ - start).c_str(), nullptr);
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+std::string check_events(const std::vector<JsonValue>& events,
+                         TraceCheckResult& out) {
+  // (pid, tid) -> stack of open 'B' span names.
+  std::map<std::pair<long long, long long>, std::vector<std::string>> open;
+  std::set<std::pair<long long, long long>> tracks;
+  const std::string known_ph = "XBEiIMCbnesfNODPRSTpFV";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const JsonValue& ev = events[i];
+    auto where = [&] { return strprintf("event %zu: ", i); };
+    if (ev.kind != JsonValue::Kind::Object)
+      return where() + "not an object";
+    const JsonValue* name = ev.find("name");
+    const JsonValue* ph = ev.find("ph");
+    const JsonValue* pid = ev.find("pid");
+    const JsonValue* tid = ev.find("tid");
+    if (name == nullptr || name->kind != JsonValue::Kind::String)
+      return where() + "missing string \"name\"";
+    if (ph == nullptr || ph->kind != JsonValue::Kind::String ||
+        ph->str.size() != 1)
+      return where() + "missing one-character \"ph\"";
+    if (known_ph.find(ph->str[0]) == std::string::npos)
+      return where() + "unknown phase '" + ph->str + "'";
+    if (pid == nullptr || pid->kind != JsonValue::Kind::Number)
+      return where() + "missing numeric \"pid\"";
+    if (tid == nullptr || tid->kind != JsonValue::Kind::Number)
+      return where() + "missing numeric \"tid\"";
+    ++out.events;
+    const char phase = ph->str[0];
+    if (phase == 'M') continue;  // metadata: no ts required
+    const JsonValue* ts = ev.find("ts");
+    if (ts == nullptr || ts->kind != JsonValue::Kind::Number)
+      return where() + "missing numeric \"ts\"";
+    const auto track = std::make_pair(
+        static_cast<long long>(pid->number),
+        static_cast<long long>(tid->number));
+    tracks.insert(track);
+    out.names.insert(name->str);
+    if (phase == 'X') {
+      const JsonValue* dur = ev.find("dur");
+      if (dur == nullptr || dur->kind != JsonValue::Kind::Number)
+        return where() + "'X' event missing numeric \"dur\"";
+      if (dur->number < 0) return where() + "negative \"dur\"";
+      ++out.spans;
+    } else if (phase == 'B') {
+      open[track].push_back(name->str);
+    } else if (phase == 'E') {
+      auto& stack = open[track];
+      if (stack.empty())
+        return where() + "'E' without matching 'B' on its track";
+      if (!name->str.empty() && stack.back() != name->str)
+        return where() + "'E' name \"" + name->str +
+               "\" does not match open 'B' \"" + stack.back() + "\"";
+      stack.pop_back();
+    }
+  }
+  for (const auto& [track, stack] : open) {
+    if (!stack.empty())
+      return strprintf("track (%lld, %lld) ends with %zu unclosed 'B' "
+                       "event(s); first open: \"%s\"",
+                       track.first, track.second, stack.size(),
+                       stack.front().c_str());
+  }
+  out.tracks = static_cast<long long>(tracks.size());
+  return {};
+}
+
+}  // namespace
+
+TraceCheckResult check_chrome_trace(const std::string& json) {
+  TraceCheckResult out;
+  JsonValue root;
+  try {
+    root = Parser(json).parse();
+  } catch (const std::exception& e) {
+    out.error = std::string("JSON parse error ") + e.what();
+    return out;
+  }
+  const std::vector<JsonValue>* events = nullptr;
+  if (root.kind == JsonValue::Kind::Array) {
+    events = &root.items;
+  } else if (root.kind == JsonValue::Kind::Object) {
+    const JsonValue* te = root.find("traceEvents");
+    if (te == nullptr || te->kind != JsonValue::Kind::Array) {
+      out.error = "top-level object has no \"traceEvents\" array";
+      return out;
+    }
+    events = &te->items;
+  } else {
+    out.error = "top level is neither an array nor an object";
+    return out;
+  }
+  out.error = check_events(*events, out);
+  out.ok = out.error.empty();
+  return out;
+}
+
+}  // namespace llio::obs

@@ -1,0 +1,33 @@
+// Structural validator for Chrome trace-event JSON, used by the trace
+// tests and the standalone `llio_trace_check` tool (CI runs it against
+// the trace a bench emits before uploading it as an artifact).
+//
+// Checks, without any external JSON dependency:
+//   * the text is well-formed JSON (small recursive-descent parser);
+//   * the top level is either an event array or an object with a
+//     "traceEvents" array (the form the tracer writes);
+//   * every event has a string "name", a one-character "ph", and numeric
+//     "ts"/"pid"/"tid";
+//   * complete events ('X') carry a non-negative "dur";
+//   * duration events ('B'/'E') are balanced per (pid, tid) track with
+//     matching names (the tracer emits only 'X', but hand-written or
+//     foreign traces are accepted too).
+#pragma once
+
+#include <set>
+#include <string>
+
+namespace llio::obs {
+
+struct TraceCheckResult {
+  bool ok = false;
+  std::string error;      ///< empty when ok
+  long long events = 0;   ///< events seen (metadata included)
+  long long spans = 0;    ///< 'X' complete events
+  long long tracks = 0;   ///< distinct (pid, tid) pairs
+  std::set<std::string> names;  ///< distinct non-metadata event names
+};
+
+TraceCheckResult check_chrome_trace(const std::string& json);
+
+}  // namespace llio::obs

@@ -1,6 +1,7 @@
 #include "pfs/faulty_file.hpp"
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace llio::pfs {
 
@@ -32,27 +33,39 @@ bool tick(std::atomic<std::int64_t>& counter) {
 }  // namespace
 
 Off FaultyFile::do_pread(Off offset, ByteSpan out) {
-  if (tick(reads_left_))
+  if (tick(reads_left_)) {
+    obs::instant("injected_fault", obs::TraceLevel::Spans,
+                 {{"op", 0, "pread", true}});
     throw_error(Errc::Io, "injected read fault");
+  }
   return inner_->pread(offset, out);
 }
 
 void FaultyFile::do_pwrite(Off offset, ConstByteSpan data) {
-  if (tick(writes_left_))
+  if (tick(writes_left_)) {
+    obs::instant("injected_fault", obs::TraceLevel::Spans,
+                 {{"op", 0, "pwrite", true}});
     throw_error(Errc::Io, "injected write fault");
+  }
   inner_->pwrite(offset, data);
 }
 
 Off FaultyFile::do_preadv(std::span<const IoVec> iov) {
   // A vectored batch is one operation: one countdown tick.
-  if (tick(reads_left_))
+  if (tick(reads_left_)) {
+    obs::instant("injected_fault", obs::TraceLevel::Spans,
+                 {{"op", 0, "preadv", true}});
     throw_error(Errc::Io, "injected read fault");
+  }
   return inner_->preadv(iov);
 }
 
 void FaultyFile::do_pwritev(std::span<const ConstIoVec> iov) {
-  if (tick(writes_left_))
+  if (tick(writes_left_)) {
+    obs::instant("injected_fault", obs::TraceLevel::Spans,
+                 {{"op", 0, "pwritev", true}});
     throw_error(Errc::Io, "injected write fault");
+  }
   inner_->pwritev(iov);
 }
 

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "obs/trace.hpp"
 
 namespace llio::pfs {
 
@@ -26,6 +27,9 @@ void ThrottledFile::delay(double seconds) {
     simulated_time_ += seconds;
   }
   if (seconds <= 0) return;
+  obs::instant("throttle_delay", obs::TraceLevel::Full,
+               {{"delay_us", static_cast<long long>(seconds * 1e6), {},
+                 false}});
   std::unique_lock device(device_mu_, std::defer_lock);
   if (cfg_.exclusive_device) device.lock();  // serialize the channel
   // Busy-wait for very short delays (sleep granularity is too coarse),

@@ -1,0 +1,81 @@
+#include "pfs/traced_file.hpp"
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace llio::pfs {
+
+namespace {
+
+/// Latency in µs and bytes moved go to the registry once per operation.
+void record_metrics(const char* latency_hist, const char* bytes_hist,
+                    double seconds, Off bytes) {
+  if (!obs::metrics_enabled()) return;
+  obs::Registry& reg = obs::Registry::instance();
+  reg.histogram(latency_hist).record(
+      static_cast<long long>(seconds * 1e6));
+  reg.histogram(bytes_hist).record(bytes);
+}
+
+}  // namespace
+
+TracedFile::TracedFile(FilePtr inner) : inner_(std::move(inner)) {}
+
+std::shared_ptr<TracedFile> TracedFile::wrap(FilePtr inner) {
+  LLIO_REQUIRE(inner != nullptr, Errc::InvalidArgument,
+               "TracedFile: null inner backend");
+  return std::shared_ptr<TracedFile>(new TracedFile(std::move(inner)));
+}
+
+Off TracedFile::do_pread(Off offset, ByteSpan out) {
+  obs::Span span("file_pread", obs::TraceLevel::Full);
+  StopWatch w;
+  w.start();
+  const Off n = inner_->pread(offset, out);
+  w.stop();
+  span.arg("offset", offset);
+  span.arg("bytes", n);
+  record_metrics("file.pread_us", "file.read_bytes", w.seconds(), n);
+  return n;
+}
+
+void TracedFile::do_pwrite(Off offset, ConstByteSpan data) {
+  obs::Span span("file_pwrite", obs::TraceLevel::Full);
+  StopWatch w;
+  w.start();
+  inner_->pwrite(offset, data);
+  w.stop();
+  span.arg("offset", offset);
+  span.arg("bytes", to_off(data.size()));
+  record_metrics("file.pwrite_us", "file.write_bytes", w.seconds(),
+                 to_off(data.size()));
+}
+
+Off TracedFile::do_preadv(std::span<const IoVec> iov) {
+  obs::Span span("file_preadv", obs::TraceLevel::Full);
+  StopWatch w;
+  w.start();
+  const Off n = inner_->preadv(iov);
+  w.stop();
+  span.arg("segments", to_off(iov.size()));
+  span.arg("bytes", n);
+  record_metrics("file.pread_us", "file.read_bytes", w.seconds(), n);
+  return n;
+}
+
+void TracedFile::do_pwritev(std::span<const ConstIoVec> iov) {
+  obs::Span span("file_pwritev", obs::TraceLevel::Full);
+  StopWatch w;
+  w.start();
+  inner_->pwritev(iov);
+  w.stop();
+  Off total = 0;
+  for (const ConstIoVec& v : iov) total += to_off(v.buf.size());
+  span.arg("segments", to_off(iov.size()));
+  span.arg("bytes", total);
+  record_metrics("file.pwrite_us", "file.write_bytes", w.seconds(), total);
+}
+
+}  // namespace llio::pfs

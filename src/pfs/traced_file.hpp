@@ -1,0 +1,39 @@
+// Observability wrapper: records every file access as a trace span
+// (llio_trace=full) and feeds the metrics registry's latency/size
+// histograms (llio_metrics=on).
+//
+// mpiio::File::open wraps its backend in a TracedFile when either sink is
+// active, so individual pread/pwrite/preadv/pwritev calls show up as
+// slices under the pipeline's window spans and the benches can report
+// p50/p95/p99 file-op latency instead of just the mean.  Wrapping is
+// per-rank and purely additive: calls forward to the shared inner
+// backend, whose own locking and statistics still apply.
+#pragma once
+
+#include "pfs/file_backend.hpp"
+
+namespace llio::pfs {
+
+class TracedFile final : public FileBackend {
+ public:
+  static std::shared_ptr<TracedFile> wrap(FilePtr inner);
+
+  Off size() const override { return inner_->size(); }
+  void resize(Off new_size) override { inner_->resize(new_size); }
+  void sync() override { inner_->sync(); }
+
+  const FilePtr& inner() const { return inner_; }
+
+ protected:
+  Off do_pread(Off offset, ByteSpan out) override;
+  void do_pwrite(Off offset, ConstByteSpan data) override;
+  Off do_preadv(std::span<const IoVec> iov) override;
+  void do_pwritev(std::span<const ConstIoVec> iov) override;
+
+ private:
+  explicit TracedFile(FilePtr inner);
+
+  FilePtr inner_;
+};
+
+}  // namespace llio::pfs

@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace llio::sim {
 
@@ -171,11 +172,20 @@ void Comm::send(int dst, int tag, ByteVec&& data, MsgClass cls) {
   ctx_->send(rank_, dst, tag, std::move(data), cls);
 }
 
-ByteVec Comm::recv(int src, int tag) { return ctx_->recv(rank_, src, tag); }
+ByteVec Comm::recv(int src, int tag) {
+  obs::Span span("recv", obs::TraceLevel::Full);
+  span.arg("src", src);
+  return ctx_->recv(rank_, src, tag);
+}
 
-void Comm::barrier() { ctx_->barrier(); }
+void Comm::barrier() {
+  obs::Span span("barrier", obs::TraceLevel::Full);
+  ctx_->barrier();
+}
 
 std::vector<ByteVec> Comm::allgather(ConstByteSpan mine, MsgClass cls) {
+  obs::Span span("allgather", obs::TraceLevel::Full);
+  span.arg("bytes", to_off(mine.size()));
   const int p = size();
   std::vector<ByteVec> out(to_size(Off{p}));
   for (int r = 0; r < p; ++r) {
@@ -193,6 +203,8 @@ std::vector<ByteVec> Comm::allgather(ConstByteSpan mine, MsgClass cls) {
 std::vector<ByteVec> Comm::allgather(ByteVec&& mine, MsgClass cls) {
   // Peers necessarily get copies (one payload, p-1 destinations), but the
   // self slot takes the buffer by move.
+  obs::Span span("allgather", obs::TraceLevel::Full);
+  span.arg("bytes", to_off(mine.size()));
   const int p = size();
   std::vector<ByteVec> out(to_size(Off{p}));
   for (int r = 0; r < p; ++r) {
@@ -212,6 +224,12 @@ std::vector<ByteVec> Comm::alltoall(std::vector<ByteVec> outgoing,
   const int p = size();
   LLIO_REQUIRE(static_cast<int>(outgoing.size()) == p, Errc::InvalidArgument,
                "alltoall: outgoing size != nprocs");
+  obs::Span span("alltoall", obs::TraceLevel::Full);
+  if (span.active()) {
+    Off total = 0;
+    for (const ByteVec& v : outgoing) total += to_off(v.size());
+    span.arg("bytes", total);
+  }
   std::vector<ByteVec> in(to_size(Off{p}));
   for (int r = 0; r < p; ++r) {
     if (r == rank_) continue;
@@ -229,6 +247,8 @@ std::vector<ByteVec> Comm::alltoall(std::vector<ByteVec> outgoing,
 }
 
 ByteVec Comm::bcast(int root, ConstByteSpan mine) {
+  obs::Span span("bcast", obs::TraceLevel::Full);
+  span.arg("root", root);
   if (rank_ == root) {
     for (int r = 0; r < size(); ++r) {
       if (r == root) continue;
@@ -320,6 +340,8 @@ void Runtime::run(int nprocs, const CommCostModel& net,
   threads.reserve(to_size(Off{nprocs}));
   for (int r = 0; r < nprocs; ++r) {
     threads.emplace_back([&, r] {
+      const obs::ThreadTrackGuard track(r, 0, "rank " + std::to_string(r),
+                                        "compute");
       Comm comm(&ctx, r);
       try {
         body(comm);

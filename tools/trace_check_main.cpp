@@ -1,0 +1,92 @@
+// llio_trace_check: validate a Chrome trace-event JSON file.
+//
+//   llio_trace_check <trace.json> [--min-spans N] [--require-name NAME]
+//
+// Exits 0 when the file parses as a trace-event object, every event has
+// the required fields, and any --min-spans / --require-name constraints
+// hold; exits 1 otherwise with the reason on stderr.  CI runs this over
+// the trace a bench emitted with llio_trace=full before uploading it as
+// an artifact.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace_check.hpp"
+
+int main(int argc, char** argv) {
+  std::string path;
+  long min_spans = 0;
+  std::vector<std::string> required;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--min-spans") {
+      min_spans = std::atol(next());
+    } else if (arg == "--require-name") {
+      required.emplace_back(next());
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr,
+                   "usage: llio_trace_check <trace.json> [--min-spans N] "
+                   "[--require-name NAME]\n");
+      return 2;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "more than one input file\n");
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "usage: llio_trace_check <trace.json> [--min-spans N] "
+                 "[--require-name NAME]\n");
+    return 2;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  const llio::obs::TraceCheckResult r =
+      llio::obs::check_chrome_trace(buf.str());
+  if (!r.ok) {
+    std::fprintf(stderr, "invalid trace %s: %s\n", path.c_str(),
+                 r.error.c_str());
+    return 1;
+  }
+  if (r.spans < min_spans) {
+    std::fprintf(stderr, "trace %s has %ld spans, expected >= %ld\n",
+                 path.c_str(), (long)r.spans, min_spans);
+    return 1;
+  }
+  for (const std::string& name : required) {
+    bool found = false;
+    for (const auto& n : r.names) {
+      if (n == name) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "trace %s has no event named \"%s\"\n",
+                   path.c_str(), name.c_str());
+      return 1;
+    }
+  }
+  std::printf("%s: ok (%ld events, %ld spans, %ld tracks)\n", path.c_str(),
+              (long)r.events, (long)r.spans, (long)r.tracks);
+  return 0;
+}
