@@ -14,29 +14,14 @@
 using namespace llio;
 using namespace llio::bench;
 
-namespace {
-
-struct Net {
-  const char* name;
-  sim::CommCostModel model;
-};
-
-}  // namespace
-
 int main() {
   const Off target = env_off("LLIO_BENCH_TARGET_KB", 128) * 1024;
   const double min_s = env_double("LLIO_BENCH_MIN_SECONDS", 0.1);
-  const Net nets[] = {
-      {"shared-mem", {}},
-      {"fast (10GB/s, 2us)", {2e-6, 10e9}},
-      {"mid (1GB/s, 10us)", {10e-6, 1e9}},
-      {"slow (100MB/s, 50us)", {50e-6, 100e6}},
-  };
   std::printf("ablation: collective nc-nc write, Sblock=8B, Nblock=256, "
               "P=4, under interconnect cost models\n");
   Table table({"network", "list Bpp", "listless Bpp", "ratio",
                "olist bytes/op"});
-  for (const Net& net : nets) {
+  for (const auto& net : sim::standard_cost_models()) {
     NoncontigConfig cfg;
     cfg.nprocs = 4;
     cfg.nblock = 256;
@@ -45,13 +30,15 @@ int main() {
     cfg.write = true;
     cfg.target_bytes_pp = target;
     cfg.min_seconds = min_s;
-    cfg.net = net.model;
+    // Route the model through the hint so the named-model plumbing
+    // (llio_net_model -> sim::named_cost_model) is what gets measured.
+    cfg.hints.set("llio_net_model", net.first);
 
     cfg.method = mpiio::Method::ListBased;
     const BenchPoint list = run_noncontig(cfg);
     cfg.method = mpiio::Method::Listless;
     const BenchPoint less = run_noncontig(cfg);
-    table.add_row({net.name, fmt_mbps(list.mbps_pp()),
+    table.add_row({net.first, fmt_mbps(list.mbps_pp()),
                    fmt_mbps(less.mbps_pp()),
                    strprintf("%.1f", less.mbps_pp() /
                                          std::max(list.mbps_pp(), 1e-9)),

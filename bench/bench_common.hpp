@@ -17,6 +17,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -29,7 +30,9 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "pfs/mem_file.hpp"
+#include "psrv/server_file.hpp"
 #include "simmpi/comm.hpp"
+#include "simmpi/net_model.hpp"
 
 namespace llio::bench {
 
@@ -76,6 +79,11 @@ struct NoncontigConfig {
   double min_seconds = 0.15;
   sim::CommCostModel net;   ///< interconnect model (default: free)
   mpiio::Info hints;        ///< extra hints applied on top of the config
+
+  /// Backend factory, called once per data point; default is a fresh
+  /// pfs::MemFile.  Benches measuring networked backends (psrv) install
+  /// their own and keep a handle on the pool for wire statistics.
+  std::function<pfs::FilePtr()> make_backend;
 };
 
 struct BenchPoint {
@@ -129,10 +137,28 @@ inline BenchPoint run_noncontig(const NoncontigConfig& cfg) {
   std::mutex stats_mu;
   mpiio::IoOpStats folded;
 
-  auto fs = pfs::MemFile::create();
+  // The backend and the client interconnect are fixed before the world
+  // is created, so the hints that select them (llio_psrv_*,
+  // llio_net_model) are resolved here rather than per-rank.
+  const mpiio::Options hint_opts =
+      mpiio::apply_info(cfg.hints, mpiio::Options{});
+  sim::CommCostModel net = cfg.net;
+  if (!hint_opts.net_model.empty())
+    net = sim::named_cost_model(hint_opts.net_model);
+
+  pfs::FilePtr fs;
+  if (cfg.make_backend) {
+    fs = cfg.make_backend();
+  } else if (hint_opts.psrv_servers > 0) {
+    psrv::PoolConfig pc;
+    pc.net = net;  // same interconnect on the client/server wire
+    fs = psrv::make_server_file(hint_opts, std::move(pc));
+  } else {
+    fs = pfs::MemFile::create();
+  }
   if (!cfg.write) fs->resize(Off{cfg.nprocs} * nbytes + 64);
 
-  sim::Runtime::run(cfg.nprocs, cfg.net, [&](sim::Comm& comm) {
+  sim::Runtime::run(cfg.nprocs, net, [&](sim::Comm& comm) {
     mpiio::Options o;
     o.method = cfg.method;
     o = mpiio::apply_info(cfg.hints, o);

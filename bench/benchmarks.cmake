@@ -23,6 +23,7 @@ llio_add_bench(bench_ablation_activebuf)
 llio_add_bench(bench_ablation_striping)
 llio_add_bench(bench_ablation_pipeline)
 llio_add_bench(bench_ablation_mergeview)
+llio_add_bench(bench_ablation_servers)
 
 llio_add_bench(bench_ablation_pack)
 target_link_libraries(bench_ablation_pack PRIVATE benchmark::benchmark)

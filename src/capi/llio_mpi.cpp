@@ -10,6 +10,7 @@
 #include "mpiio/file.hpp"
 #include "pfs/mem_file.hpp"
 #include "pfs/posix_file.hpp"
+#include "psrv/server_file.hpp"
 #include "simmpi/comm.hpp"
 
 // Handle definitions: each opaque struct owns the corresponding C++
@@ -129,6 +130,19 @@ int llio_storage_posix_open(const char* path, int truncate,
   LLIO_C_REQUIRE(path != nullptr && out != nullptr);
   return guarded([&] {
     *out = new llio_storage_s{llio::pfs::PosixFile::open(path, truncate != 0)};
+  });
+}
+
+int llio_storage_psrv_create(int nservers, llio_offset stripe,
+                             const char* request_class, LLIO_Storage* out) {
+  LLIO_C_REQUIRE(request_class != nullptr && out != nullptr);
+  return guarded([&] {
+    llio::psrv::PoolConfig cfg;
+    if (nservers > 0) cfg.nservers = nservers;
+    if (stripe > 0) cfg.stripe = stripe;
+    *out = new llio_storage_s{llio::psrv::ServerFile::create(
+        llio::psrv::ServerPool::create(std::move(cfg)),
+        llio::psrv::request_class_from_name(request_class))};
   });
 }
 

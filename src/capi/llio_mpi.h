@@ -69,6 +69,13 @@ int llio_barrier(LLIO_Comm comm);
 int llio_storage_mem_create(LLIO_Storage* out);
 int llio_storage_posix_open(const char* path, int truncate,
                             LLIO_Storage* out);
+/* Parallel file-server storage: nservers server threads each own a
+ * stripe-aligned shard of the file, reached over a simulated
+ * interconnect.  request_class is "contig", "list" or "view" (how client
+ * accesses translate to the wire); nservers <= 0 and stripe <= 0 pick
+ * the defaults. */
+int llio_storage_psrv_create(int nservers, llio_offset stripe,
+                             const char* request_class, LLIO_Storage* out);
 int llio_storage_size(LLIO_Storage st, llio_offset* size);
 int llio_storage_free(LLIO_Storage* st);
 

@@ -96,6 +96,22 @@ Options apply_info(const Info& info, Options base) {
       LLIO_REQUIRE(n >= 1, Errc::InvalidArgument,
                    "hint llio_iov_batch_max: expected a count >= 1");
       base.iov_batch_max = n;
+    } else if (key == "llio_psrv_servers") {
+      base.psrv_servers = parse_int(key, value);
+    } else if (key == "llio_psrv_queue_depth") {
+      const int n = parse_int(key, value);
+      LLIO_REQUIRE(n >= 1, Errc::InvalidArgument,
+                   "hint llio_psrv_queue_depth: expected a count >= 1");
+      base.psrv_queue_depth = n;
+    } else if (key == "llio_psrv_request") {
+      LLIO_REQUIRE(value == "contig" || value == "list" || value == "view",
+                   Errc::InvalidArgument,
+                   "hint llio_psrv_request: expected contig/list/view");
+      base.psrv_request = value;
+    } else if (key == "llio_net_model") {
+      LLIO_REQUIRE(!value.empty(), Errc::InvalidArgument,
+                   "hint llio_net_model: empty model name");
+      base.net_model = value;
     } else if (key == "llio_trace") {
       if (value == "off")
         base.trace = obs::TraceLevel::Off;
@@ -151,6 +167,14 @@ Info options_to_info(const Options& o) {
   info.set("llio_merge_contig", merge_contig_name(o.merge_contig));
   info.set("llio_pipeline_depth", strprintf("%d", o.pipeline_depth));
   info.set("llio_iov_batch_max", strprintf("%lld", (long long)o.iov_batch_max));
+  // psrv/net hints appear only when set away from their defaults (they
+  // configure the harness-built backend, not the engines).
+  if (o.psrv_servers > 0)
+    info.set("llio_psrv_servers", strprintf("%d", o.psrv_servers));
+  if (o.psrv_queue_depth > 0)
+    info.set("llio_psrv_queue_depth", strprintf("%d", o.psrv_queue_depth));
+  if (o.psrv_request != "contig") info.set("llio_psrv_request", o.psrv_request);
+  if (!o.net_model.empty()) info.set("llio_net_model", o.net_model);
   // Observability hints appear only when explicitly set: unset means
   // "leave the process-global tracer/registry alone".
   if (o.trace) info.set("llio_trace", obs::trace_level_name(*o.trace));

@@ -82,6 +82,18 @@ struct Options {
   /// (preadv/pwritev) by the direct (non-sieving) access paths.
   Off iov_batch_max = 64;
 
+  /// File-server subsystem (psrv) selection, consumed by the harnesses
+  /// that build the backend (psrv::make_server_file) — the engines see
+  /// only the resulting pfs::FileBackend.  psrv_servers 0 = harness
+  /// default; psrv_request picks the wire translation (contig|list|view).
+  int psrv_servers = 0;
+  int psrv_queue_depth = 0;
+  std::string psrv_request = "contig";
+
+  /// Named interconnect cost model (hint llio_net_model, see
+  /// sim::named_cost_model); empty = whatever the harness configured.
+  std::string net_model = {};
+
   /// Observability (hints llio_trace / llio_trace_file / llio_metrics).
   /// The tracer and metrics registry are process-global; File::open
   /// applies any value set here on top of the environment-seeded

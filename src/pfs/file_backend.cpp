@@ -70,6 +70,18 @@ void FileBackend::do_pwritev(std::span<const ConstIoVec> iov) {
   pwritev_fallback(iov);
 }
 
+void FileBackend::note_read(Off bytes) {
+  read_ops_.fetch_add(1, std::memory_order_relaxed);
+  read_bytes_.fetch_add(static_cast<std::uint64_t>(bytes),
+                        std::memory_order_relaxed);
+}
+
+void FileBackend::note_write(Off bytes) {
+  write_ops_.fetch_add(1, std::memory_order_relaxed);
+  write_bytes_.fetch_add(static_cast<std::uint64_t>(bytes),
+                         std::memory_order_relaxed);
+}
+
 FileStats FileBackend::stats() const {
   FileStats s;
   s.read_ops = read_ops_.load(std::memory_order_relaxed);

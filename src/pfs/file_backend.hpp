@@ -22,6 +22,8 @@
 
 namespace llio::pfs {
 
+class ViewIo;
+
 struct FileStats {
   std::uint64_t read_ops = 0;
   std::uint64_t read_bytes = 0;
@@ -70,6 +72,14 @@ class FileBackend {
   /// Flush buffered data to stable storage (no-op for memory backends).
   virtual void sync() {}
 
+  /// Optional capability: execute whole-fileview accesses on the storage
+  /// side (see pfs/view_io.hpp).  A backend that can replay a serialized
+  /// datatype tree remotely returns itself; everything else (including
+  /// decorators that model storage cost or inject faults — they must see
+  /// every byte, so the capability is deliberately masked) returns null
+  /// and the engines fall back to pread/pwrite through this object.
+  virtual ViewIo* view_io() { return nullptr; }
+
   FileStats stats() const;
   void reset_stats();
 
@@ -86,6 +96,12 @@ class FileBackend {
   /// wrappers that want the base behavior explicitly.
   Off preadv_fallback(std::span<const IoVec> iov);
   void pwritev_fallback(std::span<const ConstIoVec> iov);
+
+  /// Account one operation performed outside the pread/pwrite wrappers —
+  /// the ViewIo capability path goes straight to view_write/view_read, so
+  /// the implementing backend calls these to keep FileStats truthful.
+  void note_read(Off bytes);
+  void note_write(Off bytes);
 
  private:
   std::atomic<std::uint64_t> read_ops_{0}, read_bytes_{0};

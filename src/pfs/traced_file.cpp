@@ -78,4 +78,38 @@ void TracedFile::do_pwritev(std::span<const ConstIoVec> iov) {
   record_metrics("file.pwrite_us", "file.write_bytes", w.seconds(), total);
 }
 
+Off TracedFile::view_write(const dt::Type& filetype, Off disp, Off stream_lo,
+                           ConstByteSpan data) {
+  ViewIo* vio = inner_->view_io();
+  LLIO_REQUIRE(vio != nullptr, Errc::Unsupported,
+               "TracedFile: inner backend lost its view-io capability");
+  obs::Span span("file_view_write", obs::TraceLevel::Full);
+  StopWatch w;
+  w.start();
+  const Off n = vio->view_write(filetype, disp, stream_lo, data);
+  w.stop();
+  span.arg("stream_lo", stream_lo);
+  span.arg("bytes", n);
+  note_write(n);
+  record_metrics("file.pwrite_us", "file.write_bytes", w.seconds(), n);
+  return n;
+}
+
+Off TracedFile::view_read(const dt::Type& filetype, Off disp, Off stream_lo,
+                          ByteSpan out) {
+  ViewIo* vio = inner_->view_io();
+  LLIO_REQUIRE(vio != nullptr, Errc::Unsupported,
+               "TracedFile: inner backend lost its view-io capability");
+  obs::Span span("file_view_read", obs::TraceLevel::Full);
+  StopWatch w;
+  w.start();
+  const Off n = vio->view_read(filetype, disp, stream_lo, out);
+  w.stop();
+  span.arg("stream_lo", stream_lo);
+  span.arg("bytes", n);
+  note_read(n);
+  record_metrics("file.pread_us", "file.read_bytes", w.seconds(), n);
+  return n;
+}
+
 }  // namespace llio::pfs

@@ -11,16 +11,28 @@
 #pragma once
 
 #include "pfs/file_backend.hpp"
+#include "pfs/view_io.hpp"
 
 namespace llio::pfs {
 
-class TracedFile final : public FileBackend {
+class TracedFile final : public FileBackend, public ViewIo {
  public:
   static std::shared_ptr<TracedFile> wrap(FilePtr inner);
 
   Off size() const override { return inner_->size(); }
   void resize(Off new_size) override { inner_->resize(new_size); }
   void sync() override { inner_->sync(); }
+
+  /// Purely observational wrapper, so — unlike the cost/fault decorators —
+  /// the view-I/O capability is forwarded, interposed so the spans and
+  /// histograms still see those accesses.
+  ViewIo* view_io() override {
+    return inner_->view_io() != nullptr ? this : nullptr;
+  }
+  Off view_write(const dt::Type& filetype, Off disp, Off stream_lo,
+                 ConstByteSpan data) override;
+  Off view_read(const dt::Type& filetype, Off disp, Off stream_lo,
+                ByteSpan out) override;
 
   const FilePtr& inner() const { return inner_; }
 

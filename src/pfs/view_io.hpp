@@ -1,0 +1,41 @@
+// Optional backend capability: fileview ("listless I/O over the wire").
+//
+// A FileBackend that also implements ViewIo can execute a whole
+// non-contiguous fileview access on the storage side: the caller hands
+// over the filetype tree, a displacement, and a dense stream range, and
+// the backend performs the scatter/gather where the data lives.  This is
+// the server-side half of the paper's argument — instead of the client
+// flattening the view into an ol-list (or sieving around it), the compact
+// datatype tree itself travels to the file servers (psrv), which navigate
+// it locally exactly like the listless engine does in-process.
+//
+// The engines probe FileBackend::view_io() on the independent access path
+// and use this interface when it is non-null; semantics must match what
+// the same access would produce through pread/pwrite on the same backend.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "dtype/datatype.hpp"
+
+namespace llio::pfs {
+
+class ViewIo {
+ public:
+  virtual ~ViewIo() = default;
+
+  /// Write the dense stream bytes [stream_lo, stream_lo + data.size()) of
+  /// the tiling of `filetype` displaced by `disp`, scattering them to the
+  /// view's file offsets.  The filetype must be navigable (validated by
+  /// the view layer).  Returns the number of stream bytes written
+  /// (always data.size() on success; errors throw).
+  virtual Off view_write(const dt::Type& filetype, Off disp, Off stream_lo,
+                         ConstByteSpan data) = 0;
+
+  /// Read counterpart: gather the dense stream bytes [stream_lo,
+  /// stream_lo + out.size()) from the view's file offsets into `out`,
+  /// zero-filling bytes past end of file.  Returns out.size().
+  virtual Off view_read(const dt::Type& filetype, Off disp, Off stream_lo,
+                        ByteSpan out) = 0;
+};
+
+}  // namespace llio::pfs

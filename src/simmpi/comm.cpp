@@ -105,6 +105,27 @@ class Context {
     }
   }
 
+  std::pair<int, ByteVec> recv_any(int self, int tag) {
+    Mailbox& mb = mailboxes_[to_size(Off{self})];
+    std::unique_lock<std::mutex> lock(mb.mu);
+    for (;;) {
+      check_alive();
+      auto it = std::find_if(mb.queue.begin(), mb.queue.end(),
+                             [&](const Message& m) { return m.tag == tag; });
+      if (it != mb.queue.end()) {
+        const int src = it->src;
+        ByteVec out = std::move(it->data);
+        mb.queue.erase(it);
+        if (!net_.free()) {
+          lock.unlock();
+          charge_network(out.size());
+        }
+        return {src, std::move(out)};
+      }
+      mb.cv.wait(lock);
+    }
+  }
+
   /// Burn wall time per the interconnect cost model.
   void charge_network(std::size_t bytes) const {
     double s = net_.latency_s;
@@ -176,6 +197,11 @@ ByteVec Comm::recv(int src, int tag) {
   obs::Span span("recv", obs::TraceLevel::Full);
   span.arg("src", src);
   return ctx_->recv(rank_, src, tag);
+}
+
+std::pair<int, ByteVec> Comm::recv_any(int tag) {
+  obs::Span span("recv_any", obs::TraceLevel::Full);
+  return ctx_->recv_any(rank_, tag);
 }
 
 void Comm::barrier() {
@@ -354,6 +380,33 @@ void Runtime::run(int nprocs, const CommCostModel& net,
   for (auto& t : threads) t.join();
   for (auto& e : errors)
     if (e) std::rethrow_exception(e);
+}
+
+World::World(int nslots, const CommCostModel& net)
+    : ctx_(std::make_unique<detail::Context>(nslots, net)) {
+  LLIO_REQUIRE(nslots >= 1, Errc::InvalidArgument, "World: nslots < 1");
+}
+
+World::~World() = default;
+
+int World::size() const noexcept { return ctx_->size(); }
+
+Comm World::comm(int slot) {
+  LLIO_REQUIRE(slot >= 0 && slot < ctx_->size(), Errc::InvalidArgument,
+               "World::comm: slot out of range");
+  return Comm(ctx_.get(), slot);
+}
+
+void World::abort() { ctx_->abort(); }
+
+CommStats World::total_stats() const {
+  CommStats total;
+  for (int r = 0; r < ctx_->size(); ++r) total += ctx_->stats(r);
+  return total;
+}
+
+void World::reset_stats() {
+  for (int r = 0; r < ctx_->size(); ++r) ctx_->stats(r) = CommStats{};
 }
 
 }  // namespace llio::sim

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -79,6 +80,12 @@ class Comm {
   /// Blocking receive matching (src, tag).
   ByteVec recv(int src, int tag);
 
+  /// Blocking receive matching `tag` from any source (MPI_ANY_SOURCE):
+  /// returns (src, payload).  Messages from one sender are delivered in
+  /// send order.  This is what a server loop uses — it cannot know which
+  /// client will request next.
+  std::pair<int, ByteVec> recv_any(int tag);
+
   void barrier();
 
   /// Gather every rank's contribution; result[i] is rank i's bytes.
@@ -114,10 +121,41 @@ class Comm {
 
  private:
   friend class Runtime;
+  friend class World;
   Comm(detail::Context* ctx, int rank) : ctx_(ctx), rank_(rank) {}
 
   detail::Context* ctx_;
   int rank_;
+};
+
+/// A standalone communication domain with a fixed number of slots and no
+/// rank-threads of its own: the owner hands out per-slot Comm handles to
+/// whatever threads it likes (file-server threads, client endpoints).
+/// Each slot must be driven by at most one thread at a time — per-slot
+/// send statistics are unsynchronized, exactly as under Runtime::run.
+class World {
+ public:
+  explicit World(int nslots, const CommCostModel& net = {});
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  int size() const noexcept;
+
+  /// Communicator handle bound to `slot` (0 <= slot < size()).
+  Comm comm(int slot);
+
+  /// Wake every blocked receiver with Errc::Protocol (failure shutdown).
+  void abort();
+
+  /// Sum of all slots' send statistics.  Unlike Comm::global_stats() this
+  /// does not barrier — the caller must know the domain is quiescent.
+  CommStats total_stats() const;
+  void reset_stats();
+
+ private:
+  std::unique_ptr<detail::Context> ctx_;
 };
 
 class Runtime {

@@ -1,0 +1,34 @@
+// Named interconnect cost models.
+//
+// The network-sensitivity ablations (paper §5) and the file-server
+// subsystem all sweep the same few interconnect classes; naming them once
+// here keeps the hint (`llio_net_model`), the environment override
+// (LLIO_NET_MODEL) and the bench tables in agreement.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "simmpi/comm.hpp"
+
+namespace llio::sim {
+
+/// Resolve a cost model by name:
+///   "shared-mem"           free (pure memory copies)
+///   "fast"                 2 us latency, 10 GB/s
+///   "mid"                  10 us latency, 1 GB/s
+///   "slow"                 50 us latency, 100 MB/s
+///   "<latency_s>:<bw_bps>" custom, e.g. "5e-6:2e9"
+/// Throws Errc::InvalidArgument on anything else.
+CommCostModel named_cost_model(const std::string& name);
+
+/// The standard sweep used by the ablation benches, in slowest-last order.
+/// Each entry is {name, model}; names resolve through named_cost_model().
+const std::vector<std::pair<std::string, CommCostModel>>&
+standard_cost_models();
+
+/// named_cost_model(LLIO_NET_MODEL) if the variable is set and non-empty,
+/// else `fallback`.
+CommCostModel cost_model_from_env(const CommCostModel& fallback = {});
+
+}  // namespace llio::sim

@@ -8,10 +8,68 @@
 #include "fotf/navigate.hpp"
 #include "mpiio/file.hpp"
 #include "pfs/mem_file.hpp"
+#include "psrv/server_file.hpp"
 #include "simmpi/comm.hpp"
 #include "test_util.hpp"
 
 namespace llio::iotest {
+
+/// Storage backends the randomized suites run the engines over: the
+/// in-memory reference plus the file-server pool in all three request
+/// classes.
+enum class Backend { Mem, PsrvContig, PsrvList, PsrvView };
+
+constexpr Backend kAllBackends[] = {Backend::Mem, Backend::PsrvContig,
+                                    Backend::PsrvList, Backend::PsrvView};
+
+inline const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::Mem: return "mem";
+    case Backend::PsrvContig: return "psrv-contig";
+    case Backend::PsrvList: return "psrv-list";
+    case Backend::PsrvView: return "psrv-view";
+  }
+  return "?";
+}
+
+/// A deliberately tiny pool (3 servers, 64-byte stripe) so the modest
+/// accesses the tests make still cross shard boundaries.
+inline psrv::PoolConfig small_pool_config() {
+  psrv::PoolConfig cfg;
+  cfg.nservers = 3;
+  cfg.stripe = 64;
+  cfg.capacity = 3 * 64;
+  cfg.queue_depth = 4;
+  cfg.client_slots = 8;
+  return cfg;
+}
+
+inline pfs::FilePtr make_backend(Backend b) {
+  if (b == Backend::Mem) return pfs::MemFile::create();
+  const psrv::RequestClass cls = b == Backend::PsrvContig
+                                     ? psrv::RequestClass::Contig
+                                 : b == Backend::PsrvList
+                                     ? psrv::RequestClass::List
+                                     : psrv::RequestClass::View;
+  return psrv::ServerFile::create(psrv::ServerPool::create(small_pool_config()),
+                                  cls);
+}
+
+/// Full file image through the public read path (works on any backend).
+inline ByteVec backend_image(const pfs::FilePtr& f) {
+  ByteVec img(to_size(f->size()), Byte{0});
+  if (!img.empty()) f->pread(0, img);
+  return img;
+}
+
+/// Images from different strategies may legitimately differ in length
+/// (e.g. a sieving write-back extends the file further than a view write);
+/// equality is up to trailing zeros.
+inline void pad_to_common(ByteVec& a, ByteVec& b) {
+  const std::size_t len = std::max(a.size(), b.size());
+  a.resize(len, Byte{0});
+  b.resize(len, Byte{0});
+}
 
 /// The noncontig benchmark fileview (paper Fig. 4): rank p sees blocks of
 /// `sblock` bytes at stride nprocs*sblock, displaced by p*sblock; the

@@ -132,6 +132,25 @@ TEST(CApi, CollectiveFileRoundTrip) {
   C_OK(llio_storage_free(&ctx.storage));
 }
 
+TEST(CApi, PsrvStorageRoundTripAllRequestClasses) {
+  // The same collective round trip, but over the parallel file-server
+  // pool in each request class: the C shim needs no psrv-specific code
+  // beyond the storage constructor.
+  for (const char* cls : {"contig", "list", "view"}) {
+    BodyCtx ctx;
+    C_OK(llio_storage_psrv_create(3, 64, cls, &ctx.storage));
+    C_OK(llio_run(3, fileio::body, &ctx));
+    EXPECT_EQ(ctx.failures, 0) << cls;
+    llio_offset size = 0;
+    C_OK(llio_storage_size(ctx.storage, &size));
+    EXPECT_EQ(size, 3 * 32) << cls;
+    C_OK(llio_storage_free(&ctx.storage));
+  }
+  LLIO_Storage bad = nullptr;
+  EXPECT_EQ(llio_storage_psrv_create(2, 64, "bulk", &bad), LLIO_ERR_ARG);
+  EXPECT_EQ(llio_storage_psrv_create(2, 64, nullptr, &bad), LLIO_ERR_ARG);
+}
+
 namespace darray_check {
 void body(LLIO_Comm comm, void* user) {
   auto* ctx = static_cast<BodyCtx*>(user);

@@ -27,8 +27,9 @@ struct Workload {
 ByteVec run_workload(Method method, int nprocs, Off disp,
                      const std::function<dt::Type(int)>& ft_of, Off nbytes,
                      Off offset_etypes, Off fbs, Off pbs, bool collective,
-                     unsigned seed) {
-  auto fs = pfs::MemFile::create();
+                     unsigned seed,
+                     iotest::Backend backend = iotest::Backend::Mem) {
+  auto fs = iotest::make_backend(backend);
   sim::Runtime::run(nprocs, [&](sim::Comm& comm) {
     Options o;
     o.method = method;
@@ -54,7 +55,7 @@ ByteVec run_workload(Method method, int nprocs, Off disp,
       f.read_at(offset_etypes, back.data(), nbytes, dt::byte());
     EXPECT_EQ(back, stream) << method_name(method);
   });
-  return fs->contents();
+  return iotest::backend_image(fs);
 }
 
 class Equivalence : public ::testing::TestWithParam<unsigned> {};
@@ -265,6 +266,48 @@ TEST_P(Equivalence, DarrayFileviewsCollective) {
     };
     EXPECT_EQ(run(Method::ListBased), run(Method::Listless))
         << rows << "x" << cols << " P=" << P << " bc=" << bc;
+  }
+}
+
+TEST_P(Equivalence, PsrvBackendsMatchMemFileImages) {
+  // The same workloads over the file-server pool — every request class —
+  // must produce the MemFile image, for both engines, collectively and
+  // independently.  (The view class reroutes the whole independent path
+  // through ViewIo; images may differ only in trailing zeros.)
+  Rng rng(GetParam() + 60000);
+  for (int iter = 0; iter < 2; ++iter) {
+    const int nprocs = static_cast<int>(testutil::rnd(rng, 2, 4));
+    const Off nblock = testutil::rnd(rng, 2, 6);
+    const Off sblock = testutil::rnd(rng, 1, 16);
+    const auto ft_of = [&, nblock, sblock, nprocs](int r) {
+      return iotest::noncontig_filetype(nblock, sblock, nprocs, r);
+    };
+    const Off unit = nblock * sblock;
+    const Off nbytes = testutil::rnd(rng, 1, 3) * unit;
+    const Off offset = testutil::rnd(rng, 0, unit);
+    const Off disp = testutil::rnd(rng, 0, 32);
+    const Off fbs = testutil::rnd(rng, 1, 4) * 64;
+    const Off pbs = testutil::rnd(rng, 32, 128);
+    const bool collective = testutil::rnd(rng, 0, 1) == 1;
+    const unsigned seed = GetParam() * 977 + static_cast<unsigned>(iter);
+    for (Method m : {Method::ListBased, Method::Listless}) {
+      ByteVec ref;
+      for (iotest::Backend b : iotest::kAllBackends) {
+        ByteVec img = run_workload(m, nprocs, disp, ft_of, nbytes, offset,
+                                   fbs, pbs, collective, seed, b);
+        if (b == iotest::Backend::Mem) {
+          ref = std::move(img);
+          continue;
+        }
+        ByteVec want = ref;
+        iotest::pad_to_common(img, want);
+        EXPECT_EQ(img, want)
+            << method_name(m) << " over " << iotest::backend_name(b)
+            << " nblock=" << nblock << " sblock=" << sblock
+            << " nbytes=" << nbytes << " offset=" << offset
+            << " disp=" << disp << " collective=" << collective;
+      }
+    }
   }
 }
 

@@ -123,48 +123,53 @@ TEST_P(ModelFuzz, SingleRankOpSequencesMatchTheModel) {
       (void)ft;
     }
 
-    // Engine runs.
+    // Engine runs: both engines over every storage backend (MemFile plus
+    // the file-server pool in all three request classes).
+    const Off fbs = static_cast<Off>(testutil::rnd(rng, 1, 4)) * 64;
     for (Method m : {Method::ListBased, Method::Listless}) {
-      auto fs = pfs::MemFile::create();
-      std::vector<ByteVec> reads;
-      sim::Runtime::run(1, [&](sim::Comm& comm) {
-        Options o;
-        o.method = m;
-        o.file_buffer_size = static_cast<Off>(testutil::rnd(rng, 1, 4)) * 64;
-        o.pack_buffer_size = 64;
-        File f = File::open(comm, fs, o);
-        for (const Op& op : ops) {
-          switch (op.kind) {
-            case Op::SetView:
-              f.set_view(op.disp, dt::byte(), op.ft);
-              break;
-            case Op::Write: {
-              ByteVec payload(to_size(op.nbytes));
-              for (Off j = 0; j < op.nbytes; ++j)
-                payload[to_size(j)] = iotest::payload_byte(
-                    static_cast<int>(op.seed & 0xFF), j + op.seed);
-              f.write_at(op.offset, payload.data(), op.nbytes, dt::byte());
-              break;
-            }
-            case Op::Read: {
-              ByteVec got(to_size(op.nbytes), Byte{0});
-              f.read_at(op.offset, got.data(), op.nbytes, dt::byte());
-              reads.push_back(std::move(got));
-              break;
+      for (iotest::Backend be : iotest::kAllBackends) {
+        auto fs = iotest::make_backend(be);
+        std::vector<ByteVec> reads;
+        sim::Runtime::run(1, [&](sim::Comm& comm) {
+          Options o;
+          o.method = m;
+          o.file_buffer_size = fbs;
+          o.pack_buffer_size = 64;
+          File f = File::open(comm, fs, o);
+          for (const Op& op : ops) {
+            switch (op.kind) {
+              case Op::SetView:
+                f.set_view(op.disp, dt::byte(), op.ft);
+                break;
+              case Op::Write: {
+                ByteVec payload(to_size(op.nbytes));
+                for (Off j = 0; j < op.nbytes; ++j)
+                  payload[to_size(j)] = iotest::payload_byte(
+                      static_cast<int>(op.seed & 0xFF), j + op.seed);
+                f.write_at(op.offset, payload.data(), op.nbytes, dt::byte());
+                break;
+              }
+              case Op::Read: {
+                ByteVec got(to_size(op.nbytes), Byte{0});
+                f.read_at(op.offset, got.data(), op.nbytes, dt::byte());
+                reads.push_back(std::move(got));
+                break;
+              }
             }
           }
-        }
-      });
-      ASSERT_EQ(reads.size(), model_reads.size());
-      for (std::size_t i = 0; i < reads.size(); ++i)
-        EXPECT_EQ(reads[i], model_reads[i])
-            << method_name(m) << " episode " << episode << " read " << i;
-      ByteVec img = fs->contents();
-      ByteVec want = model.image();
-      const std::size_t len = std::max(img.size(), want.size());
-      img.resize(len, Byte{0});
-      want.resize(len, Byte{0});
-      EXPECT_EQ(img, want) << method_name(m) << " episode " << episode;
+        });
+        ASSERT_EQ(reads.size(), model_reads.size());
+        for (std::size_t i = 0; i < reads.size(); ++i)
+          EXPECT_EQ(reads[i], model_reads[i])
+              << method_name(m) << " over " << iotest::backend_name(be)
+              << " episode " << episode << " read " << i;
+        ByteVec img = iotest::backend_image(fs);
+        ByteVec want = model.image();
+        iotest::pad_to_common(img, want);
+        EXPECT_EQ(img, want) << method_name(m) << " over "
+                             << iotest::backend_name(be) << " episode "
+                             << episode;
+      }
     }
   }
 }
@@ -213,40 +218,42 @@ TEST_P(ModelFuzz, SingleRankCollectivesMatchTheModelAtBothDepths) {
     const Off fbs = static_cast<Off>(testutil::rnd(rng, 1, 4)) * 64;
     for (Method m : {Method::ListBased, Method::Listless}) {
       for (int depth : {0, 2}) {
-        auto fs = pfs::MemFile::create();
-        std::vector<ByteVec> reads;
-        sim::Runtime::run(1, [&](sim::Comm& comm) {
-          Options o;
-          o.method = m;
-          o.file_buffer_size = fbs;
-          o.pack_buffer_size = 64;
-          o.pipeline_depth = depth;
-          File f = File::open(comm, fs, o);
-          f.set_view(disp, dt::byte(), ft);
-          for (const Op& op : ops) {
-            if (op.write) {
-              const ByteVec payload = payload_of(op);
-              f.write_at_all(op.offset, payload.data(), op.nbytes,
-                             dt::byte());
-            } else {
-              ByteVec got(to_size(op.nbytes), Byte{0});
-              f.read_at_all(op.offset, got.data(), op.nbytes, dt::byte());
-              reads.push_back(std::move(got));
+        for (iotest::Backend be : iotest::kAllBackends) {
+          auto fs = iotest::make_backend(be);
+          std::vector<ByteVec> reads;
+          sim::Runtime::run(1, [&](sim::Comm& comm) {
+            Options o;
+            o.method = m;
+            o.file_buffer_size = fbs;
+            o.pack_buffer_size = 64;
+            o.pipeline_depth = depth;
+            File f = File::open(comm, fs, o);
+            f.set_view(disp, dt::byte(), ft);
+            for (const Op& op : ops) {
+              if (op.write) {
+                const ByteVec payload = payload_of(op);
+                f.write_at_all(op.offset, payload.data(), op.nbytes,
+                               dt::byte());
+              } else {
+                ByteVec got(to_size(op.nbytes), Byte{0});
+                f.read_at_all(op.offset, got.data(), op.nbytes, dt::byte());
+                reads.push_back(std::move(got));
+              }
             }
-          }
-        });
-        ASSERT_EQ(reads.size(), model_reads.size());
-        for (std::size_t i = 0; i < reads.size(); ++i)
-          EXPECT_EQ(reads[i], model_reads[i])
-              << method_name(m) << " depth " << depth << " episode "
-              << episode << " read " << i;
-        ByteVec img = fs->contents();
-        ByteVec want = model.image();
-        const std::size_t len = std::max(img.size(), want.size());
-        img.resize(len, Byte{0});
-        want.resize(len, Byte{0});
-        EXPECT_EQ(img, want)
-            << method_name(m) << " depth " << depth << " episode " << episode;
+          });
+          ASSERT_EQ(reads.size(), model_reads.size());
+          for (std::size_t i = 0; i < reads.size(); ++i)
+            EXPECT_EQ(reads[i], model_reads[i])
+                << method_name(m) << " depth " << depth << " over "
+                << iotest::backend_name(be) << " episode " << episode
+                << " read " << i;
+          ByteVec img = iotest::backend_image(fs);
+          ByteVec want = model.image();
+          iotest::pad_to_common(img, want);
+          EXPECT_EQ(img, want)
+              << method_name(m) << " depth " << depth << " over "
+              << iotest::backend_name(be) << " episode " << episode;
+        }
       }
     }
   }
