@@ -1,103 +1,146 @@
-// Ablation: where does the listless speedup come from?  Microbenchmarks
-// (google-benchmark) isolating the copy path of both engines:
-//   - flattening-on-the-fly pack (strided kernels + O(1) segment cursor)
-//   - list-based pack (explicit ol-list, one memcpy per tuple)
-//   - plain memcpy (upper bound)
-// swept over the contiguous block size S_block — the microscopic version
-// of the paper's Figure 7 crossover.
-#include <benchmark/benchmark.h>
-
+// Ablation: parallel flattening-on-the-fly pack/unpack.
+//
+// Sweeps threads x block-size x plan on/off over a dense strided window
+// (hvector of S_block-byte segments at stride 2*S_block — the shape every
+// collective window reduces to) and measures fotf::pack_range /
+// fotf::unpack_range throughput directly, without any file or exchange:
+// this isolates the pack stage the parallel-slicing work targets.
+//
+//   threads=1, plan=off   the pre-parallel cursor path (baseline)
+//   threads=1, plan=on    PackPlan replay (flat run table, no tree walk)
+//   threads=N             navigation-sliced parallel pack on the shared
+//                         worker pool
+//
+// A dense memcpy row bounds what any pack path could reach.
+//
+// Output: aligned table + csv: lines (bench_common convention) + json:
+// lines, one object per data point, schema announced in a json-schema:
+// line.  --quick shrinks the payload and the sweep for the CI perf-smoke
+// job; the committed baseline lives in BENCH_pack.json.
+//
+// Scale knobs: LLIO_BENCH_TARGET_KB (payload per op, default 32768),
+// LLIO_BENCH_MIN_SECONDS (default 0.15).
 #include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
 
-#include "dtype/flatten.hpp"
-#include "fotf/pack.hpp"
-#include "listio/list_mover.hpp"
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+#include "fotf/parallel.hpp"
+#include "fotf/plan.hpp"
+
+using namespace llio;
+using bench::fmt_mbps;
 
 namespace {
 
-using namespace llio;
-
-constexpr Off kPayload = 1 << 20;  // 1 MiB of data per iteration
-
-dt::Type vector_type(Off sblock) {
-  // One instance = payload bytes spread over blocks at 2x stride.
-  const Off nblock = kPayload / sblock;
-  return dt::hvector(nblock, sblock, 2 * sblock, dt::byte());
-}
-
-void BM_FotfPack(benchmark::State& state) {
-  const Off sblock = state.range(0);
-  const dt::Type t = vector_type(sblock);
-  ByteVec src(to_size(t->true_ub()), Byte{7});
-  ByteVec dst(to_size(kPayload));
-  for (auto _ : state) {
-    const Off n = fotf::ff_pack(src.data(), 1, t, 0, dst.data(), kPayload);
-    benchmark::DoNotOptimize(n);
-    benchmark::DoNotOptimize(dst.data());
+double measure_mbps(const std::function<void()>& op, Off bytes_per_op,
+                    double min_seconds) {
+  op();  // warm-up
+  int repeats = 1;
+  {
+    WallTimer t;
+    op();
+    const double once = t.seconds();
+    repeats = once >= min_seconds
+                  ? 1
+                  : static_cast<int>(min_seconds / std::max(once, 1e-6)) + 1;
+    repeats = std::min(repeats, 10000);
   }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          kPayload);
-}
-
-void BM_ListPack(benchmark::State& state) {
-  const Off sblock = state.range(0);
-  const dt::Type t = vector_type(sblock);
-  ByteVec src(to_size(t->true_ub()), Byte{7});
-  ByteVec dst(to_size(kPayload));
-  for (auto _ : state) {
-    // Faithful to ROMIO: the memtype ol-list is rebuilt per access.
-    listio::ListMover mover(src.data(), 1, t, nullptr);
-    mover.to_stream(dst.data(), 0, kPayload);
-    benchmark::DoNotOptimize(dst.data());
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          kPayload);
-}
-
-void BM_Memcpy(benchmark::State& state) {
-  ByteVec src(to_size(kPayload), Byte{7});
-  ByteVec dst(to_size(kPayload));
-  for (auto _ : state) {
-    std::memcpy(dst.data(), src.data(), to_size(kPayload));
-    benchmark::DoNotOptimize(dst.data());
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          kPayload);
-}
-
-void BM_FotfUnpack(benchmark::State& state) {
-  const Off sblock = state.range(0);
-  const dt::Type t = vector_type(sblock);
-  ByteVec dst(to_size(t->true_ub()), Byte{0});
-  ByteVec src(to_size(kPayload), Byte{9});
-  for (auto _ : state) {
-    const Off n = fotf::ff_unpack(src.data(), kPayload, dst.data(), 1, t, 0);
-    benchmark::DoNotOptimize(n);
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          kPayload);
-}
-
-void BM_ListUnpack(benchmark::State& state) {
-  const Off sblock = state.range(0);
-  const dt::Type t = vector_type(sblock);
-  ByteVec dst(to_size(t->true_ub()), Byte{0});
-  ByteVec src(to_size(kPayload), Byte{9});
-  for (auto _ : state) {
-    listio::ListMover mover(dst.data(), 1, t, nullptr);
-    mover.from_stream(src.data(), 0, kPayload);
-    benchmark::DoNotOptimize(dst.data());
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          kPayload);
+  WallTimer t;
+  for (int i = 0; i < repeats; ++i) op();
+  const double total = t.seconds();
+  return total > 0 ? static_cast<double>(bytes_per_op) * repeats / total /
+                         (1024.0 * 1024.0)
+                   : 0.0;
 }
 
 }  // namespace
 
-BENCHMARK(BM_FotfPack)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
-BENCHMARK(BM_ListPack)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
-BENCHMARK(BM_FotfUnpack)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
-BENCHMARK(BM_ListUnpack)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
-BENCHMARK(BM_Memcpy);
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--quick") quick = true;
 
-BENCHMARK_MAIN();
+  const Off payload =
+      bench::env_off("LLIO_BENCH_TARGET_KB", quick ? 4096 : 32768) * 1024;
+  const double min_seconds =
+      bench::env_double("LLIO_BENCH_MIN_SECONDS", quick ? 0.05 : 0.15);
+
+  const std::vector<Off> sblocks =
+      quick ? std::vector<Off>{512, 4096, 65536}
+            : std::vector<Off>{64, 512, 4096, 65536};
+  const std::vector<int> threads = {1, 2, 4};
+
+  bench::Table table({"sblock", "threads", "plan", "pack MB/s", "unpack MB/s",
+                      "speedup vs 1t"});
+  std::printf(
+      "json-schema:{\"bench\":\"string\",\"sblock\":\"int\","
+      "\"threads\":\"int\",\"plan\":\"string\",\"pack_mbps\":\"number\","
+      "\"unpack_mbps\":\"number\",\"pack_speedup_vs_1t\":\"number\"}\n");
+  std::string json;
+
+  // Dense memcpy bound (same bytes, no gather).
+  {
+    ByteVec src(to_size(payload), Byte{0x5a});
+    ByteVec dst(to_size(payload));
+    const double mbps = measure_mbps(
+        [&] { std::memcpy(dst.data(), src.data(), src.size()); }, payload,
+        min_seconds);
+    table.add_row({"-", "-", "memcpy", fmt_mbps(mbps), fmt_mbps(mbps), "-"});
+    json += strprintf(
+        "json:{\"bench\":\"ablation_pack\",\"sblock\":0,\"threads\":0,"
+        "\"plan\":\"memcpy\",\"pack_mbps\":%.3f,\"unpack_mbps\":%.3f,"
+        "\"pack_speedup_vs_1t\":1.0}\n",
+        mbps, mbps);
+  }
+
+  for (const Off sblock : sblocks) {
+    const Off nblock = payload / sblock;
+    const dt::Type t = dt::hvector(nblock, sblock, 2 * sblock, dt::byte());
+    ByteVec typed(to_size(t->extent()), Byte{0x42});
+    ByteVec stream(to_size(payload));
+    const auto plan_compiled = fotf::PackPlan::compile(t);
+
+    for (const bool use_plan : {false, true}) {
+      double mbps_1t = 0;
+      for (const int nt : threads) {
+        fotf::PackConfig cfg;
+        cfg.threads = nt;
+        cfg.parallel_min = Off{256} << 10;
+        cfg.use_plan = use_plan;
+        const fotf::PackPlan* plan = use_plan ? plan_compiled.get() : nullptr;
+        const double pack_mbps = measure_mbps(
+            [&] {
+              fotf::pack_range(t, 1, typed.data(), 0, 0, stream.data(),
+                               payload, cfg, plan);
+            },
+            payload, min_seconds);
+        const double unpack_mbps = measure_mbps(
+            [&] {
+              fotf::unpack_range(t, 1, typed.data(), 0, 0, stream.data(),
+                                 payload, cfg, plan);
+            },
+            payload, min_seconds);
+        if (nt == 1) mbps_1t = pack_mbps;
+        const double speedup = mbps_1t > 0 ? pack_mbps / mbps_1t : 0.0;
+        table.add_row({strprintf("%lld", (long long)sblock),
+                       strprintf("%d", nt), use_plan ? "on" : "off",
+                       fmt_mbps(pack_mbps), fmt_mbps(unpack_mbps),
+                       strprintf("%.2f", speedup)});
+        json += strprintf(
+            "json:{\"bench\":\"ablation_pack\",\"sblock\":%lld,"
+            "\"threads\":%d,\"plan\":\"%s\",\"pack_mbps\":%.3f,"
+            "\"unpack_mbps\":%.3f,\"pack_speedup_vs_1t\":%.3f}\n",
+            (long long)sblock, nt, use_plan ? "on" : "off", pack_mbps,
+            unpack_mbps, speedup);
+      }
+    }
+  }
+
+  table.print(strprintf("ablation: parallel fotf pack (payload %lld KiB%s)",
+                        (long long)(payload / 1024), quick ? ", quick" : ""));
+  std::printf("%s", json.c_str());
+  return 0;
+}

@@ -26,6 +26,5 @@ llio_add_bench(bench_ablation_mergeview)
 llio_add_bench(bench_ablation_servers)
 
 llio_add_bench(bench_ablation_pack)
-target_link_libraries(bench_ablation_pack PRIVATE benchmark::benchmark)
 llio_add_bench(bench_ablation_olist)
 target_link_libraries(bench_ablation_olist PRIVATE benchmark::benchmark)

@@ -1,0 +1,63 @@
+#include "common/worker_pool.hpp"
+
+#include <algorithm>
+
+namespace llio {
+
+WorkerPool& WorkerPool::shared() {
+  static WorkerPool* pool = new WorkerPool();  // leaked, see header
+  return *pool;
+}
+
+WorkerPool::Reservation WorkerPool::reserve(int n) {
+  n = std::max(n, 0);
+  if (n > 0) {
+    std::lock_guard lock(mu_);
+    demand_ += n;
+    grow_locked(demand_);
+  }
+  return Reservation(this, n);
+}
+
+void WorkerPool::Reservation::release() {
+  if (pool_ == nullptr || n_ == 0) return;
+  std::lock_guard lock(pool_->mu_);
+  pool_->demand_ -= n_;
+  pool_ = nullptr;
+  n_ = 0;
+}
+
+void WorkerPool::enqueue(std::function<void()> fn) {
+  {
+    std::lock_guard lock(mu_);
+    // A submit without a covering reservation still makes progress.
+    if (threads_.empty()) grow_locked(1);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void WorkerPool::grow_locked(int target) {
+  target = std::min(target, kMaxThreads);
+  while (static_cast<int>(threads_.size()) < target)
+    threads_.emplace_back([this] { loop(); });
+}
+
+int WorkerPool::threads() const {
+  std::lock_guard lock(mu_);
+  return static_cast<int>(threads_.size());
+}
+
+void WorkerPool::loop() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [&] { return !queue_.empty(); });
+    std::function<void()> fn = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    fn();  // packaged_task: exceptions land in the caller's future
+    lock.lock();
+  }
+}
+
+}  // namespace llio

@@ -1,10 +1,15 @@
 // Listless StreamMover: moves data between a non-contiguous user buffer
-// and its dense stream with flattening-on-the-fly pack/unpack.
+// and its dense stream with flattening-on-the-fly pack/unpack.  Large
+// moves are sliced across the shared worker pool (fotf::pack_range);
+// memtypes get no PackPlan — movers live for one operation, plans are a
+// per-fileview amortization.
 #pragma once
 
 #include <memory>
 
 #include "fotf/cursor.hpp"
+#include "fotf/parallel.hpp"
+#include "mpiio/io_stats.hpp"
 #include "mpiio/navigator.hpp"
 
 namespace llio::core {
@@ -13,17 +18,23 @@ class FotfMover final : public mpiio::StreamMover {
  public:
   /// `buf` holds `count` instances of `memtype`.  The const_cast is safe:
   /// from_stream is only invoked on buffers the caller owns mutably.
-  FotfMover(const void* buf, Off count, dt::Type memtype);
+  /// `stats`, when bound, receives slice counters and must outlive the
+  /// mover.
+  FotfMover(const void* buf, Off count, dt::Type memtype,
+            fotf::PackConfig cfg = {}, mpiio::IoOpStats* stats = nullptr);
 
   void to_stream(Byte* dst, Off s, Off n) override;
   void from_stream(const Byte* src, Off s, Off n) override;
 
  private:
   fotf::SegmentCursor& at(Off s);
+  void fold(const fotf::RangeStats& rs);
 
   Byte* buf_;
   dt::Type memtype_;
   Off count_;
+  fotf::PackConfig cfg_;
+  mpiio::IoOpStats* stats_ = nullptr;
   fotf::SegmentCursor cur_;
   Off next_stream_ = 0;  ///< cursor's current stream position
 };

@@ -39,6 +39,14 @@ Off get_off(ConstByteSpan data, std::size_t at) {
   return v;
 }
 
+fotf::PackConfig pack_config(const mpiio::Options& o) {
+  fotf::PackConfig c;
+  c.threads = std::max(1, o.pack_threads);
+  c.parallel_min = std::max<Off>(1, o.pack_parallel_min);
+  c.use_plan = o.pack_plan;
+  return c;
+}
+
 }  // namespace
 
 void ListlessEngine::set_view(const View& v) {
@@ -48,7 +56,9 @@ void ListlessEngine::set_view(const View& v) {
   // Normalize once: the cursor then sees the largest regular strata, and
   // the cached wire form shrinks.  The typemap is provably unchanged.
   const dt::Type ft = dt::normalize(v.filetype);
-  nav_ = std::make_unique<ListlessNav>(ft);
+  const fotf::PackConfig pc = pack_config(opts_);
+  nav_ = std::make_unique<ListlessNav>(ft, pc);
+  nav_->bind_stats(&stats_);
 
   // Fileview caching (§3.2.3): exchange the compact representation once.
   ByteVec blob;
@@ -64,14 +74,16 @@ void ListlessEngine::set_view(const View& v) {
     cv.disp = get_off(raw, 0);
     cv.filetype = dt::deserialize(
         ConstByteSpan(raw.data() + sizeof(Off), raw.size() - sizeof(Off)));
-    cv.nav = std::make_unique<ListlessNav>(cv.filetype);
+    cv.nav = std::make_unique<ListlessNav>(cv.filetype, pc);
+    cv.nav->bind_stats(&stats_);
     cached_.push_back(std::move(cv));
   }
 }
 
 std::unique_ptr<mpiio::StreamMover> ListlessEngine::make_nc_mover(
     const void* buf, Off count, const dt::Type& mt) {
-  return std::make_unique<FotfMover>(buf, count, mt);
+  return std::make_unique<FotfMover>(buf, count, mt, pack_config(opts_),
+                                     &stats_);
 }
 
 Off ListlessEngine::do_write_at(Off stream_lo, const void* buf, Off count,

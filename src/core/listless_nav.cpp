@@ -8,7 +8,8 @@
 
 namespace llio::core {
 
-ListlessNav::ListlessNav(dt::Type filetype) : ft_(std::move(filetype)) {
+ListlessNav::ListlessNav(dt::Type filetype, fotf::PackConfig cfg)
+    : ft_(std::move(filetype)), cfg_(cfg) {
   LLIO_REQUIRE(ft_ != nullptr && ft_->size() > 0, Errc::InvalidDatatype,
                "ListlessNav: bad filetype");
 }
@@ -31,13 +32,45 @@ fotf::SegmentCursor& ListlessNav::at(Off s, Off hi) {
   return *cur_;
 }
 
+const fotf::PackPlan* ListlessNav::plan() {
+  if (!cfg_.use_plan) return nullptr;
+  if (!plan_tried_) {
+    plan_tried_ = true;
+    plan_ = fotf::PackPlan::compile(ft_);
+    if (stats_ != nullptr) ++stats_->plan_misses;  // the compile itself
+    return plan_.get();
+  }
+  if (plan_ != nullptr && stats_ != nullptr) ++stats_->plan_hits;
+  return plan_.get();
+}
+
+void ListlessNav::fold(const fotf::RangeStats& rs) {
+  if (stats_ == nullptr) return;
+  stats_->pack_threads_used =
+      std::max<std::uint64_t>(stats_->pack_threads_used,
+                              static_cast<std::uint64_t>(rs.threads_used));
+  stats_->pack_slices += rs.slices;
+  stats_->pack_slice_max_s =
+      std::max(stats_->pack_slice_max_s, rs.slice_max_s);
+  stats_->pack_slice_total_s += rs.slice_total_s;
+}
+
 void ListlessNav::scatter(Byte* win, Off bias, Off s, const Byte* src,
                           Off n) {
   if (n <= 0) return;
-  fotf::SegmentCursor& cur = at(s, s + n);
-  const Off copied = fotf::transfer_unpack(cur, win, bias, src, n);
+  const fotf::PackPlan* pl = plan();
+  fotf::SegmentCursor* reuse = nullptr;
+  if (pl == nullptr && !fotf::will_parallelize(cfg_, n))
+    reuse = &at(s, s + n);
+  const Off count =
+      reuse != nullptr ? cur_instances_ : ceil_div(s + n, ft_->size()) + 1;
+  fotf::RangeStats rs;
+  const Off copied =
+      fotf::unpack_range(ft_, count, win, bias, s, src, n, cfg_, pl, &rs,
+                         reuse);
   LLIO_ASSERT(copied == n, "ListlessNav::scatter: short transfer");
-  next_stream_ = s + n;
+  if (rs.used_cursor) next_stream_ = s + n;
+  fold(rs);
 }
 
 void ListlessNav::for_each_segment(
@@ -56,10 +89,19 @@ void ListlessNav::for_each_segment(
 
 void ListlessNav::gather(Byte* dst, const Byte* win, Off bias, Off s, Off n) {
   if (n <= 0) return;
-  fotf::SegmentCursor& cur = at(s, s + n);
-  const Off copied = fotf::transfer_pack(cur, win, bias, dst, n);
+  const fotf::PackPlan* pl = plan();
+  fotf::SegmentCursor* reuse = nullptr;
+  if (pl == nullptr && !fotf::will_parallelize(cfg_, n))
+    reuse = &at(s, s + n);
+  const Off count =
+      reuse != nullptr ? cur_instances_ : ceil_div(s + n, ft_->size()) + 1;
+  fotf::RangeStats rs;
+  const Off copied =
+      fotf::pack_range(ft_, count, win, bias, s, dst, n, cfg_, pl, &rs,
+                       reuse);
   LLIO_ASSERT(copied == n, "ListlessNav::gather: short transfer");
-  next_stream_ = s + n;
+  if (rs.used_cursor) next_stream_ = s + n;
+  fold(rs);
 }
 
 }  // namespace llio::core

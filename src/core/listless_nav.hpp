@@ -1,18 +1,33 @@
 // Listless ViewNav: fileview navigation and data movement via
 // flattening-on-the-fly (paper §3).  All positioning is O(depth) and all
 // copying is proportional to the bytes moved — no ol-lists anywhere.
+//
+// Data movement goes through fotf::pack_range/unpack_range: serial small
+// jobs reuse the streaming cursor exactly as before; jobs past the
+// configured threshold are sliced across the shared worker pool, and a
+// per-view PackPlan (compiled lazily on first use, owned by this nav and
+// therefore recreated — i.e. invalidated — whenever set_view rebuilds
+// the navs) replays the flat run table instead of walking the type tree.
 #pragma once
 
 #include <memory>
 
 #include "fotf/cursor.hpp"
+#include "fotf/parallel.hpp"
+#include "fotf/plan.hpp"
+#include "mpiio/io_stats.hpp"
 #include "mpiio/navigator.hpp"
 
 namespace llio::core {
 
 class ListlessNav final : public mpiio::ViewNav {
  public:
-  explicit ListlessNav(dt::Type filetype);
+  explicit ListlessNav(dt::Type filetype, fotf::PackConfig cfg = {});
+
+  /// Where plan/slice counters land; unbound = not counted.  The pointee
+  /// must outlive the nav (the engine binds its own stats_ member, whose
+  /// identity survives the per-op reset).
+  void bind_stats(mpiio::IoOpStats* stats) { stats_ = stats; }
 
   Off stream_to_file_start(Off s) override;
   Off stream_to_file_end(Off s) override;
@@ -27,7 +42,17 @@ class ListlessNav final : public mpiio::ViewNav {
   /// at `s` (re-seeks only on non-sequential access).
   fotf::SegmentCursor& at(Off s, Off hi);
 
+  /// The compiled plan (lazy, one compile attempt per view) or nullptr
+  /// when disabled / declined; counts hits and misses into stats_.
+  const fotf::PackPlan* plan();
+
+  void fold(const fotf::RangeStats& rs);
+
   dt::Type ft_;
+  fotf::PackConfig cfg_;
+  std::shared_ptr<const fotf::PackPlan> plan_;
+  bool plan_tried_ = false;
+  mpiio::IoOpStats* stats_ = nullptr;
   std::unique_ptr<fotf::SegmentCursor> cur_;
   Off cur_instances_ = 0;
   Off next_stream_ = -1;  ///< stream position the cursor currently sits at

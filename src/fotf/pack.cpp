@@ -1,62 +1,226 @@
 #include "fotf/pack.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "common/error.hpp"
 #include "obs/trace.hpp"
 
 namespace llio::fotf {
 
+// ---- non-temporal dense copy -------------------------------------------
+
+namespace {
+
+/// 0 = auto (LLC size), < 0 = disabled, > 0 = explicit byte threshold.
+std::atomic<Off> g_nt_threshold{0};
+
+Off detect_llc_bytes() {
+#if defined(_SC_LEVEL3_CACHE_SIZE)
+  const long l3 = ::sysconf(_SC_LEVEL3_CACHE_SIZE);
+  if (l3 > 0) return static_cast<Off>(l3);
+#endif
+#if defined(_SC_LEVEL2_CACHE_SIZE)
+  const long l2 = ::sysconf(_SC_LEVEL2_CACHE_SIZE);
+  if (l2 > 0) return static_cast<Off>(l2);
+#endif
+  return Off{32} << 20;  // conservative: larger than any LLC we care about
+}
+
+/// True when a dense write of `bytes` should bypass the cache.
+bool nt_wanted(Off bytes) {
+  if (!nt_supported()) return false;
+  const Off t = nt_threshold();
+  return t > 0 && bytes >= t;
+}
+
+#if defined(__SSE2__)
+void nt_copy(Byte* dst, const Byte* src, Off n) {
+  // Scalar head up to 16-byte destination alignment (streaming stores
+  // require it), then 64-byte bursts, then a scalar tail.
+  const auto addr = reinterpret_cast<std::uintptr_t>(dst);
+  const Off head = std::min<Off>(n, static_cast<Off>((16 - (addr & 15)) & 15));
+  if (head > 0) {
+    std::memcpy(dst, src, to_size(head));
+    dst += head;
+    src += head;
+    n -= head;
+  }
+  Off i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const auto* s = reinterpret_cast<const __m128i*>(src + i);
+    auto* d = reinterpret_cast<__m128i*>(dst + i);
+    _mm_stream_si128(d + 0, _mm_loadu_si128(s + 0));
+    _mm_stream_si128(d + 1, _mm_loadu_si128(s + 1));
+    _mm_stream_si128(d + 2, _mm_loadu_si128(s + 2));
+    _mm_stream_si128(d + 3, _mm_loadu_si128(s + 3));
+  }
+  for (; i + 16 <= n; i += 16)
+    _mm_stream_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i)));
+  if (i < n) std::memcpy(dst + i, src + i, to_size(n - i));
+  _mm_sfence();
+}
+#endif
+
+}  // namespace
+
+bool nt_supported() noexcept {
+#if defined(__SSE2__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+void set_nt_threshold(Off bytes) {
+  g_nt_threshold.store(bytes, std::memory_order_relaxed);
+}
+
+Off nt_threshold() {
+  const Off t = g_nt_threshold.load(std::memory_order_relaxed);
+  if (t != 0) return t;
+  static const Off auto_threshold = detect_llc_bytes();
+  return auto_threshold;
+}
+
+void dense_copy(Byte* dst, const Byte* src, Off n) {
+  if (n <= 0) return;
+#if defined(__SSE2__)
+  if (nt_wanted(n)) {
+    nt_copy(dst, src, n);
+    return;
+  }
+#endif
+  std::memcpy(dst, src, to_size(n));
+}
+
+// ---- strided gather/scatter kernels ------------------------------------
+
 namespace {
 
 template <std::size_t B>
-void gather_fixed(Byte* dst, const Byte* src, Off stride, Off n) {
+void gather_fixed(Byte* __restrict dst, const Byte* __restrict src, Off stride,
+                  Off n) {
   for (Off i = 0; i < n; ++i)
     std::memcpy(dst + i * static_cast<Off>(B), src + i * stride, B);
 }
 
 template <std::size_t B>
-void scatter_fixed(Byte* dst, Off stride, const Byte* src, Off n) {
+void scatter_fixed(Byte* __restrict dst, Off stride, const Byte* __restrict src,
+                   Off n) {
   for (Off i = 0; i < n; ++i)
     std::memcpy(dst + i * stride, src + i * static_cast<Off>(B), B);
 }
+
+#if defined(__SSE2__)
+/// Gather with streaming stores: the dense destination is written without
+/// polluting the cache.  Requires B % 16 == 0 and a 16-byte-aligned dst.
+template <std::size_t B>
+void gather_fixed_nt(Byte* __restrict dst, const Byte* __restrict src,
+                     Off stride, Off n) {
+  static_assert(B % 16 == 0);
+  for (Off i = 0; i < n; ++i) {
+    const Byte* s = src + i * stride;
+    auto* d = reinterpret_cast<__m128i*>(dst + i * static_cast<Off>(B));
+    for (std::size_t o = 0; o < B; o += 16)
+      _mm_stream_si128(
+          d++, _mm_loadu_si128(reinterpret_cast<const __m128i*>(s + o)));
+  }
+  _mm_sfence();
+}
+
+bool aligned16(const Byte* p) {
+  return (reinterpret_cast<std::uintptr_t>(p) & 15) == 0;
+}
+#endif
 
 }  // namespace
 
 void strided_gather(Byte* dst, const Byte* src, Off seg_bytes, Off stride,
                     Off n) {
+  if (seg_bytes == stride) {
+    // Seamless tiling: the n segments are one contiguous block.
+    dense_copy(dst, src, seg_bytes * n);
+    return;
+  }
+#if defined(__SSE2__)
+  if (seg_bytes >= 64 && (seg_bytes & 15) == 0 && aligned16(dst) &&
+      nt_wanted(seg_bytes * n)) {
+    switch (seg_bytes) {
+      case 64: gather_fixed_nt<64>(dst, src, stride, n); return;
+      case 128: gather_fixed_nt<128>(dst, src, stride, n); return;
+      case 256: gather_fixed_nt<256>(dst, src, stride, n); return;
+      case 512: gather_fixed_nt<512>(dst, src, stride, n); return;
+      default: break;  // odd widths take the scalar path below
+    }
+  }
+#endif
   switch (seg_bytes) {
     case 1: gather_fixed<1>(dst, src, stride, n); return;
     case 2: gather_fixed<2>(dst, src, stride, n); return;
     case 4: gather_fixed<4>(dst, src, stride, n); return;
     case 8: gather_fixed<8>(dst, src, stride, n); return;
     case 16: gather_fixed<16>(dst, src, stride, n); return;
+    case 24: gather_fixed<24>(dst, src, stride, n); return;
     case 32: gather_fixed<32>(dst, src, stride, n); return;
+    case 48: gather_fixed<48>(dst, src, stride, n); return;
     case 64: gather_fixed<64>(dst, src, stride, n); return;
     case 128: gather_fixed<128>(dst, src, stride, n); return;
-    default:
-      for (Off i = 0; i < n; ++i)
-        std::memcpy(dst + i * seg_bytes, src + i * stride, to_size(seg_bytes));
+    case 256: gather_fixed<256>(dst, src, stride, n); return;
+    case 512: gather_fixed<512>(dst, src, stride, n); return;
+    default: {
+      // Generic tail: size conversion and bounds hoisted out of the loop,
+      // pointer bumps instead of per-iteration multiplies.
+      const std::size_t seg = to_size(seg_bytes);
+      const Byte* __restrict s = src;
+      Byte* __restrict d = dst;
+      for (const Byte* const end = dst + n * seg_bytes; d != end;
+           d += seg_bytes, s += stride)
+        std::memcpy(d, s, seg);
+    }
   }
 }
 
 void strided_scatter(Byte* dst, Off stride, const Byte* src, Off seg_bytes,
                      Off n) {
+  if (seg_bytes == stride) {
+    dense_copy(dst, src, seg_bytes * n);
+    return;
+  }
   switch (seg_bytes) {
     case 1: scatter_fixed<1>(dst, stride, src, n); return;
     case 2: scatter_fixed<2>(dst, stride, src, n); return;
     case 4: scatter_fixed<4>(dst, stride, src, n); return;
     case 8: scatter_fixed<8>(dst, stride, src, n); return;
     case 16: scatter_fixed<16>(dst, stride, src, n); return;
+    case 24: scatter_fixed<24>(dst, stride, src, n); return;
     case 32: scatter_fixed<32>(dst, stride, src, n); return;
+    case 48: scatter_fixed<48>(dst, stride, src, n); return;
     case 64: scatter_fixed<64>(dst, stride, src, n); return;
     case 128: scatter_fixed<128>(dst, stride, src, n); return;
-    default:
-      for (Off i = 0; i < n; ++i)
-        std::memcpy(dst + i * stride, src + i * seg_bytes, to_size(seg_bytes));
+    case 256: scatter_fixed<256>(dst, stride, src, n); return;
+    case 512: scatter_fixed<512>(dst, stride, src, n); return;
+    default: {
+      const std::size_t seg = to_size(seg_bytes);
+      const Byte* __restrict s = src;
+      Byte* __restrict d = dst;
+      for (const Byte* const end = src + n * seg_bytes; s != end;
+           s += seg_bytes, d += stride)
+        std::memcpy(d, s, seg);
+    }
   }
 }
+
+// ---- cursor-driven transfer --------------------------------------------
 
 namespace {
 
@@ -85,9 +249,9 @@ Off transfer(SegmentCursor& cur, Byte* typed_base, Off mem_bias, Byte* pack,
     const Off n = std::min(cur.run_len(), packsize - done);
     Byte* typed = typed_base + (cur.run_mem() - mem_bias);
     if constexpr (ToPack)
-      std::memcpy(pack + done, typed, to_size(n));
+      dense_copy(pack + done, typed, n);
     else
-      std::memcpy(typed, pack + done, to_size(n));
+      dense_copy(typed, pack + done, n);
     done += n;
     cur.consume(n);
   }

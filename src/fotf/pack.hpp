@@ -52,9 +52,24 @@ Off transfer_unpack(SegmentCursor& cur, Byte* typed_base, Off mem_bias,
 
 /// Strided copy kernels (scalar stand-ins for SX gather/scatter):
 /// copy n segments of seg_bytes each between a strided and a dense buffer.
+/// seg_bytes == stride collapses to one dense copy; large dense gathers
+/// take a non-temporal store path when available (see nt_threshold).
 void strided_gather(Byte* dst, const Byte* src, Off seg_bytes, Off stride,
                     Off n);
 void strided_scatter(Byte* dst, Off stride, const Byte* src, Off seg_bytes,
                      Off n);
+
+/// Dense copy used by every pack path: memcpy below the non-temporal
+/// threshold, cache-bypassing streaming stores at or above it (copies
+/// larger than the LLC would only evict useful lines).  Byte output is
+/// identical either way.
+void dense_copy(Byte* dst, const Byte* src, Off n);
+
+/// Non-temporal store control.  The threshold defaults to the detected
+/// LLC size (sysconf, with a conservative fallback).  set_nt_threshold:
+/// 0 = auto, < 0 = disable, > 0 = explicit byte count (test/bench hook).
+bool nt_supported() noexcept;
+void set_nt_threshold(Off bytes);
+Off nt_threshold();
 
 }  // namespace llio::fotf

@@ -1,0 +1,68 @@
+// Navigation-sliced parallel pack/unpack.
+//
+// Because seek() positions a SegmentCursor at any packed-stream offset in
+// O(depth) — the navigation property of §3.2.1 — a pack job over stream
+// bytes [skip, skip + n) can be split into independent equal slices
+// [skip + i*n/T, skip + (i+1)*n/T): each slice seeks its own cursor (or
+// replays the shared PackPlan) and moves its bytes with no coordination.
+// Slices run on the process-wide WorkerPool (shared with the collective
+// pipeline's I/O workers); the submitting thread always executes slice 0
+// inline, so contention degrades to serial execution, never deadlock.
+//
+// Determinism: pack (gather) slices write disjoint ranges of the dense
+// buffer and only read typed memory, so parallel pack is race-free for
+// any datatype.  Parallel *unpack* additionally requires the typemap to
+// be non-overlapping (two stream bytes must not map to one memory byte)
+// — true for fileviews, which MPI requires to be monotone, and for any
+// buffer it is legal to receive into.
+//
+// With threads == 1 (or jobs below parallel_min) the serial path is
+// byte-identical and allocation-free relative to transfer_pack on the
+// caller's cursor.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "dtype/datatype.hpp"
+#include "fotf/cursor.hpp"
+#include "fotf/plan.hpp"
+
+namespace llio::fotf {
+
+struct PackConfig {
+  int threads = 1;                  ///< max slices per job (1 = serial)
+  Off parallel_min = Off{1} << 20;  ///< never slice jobs smaller than this
+  bool use_plan = true;  ///< compile + replay PackPlans for cached views
+};
+
+/// What one ranged call did, for IoOpStats folding.
+struct RangeStats {
+  int threads_used = 1;         ///< slices this job ran with
+  std::uint64_t slices = 0;     ///< parallel slices executed (0 = serial)
+  double slice_max_s = 0;       ///< slowest slice
+  double slice_total_s = 0;     ///< summed slice time
+  bool used_cursor = false;     ///< serial path advanced `reuse`
+  bool used_plan = false;       ///< plan replay (serial path)
+};
+
+/// True when `cfg` would split a job of `n` stream bytes into slices.
+bool will_parallelize(const PackConfig& cfg, Off n) noexcept;
+
+/// Pack bytes [skip, skip + n) of the packed stream of `count` instances
+/// of `t` into `dst` (same contract as ff_pack_window).  `plan`, when
+/// non-null, must be compiled from `t`; `reuse`, when non-null, must be a
+/// cursor over >= `count` instances of `t` and is only consulted (and
+/// advanced) on the serial no-plan path.  Returns bytes moved.
+Off pack_range(const Type& t, Off count, const Byte* typed_base, Off mem_bias,
+               Off skip, Byte* dst, Off n, const PackConfig& cfg = {},
+               const PackPlan* plan = nullptr, RangeStats* stats = nullptr,
+               SegmentCursor* reuse = nullptr);
+
+/// Unpack `src` into bytes [skip, skip + n) of the packed stream.
+Off unpack_range(const Type& t, Off count, Byte* typed_base, Off mem_bias,
+                 Off skip, const Byte* src, Off n, const PackConfig& cfg = {},
+                 const PackPlan* plan = nullptr, RangeStats* stats = nullptr,
+                 SegmentCursor* reuse = nullptr);
+
+}  // namespace llio::fotf

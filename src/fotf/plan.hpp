@@ -1,0 +1,79 @@
+// Compiled vector-run pack plan (the "flattened cursor").
+//
+// A SegmentCursor re-derives the contiguous segments of a datatype on
+// every pack: each window walks the type tree again, even though the
+// segment structure of one instance never changes.  A PackPlan compiles
+// that structure exactly once — one cursor walk over a single instance —
+// into three flat arrays (memory offset, length, stream-prefix) plus the
+// instance period, so steady-state collective windows replay a table
+// lookup instead of a tree walk.
+//
+// The plan is still O(segments-per-instance) memory, *not* O(N_block)
+// like an ol-list: repetition counts never enter the table (instance i is
+// addressed as i * extent).  Types whose single instance exceeds
+// `max_runs` maximal contiguous segments fall back to the cursor
+// (compile returns nullptr) so plan memory stays bounded.
+//
+// When every run has the same length and the spacing is constant —
+// including the wrap from the last run of one instance to the first run
+// of the next — the plan marks itself `uniform` and replays through one
+// strided_gather/strided_scatter call covering arbitrarily many
+// segments, the same kernel the cursor's vec_run fast path uses but with
+// zero per-window re-derivation.
+//
+// Plans are immutable after compile and safe to share across threads;
+// the parallel slicer hands the same plan to every slice.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "dtype/datatype.hpp"
+
+namespace llio::fotf {
+
+using dt::Type;
+
+class PackPlan {
+ public:
+  /// Per-instance run-table cap; above this the plan would approach
+  /// ol-list memory cost and compile() declines (returns nullptr).
+  static constexpr std::size_t kDefaultMaxRuns = 4096;
+
+  /// Compile the segment table of one instance of `t`.  Returns nullptr
+  /// for null/zero-size types and for types with more than `max_runs`
+  /// contiguous segments per instance.
+  static std::shared_ptr<const PackPlan> compile(
+      const Type& t, std::size_t max_runs = kDefaultMaxRuns);
+
+  Off instance_size() const noexcept { return size_; }
+  Off instance_extent() const noexcept { return extent_; }
+  Off run_count() const noexcept { return static_cast<Off>(len_.size()); }
+  bool uniform() const noexcept { return uniform_; }
+
+  /// Move bytes [skip, skip + n) of the packed stream of `count`
+  /// instances between the typed buffer and the dense buffer; same
+  /// contract (including the mem_bias window adjustment) and same byte
+  /// output as ff_pack_window / ff_unpack_window.  Returns bytes moved.
+  Off pack(const Byte* typed_base, Off mem_bias, Off count, Off skip,
+           Byte* dst, Off n) const;
+  Off unpack(Byte* typed_base, Off mem_bias, Off count, Off skip,
+             const Byte* src, Off n) const;
+
+ private:
+  template <bool ToPack>
+  Off transfer(Byte* typed_base, Off mem_bias, Off count, Off skip,
+               Byte* pack, Off n) const;
+
+  std::vector<Off> mem_;     ///< memory offset of run r within the instance
+  std::vector<Off> len_;     ///< bytes in run r (always > 0)
+  std::vector<Off> prefix_;  ///< stream offset of run r; back() == size_
+  Off size_ = 0;             ///< stream period (datatype size)
+  Off extent_ = 0;           ///< memory period (datatype extent)
+  bool uniform_ = false;     ///< equal runs at constant spacing, wrap incl.
+  Off useg_ = 0;             ///< uniform: bytes per segment
+  Off ustride_ = 0;          ///< uniform: distance between segment starts
+};
+
+}  // namespace llio::fotf

@@ -96,6 +96,21 @@ Options apply_info(const Info& info, Options base) {
       LLIO_REQUIRE(n >= 1, Errc::InvalidArgument,
                    "hint llio_iov_batch_max: expected a count >= 1");
       base.iov_batch_max = n;
+    } else if (key == "llio_pack_threads") {
+      const int n = parse_int(key, value);
+      LLIO_REQUIRE(n >= 1, Errc::InvalidArgument,
+                   "hint llio_pack_threads: expected a count >= 1");
+      base.pack_threads = n;
+    } else if (key == "llio_pack_parallel_min") {
+      base.pack_parallel_min = parse_bytes(key, value);
+    } else if (key == "llio_pack_plan") {
+      if (value == "on")
+        base.pack_plan = true;
+      else if (value == "off")
+        base.pack_plan = false;
+      else
+        throw_error(Errc::InvalidArgument,
+                    "hint llio_pack_plan: expected on/off");
     } else if (key == "llio_psrv_servers") {
       base.psrv_servers = parse_int(key, value);
     } else if (key == "llio_psrv_queue_depth") {
@@ -167,6 +182,10 @@ Info options_to_info(const Options& o) {
   info.set("llio_merge_contig", merge_contig_name(o.merge_contig));
   info.set("llio_pipeline_depth", strprintf("%d", o.pipeline_depth));
   info.set("llio_iov_batch_max", strprintf("%lld", (long long)o.iov_batch_max));
+  info.set("llio_pack_threads", strprintf("%d", o.pack_threads));
+  info.set("llio_pack_parallel_min",
+           strprintf("%lld", (long long)o.pack_parallel_min));
+  info.set("llio_pack_plan", o.pack_plan ? "on" : "off");
   // psrv/net hints appear only when set away from their defaults (they
   // configure the harness-built backend, not the engines).
   if (o.psrv_servers > 0)

@@ -28,6 +28,18 @@ std::string format_stats(const IoOpStats& s) {
                    (unsigned long long)s.preread_skipped_windows);
   out += strprintf("merge contig     %llu ops\n",
                    (unsigned long long)s.merge_contig_ops);
+  out += strprintf("pack threads     %llu used, %llu slices",
+                   (unsigned long long)s.pack_threads_used,
+                   (unsigned long long)s.pack_slices);
+  if (s.pack_slices > 0 && s.pack_slice_total_s > 0) {
+    const double mean =
+        s.pack_slice_total_s / static_cast<double>(s.pack_slices);
+    out += strprintf(" (slice max/mean %.2f)", s.pack_slice_max_s / mean);
+  }
+  out += "\n";
+  out += strprintf("pack plan        %llu hits / %llu misses\n",
+                   (unsigned long long)s.plan_hits,
+                   (unsigned long long)s.plan_misses);
   return out;
 }
 

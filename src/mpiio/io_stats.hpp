@@ -37,6 +37,15 @@ struct IoOpStats {
                                        ///< dense-disjoint bypass (the
                                        ///< two-phase exchange was skipped)
 
+  /// Parallel FOTF pack/unpack (navigation slicing + plan cache).
+  std::uint64_t pack_threads_used = 0;  ///< max slices any one job ran with
+  std::uint64_t plan_hits = 0;    ///< pack-plan replays of a cached plan
+  std::uint64_t plan_misses = 0;  ///< plan compiles (or declined compiles)
+  std::uint64_t pack_slices = 0;  ///< parallel slices executed
+  double pack_slice_max_s = 0;    ///< slowest single slice
+  double pack_slice_total_s = 0;  ///< summed slice time; imbalance =
+                                  ///< max / (total / slices)
+
   IoOpStats& operator+=(const IoOpStats& o) {
     total_s += o.total_s;
     list_build_s += o.list_build_s;
@@ -57,6 +66,16 @@ struct IoOpStats {
     preread_skipped_windows += o.preread_skipped_windows;
     merge_analysis_s += o.merge_analysis_s;
     merge_contig_ops += o.merge_contig_ops;
+    pack_threads_used = pack_threads_used > o.pack_threads_used
+                            ? pack_threads_used
+                            : o.pack_threads_used;
+    plan_hits += o.plan_hits;
+    plan_misses += o.plan_misses;
+    pack_slices += o.pack_slices;
+    pack_slice_max_s = pack_slice_max_s > o.pack_slice_max_s
+                           ? pack_slice_max_s
+                           : o.pack_slice_max_s;
+    pack_slice_total_s += o.pack_slice_total_s;
     return *this;
   }
 };

@@ -82,6 +82,23 @@ struct Options {
   /// (preadv/pwritev) by the direct (non-sieving) access paths.
   Off iov_batch_max = 64;
 
+  /// FOTF pack/unpack parallelism (hint llio_pack_threads): pack jobs of
+  /// at least pack_parallel_min stream bytes are split into equal
+  /// stream-byte slices on the process-wide worker pool (shared with the
+  /// pipeline's I/O workers).  1 = serial, bit-identical to the
+  /// pre-parallel path.
+  int pack_threads = 1;
+
+  /// Minimum job size (stream bytes) worth slicing (hint
+  /// llio_pack_parallel_min).
+  Off pack_parallel_min = 1 << 20;
+
+  /// Compile each cached fileview's segment table into a PackPlan once
+  /// and replay it on every window, instead of re-walking the type tree
+  /// (hint llio_pack_plan = on/off).  Plans are recreated with the navs
+  /// at every set_view, so they can never outlive their view epoch.
+  bool pack_plan = true;
+
   /// File-server subsystem (psrv) selection, consumed by the harnesses
   /// that build the backend (psrv::make_server_file) — the engines see
   /// only the resulting pfs::FileBackend.  psrv_servers 0 = harness

@@ -2,17 +2,16 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <exception>
 #include <future>
-#include <mutex>
 #include <optional>
-#include <thread>
+#include <string>
 #include <vector>
 
 #include "common/timer.hpp"
+#include "common/worker_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "pfs/range_lock.hpp"
@@ -66,68 +65,6 @@ FileJobStats write_job(pfs::FileBackend& file, Off lo, ConstByteSpan buf,
   return s;
 }
 
-/// Fixed pool of I/O worker threads, one per in-flight window.
-class IoWorkerPool {
- public:
-  explicit IoWorkerPool(int n) {
-    // Capture the owning rank on the compute thread so worker events
-    // land on that rank's track group (tid 1.., below the compute row).
-    const int owner = obs::current_pid();
-    threads_.reserve(to_size(n));
-    for (int i = 0; i < n; ++i)
-      threads_.emplace_back([this, owner, i] {
-        std::optional<obs::ThreadTrackGuard> track;
-        if (owner >= 0)
-          track.emplace(owner, 1 + i, "",
-                        "io worker " + std::to_string(1 + i));
-        loop();
-      });
-  }
-
-  ~IoWorkerPool() {
-    {
-      std::lock_guard lock(mu_);
-      stop_ = true;
-    }
-    cv_.notify_all();
-    for (std::thread& t : threads_) t.join();
-  }
-
-  std::future<FileJobStats> submit(std::function<FileJobStats()> fn) {
-    std::packaged_task<FileJobStats()> task(std::move(fn));
-    std::future<FileJobStats> fut = task.get_future();
-    {
-      std::lock_guard lock(mu_);
-      queue_.push_back(std::move(task));
-    }
-    cv_.notify_one();
-    return fut;
-  }
-
- private:
-  void loop() {
-    std::unique_lock lock(mu_);
-    for (;;) {
-      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stop_) return;
-        continue;
-      }
-      std::packaged_task<FileJobStats()> task = std::move(queue_.front());
-      queue_.pop_front();
-      lock.unlock();
-      task();  // exceptions land in the future
-      lock.lock();
-    }
-  }
-
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::packaged_task<FileJobStats()>> queue_;
-  std::vector<std::thread> threads_;
-  bool stop_ = false;
-};
-
 void run_serial(SieveContext& ctx, Off buffer_bytes, const WindowSource& next,
                 const WindowFill& fill) {
   ByteVec buf(to_size(buffer_bytes));
@@ -159,7 +96,25 @@ void run_pipelined(SieveContext& ctx, int depth, Off buffer_bytes,
     std::future<FileJobStats> io;  // pending pre-read or write-back
   };
 
-  IoWorkerPool pool(depth);
+  // I/O jobs run on the process-wide worker pool (shared with parallel
+  // pack slices); the reservation guarantees `depth` concurrent workers
+  // exist for the duration of this run.  Tracing is per-job: the track
+  // guard routes the job's spans onto the owning rank's worker tracks
+  // (tid 1.., below the compute row) and its destructor flushes the
+  // thread-local event buffer, which a persistent pool thread would
+  // otherwise hold back from snapshots.
+  WorkerPool& pool = WorkerPool::shared();
+  const WorkerPool::Reservation reserved = pool.reserve(depth);
+  const int owner = obs::current_pid();
+  auto submit_io = [&pool, owner](int tid,
+                                  std::function<FileJobStats()> fn) {
+    return pool.submit([owner, tid, fn = std::move(fn)] {
+      std::optional<obs::ThreadTrackGuard> track;
+      if (owner >= 0 && obs::trace_enabled())
+        track.emplace(owner, tid, "", "io worker " + std::to_string(tid));
+      return fn();
+    });
+  };
   std::vector<ByteVec> bufs(to_size(depth));
   for (ByteVec& b : bufs) b.resize(to_size(buffer_bytes));
   std::vector<std::size_t> free_bufs;
@@ -231,8 +186,10 @@ void run_pipelined(SieveContext& ctx, int depth, Off buffer_bytes,
         const ByteSpan span(bufs[fl.buf].data(), to_size(plan.hi - plan.lo));
         const Off lo = plan.lo;
         const Off win = plan.index;
-        fl.io = pool.submit(
-            [&file, lo, span, win] { return read_job(file, lo, span, win); });
+        fl.io = submit_io(1 + static_cast<int>(fl.buf), [&file, lo, span,
+                                                         win] {
+          return read_job(file, lo, span, win);
+        });
       }
       pending.push_back(std::move(fl));
     }
@@ -266,8 +223,9 @@ void run_pipelined(SieveContext& ctx, int depth, Off buffer_bytes,
                                to_size(fl.plan.hi - fl.plan.lo));
       const Off lo = fl.plan.lo;
       const Off win = fl.plan.index;
-      fl.io = pool.submit(
-          [&file, lo, span, win] { return write_job(file, lo, span, win); });
+      fl.io = submit_io(1 + static_cast<int>(fl.buf), [&file, lo, span, win] {
+        return write_job(file, lo, span, win);
+      });
       writing.push_back(std::move(fl));
     } else {
       if (fl.locked) ctx.locks.unlock(fl.plan.lo, fl.plan.hi);

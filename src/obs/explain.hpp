@@ -14,11 +14,14 @@
 // Span vocabulary (produced by mpiio::run_window_pipeline and the
 // engines; matched here by name + the numeric "win" argument, never by
 // time containment):
-//   "window"   compute thread, one per window (settle + fill + submit)
-//   "io_wait"  compute thread, blocked on a worker future
-//   "pack"     compute thread, scatter/gather inside the fill callback
-//   "preread"  I/O worker, the window's read-modify-write load
-//   "pwrite"   I/O worker, the window's write-back
+//   "window"     compute thread, one per window (settle + fill + submit)
+//   "io_wait"    compute thread, blocked on a worker future
+//   "pack"       compute thread, scatter/gather inside the fill callback
+//   "preread"    I/O worker, the window's read-modify-write load
+//   "pwrite"     I/O worker, the window's write-back
+//   "pack_slice" one slice of a parallel FOTF pack (slice 0 on the
+//                compute thread, the rest on worker tracks); the
+//                max/mean ratio of slice durations is the load imbalance
 #pragma once
 
 #include <map>
@@ -50,6 +53,16 @@ struct RankPipelineSummary {
   double pack_us = 0;
   double worker_io_us = 0;  ///< preread + pwrite on worker tracks
   double overlap_us = 0;    ///< max(0, worker_io - io_wait)
+  long long pack_slices = 0;      ///< parallel pack slices
+  double pack_slice_us = 0;       ///< summed slice time
+  double pack_slice_max_us = 0;   ///< slowest single slice
+  /// max/mean slice duration (1.0 = perfectly balanced, 0 = no slices).
+  double slice_imbalance() const {
+    return pack_slices > 0 && pack_slice_us > 0
+               ? pack_slice_max_us /
+                     (pack_slice_us / static_cast<double>(pack_slices))
+               : 0.0;
+  }
 };
 
 struct PipelineReport {

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_ablation_pack run against the committed baseline.
+
+Usage:
+    check_pack_regression.py BASELINE CURRENT [--max-regress 0.25]
+
+Both files hold one JSON object per line (the `sed -n 's/^json://p'`
+extraction of the bench output; a leading schema line is tolerated).
+Only serial plan-on rows (threads == 1, plan == "on") are compared — the
+steady-state single-thread path whose throughput must not regress across
+machines — matched up by sblock.  Rows present on only one side are
+reported but do not fail the check (the sweep may grow).
+
+Exit status: 0 when every matched row's pack_mbps is within
+(1 - max_regress) of the baseline, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    rows = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line or not line.startswith("{"):
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if row.get("bench") != "ablation_pack":
+                continue
+            if row.get("threads") == 1 and row.get("plan") == "on":
+                rows[row["sblock"]] = row
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--max-regress", type=float, default=0.25,
+                    help="allowed fractional drop in pack_mbps (default 0.25)")
+    args = ap.parse_args()
+
+    base = load_rows(args.baseline)
+    cur = load_rows(args.current)
+    if not base:
+        print(f"error: no serial plan-on rows in {args.baseline}")
+        return 1
+    if not cur:
+        print(f"error: no serial plan-on rows in {args.current}")
+        return 1
+
+    failed = False
+    for sblock in sorted(base):
+        if sblock not in cur:
+            print(f"sblock {sblock:>6}: baseline only (skipped)")
+            continue
+        b = base[sblock]["pack_mbps"]
+        c = cur[sblock]["pack_mbps"]
+        ratio = c / b if b > 0 else float("inf")
+        floor = 1.0 - args.max_regress
+        ok = ratio >= floor
+        print(f"sblock {sblock:>6}: baseline {b:10.1f} MB/s  "
+              f"current {c:10.1f} MB/s  ratio {ratio:5.2f}  "
+              f"{'ok' if ok else f'REGRESSED (floor {floor:.2f})'}")
+        failed |= not ok
+    for sblock in sorted(set(cur) - set(base)):
+        print(f"sblock {sblock:>6}: new in current (not compared)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
