@@ -24,6 +24,7 @@ llio_add_bench(bench_ablation_striping)
 llio_add_bench(bench_ablation_pipeline)
 llio_add_bench(bench_ablation_mergeview)
 llio_add_bench(bench_ablation_servers)
+llio_add_bench(bench_ablation_zerocopy)
 
 llio_add_bench(bench_ablation_pack)
 llio_add_bench(bench_ablation_olist)

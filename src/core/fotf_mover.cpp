@@ -52,4 +52,26 @@ void FotfMover::from_stream(const Byte* src, Off s, Off n) {
   fold(rs);
 }
 
+bool FotfMover::mem_runs(Off s, Off n, const mpiio::RunBudget& budget,
+                         std::vector<ByteSpan>& out) {
+  if (n <= 0) return false;
+  if (!plan_tried_) {
+    plan_tried_ = true;
+    if (cfg_.use_plan) plan_ = fotf::PackPlan::compile(memtype_);
+  }
+  if (plan_ == nullptr) return false;  // declined to compile: stage instead
+  // Tiny runs traverse faster through the strided pack kernels than as
+  // descriptor entries; decline and let the caller stage.
+  if (plan_->run_count() > 1 &&
+      plan_->instance_size() / plan_->run_count() < budget.min_avg_run)
+    return false;
+  fotf::IoVecSpan span;
+  if (!plan_->materialize(0, count_, s, n, budget.max_runs, span))
+    return false;
+  out.reserve(out.size() + span.runs.size());
+  for (const fotf::MemRun& r : span.runs)
+    out.push_back(ByteSpan(buf_ + r.mem, to_size(r.len)));
+  return true;
+}
+
 }  // namespace llio::core

@@ -1,14 +1,17 @@
 // Listless StreamMover: moves data between a non-contiguous user buffer
 // and its dense stream with flattening-on-the-fly pack/unpack.  Large
 // moves are sliced across the shared worker pool (fotf::pack_range);
-// memtypes get no PackPlan — movers live for one operation, plans are a
-// per-fileview amortization.
+// pack/unpack never compile a memtype PackPlan — movers live for one
+// operation, plans are a per-fileview amortization.  mem_runs() does
+// compile one lazily: the zero-copy descriptor needs the run table, and
+// a single-instance walk is far cheaper than the staging copy it avoids.
 #pragma once
 
 #include <memory>
 
 #include "fotf/cursor.hpp"
 #include "fotf/parallel.hpp"
+#include "fotf/plan.hpp"
 #include "mpiio/io_stats.hpp"
 #include "mpiio/navigator.hpp"
 
@@ -25,6 +28,8 @@ class FotfMover final : public mpiio::StreamMover {
 
   void to_stream(Byte* dst, Off s, Off n) override;
   void from_stream(const Byte* src, Off s, Off n) override;
+  bool mem_runs(Off s, Off n, const mpiio::RunBudget& budget,
+                std::vector<ByteSpan>& out) override;
 
  private:
   fotf::SegmentCursor& at(Off s);
@@ -37,6 +42,8 @@ class FotfMover final : public mpiio::StreamMover {
   mpiio::IoOpStats* stats_ = nullptr;
   fotf::SegmentCursor cur_;
   Off next_stream_ = 0;  ///< cursor's current stream position
+  std::shared_ptr<const fotf::PackPlan> plan_;  ///< lazy, mem_runs only
+  bool plan_tried_ = false;
 };
 
 }  // namespace llio::core

@@ -157,12 +157,18 @@ Off ListlessEngine::do_write_at_all(Off stream_lo, const void* buf, Off count,
 
   // Phase 1 (AP side): for each IOP, ship the slice of my packed stream
   // that falls into its file domain.  Header: [s_lo][s_hi], then data.
+  // With llio_zerocopy=auto the data rides as gather-on-send runs
+  // referencing the user buffer (materialized once, into the mailbox);
+  // otherwise — or when the run budget declines — it is packed behind
+  // the header exactly as before.
   std::unique_ptr<mpiio::StreamMover> mover;
   if (nbytes > 0) mover = make_mover(buf, count, mt);
-  std::vector<ByteVec> outgoing(to_size(Off{p}));
+  std::vector<sim::GatherMsg> outgoing(to_size(Off{p}));
   if (nbytes > 0) {
     obs::Span span("pack");
     span.arg("what", "phase1_gather");
+    const mpiio::RunBudget budget = mpiio::zerocopy_budget(opts_);
+    std::vector<ByteSpan> runs;
     for (int i = 0; i < niops; ++i) {
       const Domain& d = domains[to_size(Off{i})];
       const Off lo = std::max(d.lo, mine.abs_lo);
@@ -173,16 +179,27 @@ Off ListlessEngine::do_write_at_all(Off stream_lo, const void* buf, Off count,
       const Off s2 = std::clamp(nav_->file_to_stream(hi - view_.disp),
                                 stream_lo, stream_lo + nbytes);
       if (s2 <= s1) continue;
-      ByteVec& msg = outgoing[to_size(Off{i})];
-      put_off(msg, s1);
-      put_off(msg, s2);
-      const std::size_t hdr = msg.size();
-      msg.resize(hdr + to_size(s2 - s1));
-      StopWatch cw;
-      cw.start();
-      mover->to_stream(msg.data() + hdr, s1 - stream_lo, s2 - s1);
-      cw.stop();
-      stats_.copy_s += cw.seconds();
+      sim::GatherMsg& msg = outgoing[to_size(Off{i})];
+      put_off(msg.header, s1);
+      put_off(msg.header, s2);
+      runs.clear();
+      if (opts_.zerocopy == mpiio::Zerocopy::Auto &&
+          mover->mem_runs(s1 - stream_lo, s2 - s1, budget, runs)) {
+        msg.runs.assign(runs.begin(), runs.end());
+        ++stats_.zerocopy_windows;
+        stats_.iov_runs += runs.size();
+        stats_.staging_bytes_saved += s2 - s1;
+      } else {
+        if (opts_.zerocopy == mpiio::Zerocopy::Auto)
+          ++stats_.staged_fallback_windows;
+        const std::size_t hdr = msg.header.size();
+        msg.header.resize(hdr + to_size(s2 - s1));
+        StopWatch cw;
+        cw.start();
+        mover->to_stream(msg.header.data() + hdr, s1 - stream_lo, s2 - s1);
+        cw.stop();
+        stats_.copy_s += cw.seconds();
+      }
       stats_.data_bytes_sent += s2 - s1;
     }
   }
@@ -192,7 +209,7 @@ Off ListlessEngine::do_write_at_all(Off stream_lo, const void* buf, Off count,
     obs::Span span("exchange");
     span.arg("what", "data");
     xw.start();
-    incoming = comm_->alltoall(std::move(outgoing), sim::MsgClass::Data);
+    incoming = comm_->alltoall_gather(std::move(outgoing), sim::MsgClass::Data);
     xw.stop();
   }
   stats_.exchange_s += xw.seconds();
@@ -344,6 +361,22 @@ Off ListlessEngine::do_read_at_all(Off stream_lo, void* buf, Off count,
     comm_->barrier();
     return 0;
   }
+
+  // Mergeview bypass (read side): every participant's restriction is one
+  // contiguous extent — each rank reads its own extent directly, no
+  // exchange.  Unlike the write bypass, overlap between readers is
+  // harmless, so disjointness is not required.
+  if (opts_.merge_contig != MergeContig::Off && mpiio::ranges_dense(ranges)) {
+    if (nbytes > 0) {
+      SieveContext ctx{*file_, *locks_, opts_, stats_};
+      auto m = make_mover(buf, count, mt);
+      mpiio::dense_read(ctx, mine.abs_lo, nbytes, *m);
+    }
+    comm_->barrier();
+    ++stats_.merge_contig_ops;
+    return nbytes;  // dense_read already counted bytes_moved
+  }
+
   const auto domains = mpiio::partition_domains(g, niops, fbs);
 
   // Phase 1: request the stream slice [s1, s2) from each IOP (Meta).
@@ -453,20 +486,43 @@ Off ListlessEngine::do_read_at_all(Off stream_lo, void* buf, Off count,
                                std::min(fbs, dom.hi - dom.lo), next, fill);
     for (const Req& rq : active) stats_.data_bytes_sent += rq.s_hi - rq.s_lo;
   }
+  // Scatter-on-recv (llio_zerocopy=auto): replies whose stream slice
+  // materializes into memory runs under the budget are delivered by the
+  // exchange straight into the user buffer; their incoming slot comes
+  // back empty and phase 3 skips it.
+  std::unique_ptr<mpiio::StreamMover> mover;
+  if (nbytes > 0) mover = make_mover(buf, count, mt);
+  std::vector<std::vector<ByteSpan>> scatter(to_size(Off{p}));
+  if (nbytes > 0 && opts_.zerocopy == mpiio::Zerocopy::Auto) {
+    const mpiio::RunBudget budget = mpiio::zerocopy_budget(opts_);
+    for (int i = 0; i < niops; ++i) {
+      const auto [s1, s2] = my_slices[to_size(Off{i})];
+      if (s2 <= s1) continue;
+      std::vector<ByteSpan> runs;
+      if (mover->mem_runs(s1 - stream_lo, s2 - s1, budget, runs)) {
+        ++stats_.zerocopy_windows;
+        stats_.iov_runs += runs.size();
+        stats_.staging_bytes_saved += s2 - s1;
+        scatter[to_size(Off{i})] = std::move(runs);
+      } else {
+        ++stats_.staged_fallback_windows;
+      }
+    }
+  }
   xw.reset();
   std::vector<ByteVec> incoming;
   {
     obs::Span span("exchange");
     span.arg("what", "data");
     xw.start();
-    incoming = comm_->alltoall(std::move(replies), sim::MsgClass::Data);
+    incoming =
+        comm_->alltoall_scatter(std::move(replies), scatter, sim::MsgClass::Data);
     xw.stop();
   }
   stats_.exchange_s += xw.seconds();
 
-  // Phase 3 (AP side): unpack each IOP's reply into the user buffer.
+  // Phase 3 (AP side): unpack the replies that were not scatter-delivered.
   if (nbytes > 0) {
-    auto mover = make_mover(buf, count, mt);
     obs::Span span("pack");
     span.arg("what", "phase3_unpack");
     StopWatch cw;
@@ -474,6 +530,7 @@ Off ListlessEngine::do_read_at_all(Off stream_lo, void* buf, Off count,
     for (int i = 0; i < niops; ++i) {
       const auto [s1, s2] = my_slices[to_size(Off{i})];
       if (s2 <= s1) continue;
+      if (!scatter[to_size(Off{i})].empty()) continue;  // already delivered
       const ByteVec& reply = incoming[to_size(Off{i})];
       LLIO_REQUIRE(reply.size() == to_size(s2 - s1), Errc::Protocol,
                    "read_at_all: bad reply size");

@@ -35,6 +35,28 @@ namespace llio::fotf {
 
 using dt::Type;
 
+/// One contiguous user-memory run of a materialized stream range,
+/// expressed as a byte offset from the (bias-adjusted) typed base.
+struct MemRun {
+  Off mem = 0;
+  Off len = 0;
+};
+
+/// Run-table-derived iovec form of a packed-stream range: the zero-copy
+/// descriptor the I/O layers hand to preadv/pwritev instead of staging
+/// the range through a packed buffer.  Runs appear in stream order and
+/// adjacent runs are coalesced, so `runs.size()` is the minimum segment
+/// count for the range.
+struct IoVecSpan {
+  std::vector<MemRun> runs;
+  Off total = 0;  ///< sum of run lengths
+
+  void clear() {
+    runs.clear();
+    total = 0;
+  }
+};
+
 class PackPlan {
  public:
   /// Per-instance run-table cap; above this the plan would approach
@@ -60,6 +82,14 @@ class PackPlan {
            Byte* dst, Off n) const;
   Off unpack(Byte* typed_base, Off mem_bias, Off count, Off skip,
              const Byte* src, Off n) const;
+
+  /// Describe stream bytes [skip, skip + n) of `count` instances as
+  /// memory runs (same addressing as pack/unpack, instance wraps
+  /// included, adjacent runs coalesced — also across the wrap).  Returns
+  /// false, with `out` cleared, when the range needs more than
+  /// `max_runs` runs: the caller falls back to the staged pack path.
+  bool materialize(Off mem_bias, Off count, Off skip, Off n,
+                   std::size_t max_runs, IoVecSpan& out) const;
 
  private:
   template <bool ToPack>

@@ -427,6 +427,23 @@ Off ListEngine::do_read_at_all(Off stream_lo, void* buf, Off count,
     comm_->barrier();
     return 0;
   }
+
+  // Mergeview bypass, read flavour: every participant's restriction is one
+  // contiguous extent — overlap is fine for reads, so the disjointness
+  // requirement of the write bypass is dropped.  Each rank reads its own
+  // extent directly (zero-copy into user memory when the memtype yields an
+  // in-budget run list), skipping lists and the exchange entirely.
+  if (opts_.merge_contig != MergeContig::Off && mpiio::ranges_dense(ranges)) {
+    if (nbytes > 0) {
+      SieveContext ctx{*file_, *locks_, opts_, stats_};
+      auto m = make_mover(buf, count, mt);
+      mpiio::dense_read(ctx, mine.abs_lo, nbytes, *m);
+    }
+    comm_->barrier();
+    ++stats_.merge_contig_ops;
+    return nbytes;  // dense_read already counted bytes_moved
+  }
+
   const auto domains = mpiio::partition_domains(g, niops, fbs);
 
   // AP phase 1: ship per-IOP request ol-lists (Meta only).

@@ -20,6 +20,13 @@ class ListMover final : public mpiio::StreamMover {
   void to_stream(Byte* dst, Off s, Off n) override;
   void from_stream(const Byte* src, Off s, Off n) override;
 
+  /// Zero-copy descriptors from the ol-list: the walker's contiguous
+  /// blocks for [s, s + n) become spans over the user buffer (adjacent
+  /// blocks coalesced).  Declines under the budget's run-count and
+  /// average-run-length limits, like the fotf plan path.
+  bool mem_runs(Off s, Off n, const mpiio::RunBudget& budget,
+                std::vector<ByteSpan>& out) override;
+
  private:
   void copy_position(Off s);
 

@@ -110,6 +110,10 @@ File File::open(sim::Comm& comm, pfs::FilePtr backend, const Options& opts) {
       dynamic_cast<pfs::TracedFile*>(backend.get()) == nullptr) {
     backend = pfs::TracedFile::wrap(std::move(backend));
   }
+  // Every layer of the backend stack splits oversized iovec batches at
+  // the same ceiling (idempotent across a collective open: all ranks
+  // carry the same Options).
+  backend->set_iov_batch_max(opts.iov_batch_max);
   OpenShared shared = exchange_open_shared(comm);
   auto engine = make_engine(comm, backend, std::move(shared.locks), opts);
   engine->set_view(default_view());

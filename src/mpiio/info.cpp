@@ -96,6 +96,18 @@ Options apply_info(const Info& info, Options base) {
       LLIO_REQUIRE(n >= 1, Errc::InvalidArgument,
                    "hint llio_iov_batch_max: expected a count >= 1");
       base.iov_batch_max = n;
+    } else if (key == "llio_zerocopy") {
+      if (value == "auto")
+        base.zerocopy = Zerocopy::Auto;
+      else if (value == "off")
+        base.zerocopy = Zerocopy::Off;
+      else
+        throw_error(Errc::InvalidArgument,
+                    "hint llio_zerocopy: expected off/auto");
+    } else if (key == "llio_zerocopy_min_run") {
+      base.zerocopy_min_run = parse_bytes(key, value);
+    } else if (key == "llio_zerocopy_max_runs") {
+      base.zerocopy_max_runs = parse_bytes(key, value);
     } else if (key == "llio_pack_threads") {
       const int n = parse_int(key, value);
       LLIO_REQUIRE(n >= 1, Errc::InvalidArgument,
@@ -182,6 +194,11 @@ Info options_to_info(const Options& o) {
   info.set("llio_merge_contig", merge_contig_name(o.merge_contig));
   info.set("llio_pipeline_depth", strprintf("%d", o.pipeline_depth));
   info.set("llio_iov_batch_max", strprintf("%lld", (long long)o.iov_batch_max));
+  info.set("llio_zerocopy", zerocopy_name(o.zerocopy));
+  info.set("llio_zerocopy_min_run",
+           strprintf("%lld", (long long)o.zerocopy_min_run));
+  info.set("llio_zerocopy_max_runs",
+           strprintf("%lld", (long long)o.zerocopy_max_runs));
   info.set("llio_pack_threads", strprintf("%d", o.pack_threads));
   info.set("llio_pack_parallel_min",
            strprintf("%lld", (long long)o.pack_parallel_min));

@@ -28,6 +28,12 @@ std::string format_stats(const IoOpStats& s) {
                    (unsigned long long)s.preread_skipped_windows);
   out += strprintf("merge contig     %llu ops\n",
                    (unsigned long long)s.merge_contig_ops);
+  out += strprintf("zerocopy         %llu windows (%llu staged fallback), "
+                   "%llu runs, %lld B saved\n",
+                   (unsigned long long)s.zerocopy_windows,
+                   (unsigned long long)s.staged_fallback_windows,
+                   (unsigned long long)s.iov_runs,
+                   (long long)s.staging_bytes_saved);
   out += strprintf("pack threads     %llu used, %llu slices",
                    (unsigned long long)s.pack_threads_used,
                    (unsigned long long)s.pack_slices);

@@ -37,6 +37,16 @@ struct IoOpStats {
                                        ///< dense-disjoint bypass (the
                                        ///< two-phase exchange was skipped)
 
+  /// Zero-copy descriptor I/O (llio_zerocopy).
+  std::uint64_t zerocopy_windows = 0;  ///< dense windows/messages that went
+                                       ///< straight from user memory to the
+                                       ///< file or wire (no staging copy)
+  std::uint64_t staged_fallback_windows = 0;  ///< windows that wanted
+                                              ///< zero-copy but staged (run
+                                              ///< budget or plan decline)
+  std::uint64_t iov_runs = 0;  ///< descriptor entries shipped zero-copy
+  Off staging_bytes_saved = 0;  ///< bytes that skipped a staging copy
+
   /// Parallel FOTF pack/unpack (navigation slicing + plan cache).
   std::uint64_t pack_threads_used = 0;  ///< max slices any one job ran with
   std::uint64_t plan_hits = 0;    ///< pack-plan replays of a cached plan
@@ -66,6 +76,10 @@ struct IoOpStats {
     preread_skipped_windows += o.preread_skipped_windows;
     merge_analysis_s += o.merge_analysis_s;
     merge_contig_ops += o.merge_contig_ops;
+    zerocopy_windows += o.zerocopy_windows;
+    staged_fallback_windows += o.staged_fallback_windows;
+    iov_runs += o.iov_runs;
+    staging_bytes_saved += o.staging_bytes_saved;
     pack_threads_used = pack_threads_used > o.pack_threads_used
                             ? pack_threads_used
                             : o.pack_threads_used;

@@ -242,6 +242,16 @@ bool ranges_dense_disjoint(const std::vector<AccessRange>& ranges) {
   return true;
 }
 
+bool ranges_dense(const std::vector<AccessRange>& ranges) {
+  bool any = false;
+  for (const AccessRange& r : ranges) {
+    if (r.nbytes <= 0) continue;
+    if (r.abs_hi - r.abs_lo != r.nbytes) return false;
+    any = true;
+  }
+  return any;
+}
+
 const DomainWindows& MergeCache::get(
     Key key, const std::function<DomainWindows()>& compute) {
   const auto same = [&](const Entry& e) {

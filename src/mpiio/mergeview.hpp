@@ -79,6 +79,12 @@ DomainWindows analyze_tuple_domain(
 /// ranks touch the same byte).
 bool ranges_dense_disjoint(const std::vector<AccessRange>& ranges);
 
+/// Read-side relaxation: every participating range is one contiguous
+/// extent, but overlap between readers is allowed (concurrent reads of
+/// the same bytes are harmless) — each rank reads its extent directly
+/// and the two-phase exchange is skipped.
+bool ranges_dense(const std::vector<AccessRange>& ranges);
+
 /// Small MRU memo for domain verdicts.  Keys carry the full access-range
 /// vector: identical ranges under an unchanged view (same epoch) yield
 /// identical verdicts, which is exactly the repeated-timestep pattern.

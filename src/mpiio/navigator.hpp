@@ -18,11 +18,20 @@
 
 #include <cstring>
 #include <functional>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "dtype/datatype.hpp"
 
 namespace llio::mpiio {
+
+/// Caller policy for StreamMover::mem_runs(): a hard cap on descriptor
+/// entries plus the average run length below which descriptor I/O loses
+/// to the strided pack kernels (per-segment overhead dominates).
+struct RunBudget {
+  std::size_t max_runs = 1 << 16;
+  Off min_avg_run = 512;
+};
 
 class ViewNav {
  public:
@@ -75,6 +84,21 @@ class StreamMover {
     (void)n;
     return nullptr;
   }
+
+  /// Describe stream bytes [s, s+n) as contiguous user-memory runs
+  /// appended to `out` — the zero-copy descriptor.  Returns false (out
+  /// untouched) when no cheap run form exists under `budget`; the caller
+  /// then stages through to_stream/from_stream.  The spans alias the
+  /// user buffer mutably (the unpack side scatters into them); pack-side
+  /// callers only read them.
+  virtual bool mem_runs(Off s, Off n, const RunBudget& budget,
+                        std::vector<ByteSpan>& out) {
+    (void)s;
+    (void)n;
+    (void)budget;
+    (void)out;
+    return false;
+  }
 };
 
 /// Mover for contiguous memtypes: the stream *is* the buffer.
@@ -92,6 +116,11 @@ class ContigMover final : public StreamMover {
   }
   const Byte* direct(Off s, Off) const override { return base_ + s; }
   Byte* direct_mut(Off s, Off) override { return base_ + s; }
+  bool mem_runs(Off s, Off n, const RunBudget&,
+                std::vector<ByteSpan>& out) override {
+    out.push_back(ByteSpan(base_ + s, to_size(n)));
+    return true;
+  }
 
  private:
   Byte* base_;

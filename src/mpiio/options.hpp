@@ -34,6 +34,16 @@ enum class MergeContig {
           ///< gap bytes are clobbered with stale buffer contents)
 };
 
+/// Zero-copy descriptor I/O (paper-adjacent: Ching et al.'s list I/O
+/// ships descriptors, not copied bytes): dense accesses whose memtype
+/// materializes into few, long-enough memory runs hand user-memory
+/// iovecs straight to preadv/pwritev and the wire, skipping the packed
+/// staging buffer.
+enum class Zerocopy {
+  Off,   ///< always stage through packed buffers (the pre-zero-copy path)
+  Auto,  ///< descriptor I/O when the run table fits the budget below
+};
+
 struct Options {
   Method method = Method::Listless;
 
@@ -79,8 +89,25 @@ struct Options {
   int pipeline_depth = 0;
 
   /// Max number of segments coalesced into one vectored file access
-  /// (preadv/pwritev) by the direct (non-sieving) access paths.
+  /// (preadv/pwritev) by the direct (non-sieving) access paths.  Also
+  /// seeded into the backend at open so every FileBackend (and the psrv
+  /// list client) splits oversized batches identically.
   Off iov_batch_max = 64;
+
+  /// Zero-copy descriptor I/O (hint llio_zerocopy = off|auto): dense
+  /// windows skip the packed staging copy when the memtype's run table
+  /// is cheap enough; holey or over-budget windows stage exactly as
+  /// before.  Off reproduces the staged path byte-identically.
+  Zerocopy zerocopy = Zerocopy::Auto;
+
+  /// Decline descriptor I/O above this many memory runs per access
+  /// (hint llio_zerocopy_max_runs) ...
+  Off zerocopy_max_runs = 1 << 16;
+
+  /// ... or below this average run length in bytes (hint
+  /// llio_zerocopy_min_run): tiny runs move faster through the strided
+  /// pack kernels than as per-segment iovec entries.
+  Off zerocopy_min_run = 512;
 
   /// FOTF pack/unpack parallelism (hint llio_pack_threads): pack jobs of
   /// at least pack_parallel_min stream bytes are split into equal
@@ -125,5 +152,6 @@ struct Options {
 
 const char* method_name(Method m) noexcept;
 const char* merge_contig_name(MergeContig m) noexcept;
+const char* zerocopy_name(Zerocopy z) noexcept;
 
 }  // namespace llio::mpiio

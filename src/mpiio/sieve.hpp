@@ -34,9 +34,19 @@ Off sieve_read(SieveContext& ctx, ViewNav& nav, Off disp, Off stream_lo,
                Off nbytes, StreamMover& dst);
 
 /// Dense-view fast paths: the access maps to one contiguous file range
-/// starting at `abs_lo`.
+/// starting at `abs_lo`.  With llio_zerocopy=auto, a mover that yields
+/// memory runs under the options' budget hands user-memory iovecs
+/// straight to preadv/pwritev (no packed staging); otherwise the staged
+/// loop runs exactly as before.
 Off dense_write(SieveContext& ctx, Off abs_lo, Off nbytes, StreamMover& src);
 Off dense_read(SieveContext& ctx, Off abs_lo, Off nbytes, StreamMover& dst);
+
+/// The mem_runs() budget implied by the handle's options.
+inline RunBudget zerocopy_budget(const Options& opts) {
+  return RunBudget{
+      opts.zerocopy_max_runs > 0 ? to_size(opts.zerocopy_max_runs) : 1,
+      opts.zerocopy_min_run};
+}
 
 /// Direct (non-sieving) non-contiguous access: one file access per
 /// contiguous run.  This is the other side of the sieving trade-off the

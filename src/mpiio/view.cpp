@@ -19,6 +19,14 @@ const char* merge_contig_name(MergeContig m) noexcept {
   return "auto";
 }
 
+const char* zerocopy_name(Zerocopy z) noexcept {
+  switch (z) {
+    case Zerocopy::Off: return "off";
+    case Zerocopy::Auto: return "auto";
+  }
+  return "auto";
+}
+
 View default_view() {
   return View{0, dt::byte(), dt::byte()};
 }

@@ -33,6 +33,10 @@ class ActiveBufferFile final : public FileBackend {
   Off size() const override;
   void resize(Off new_size) override;
   void sync() override;
+  void set_iov_batch_max(Off n) override {
+    FileBackend::set_iov_batch_max(n);
+    inner_->set_iov_batch_max(n);
+  }
 
   /// Block until every staged write reached the inner backend.
   void drain();

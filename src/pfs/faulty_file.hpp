@@ -23,6 +23,10 @@ class FaultyFile final : public FileBackend {
   Off size() const override { return inner_->size(); }
   void resize(Off new_size) override { inner_->resize(new_size); }
   void sync() override { inner_->sync(); }
+  void set_iov_batch_max(Off n) override {
+    FileBackend::set_iov_batch_max(n);
+    inner_->set_iov_batch_max(n);
+  }
 
   /// Disarm all pending faults (e.g. to verify recovery paths).
   void disarm();

@@ -1,8 +1,10 @@
 #include "pfs/file_backend.hpp"
 
 #include <cstring>
+#include <vector>
 
 #include "common/error.hpp"
+#include "pfs/iovec_util.hpp"
 
 namespace llio::pfs {
 
@@ -27,7 +29,18 @@ Off FileBackend::preadv(std::span<const IoVec> iov) {
   for (const IoVec& v : iov)
     LLIO_REQUIRE(v.offset >= 0, Errc::InvalidArgument,
                  "preadv: negative offset");
-  const Off n = do_preadv(iov);
+  const Off cap = iov_batch_max();
+  Off n = 0;
+  if (iov_normalized(iov) && (cap <= 0 || to_off(iov.size()) <= cap)) {
+    n = do_preadv(iov);
+  } else {
+    // Normalize once (zero-length drop + adjacent coalescing), then split
+    // into capped sub-batches; still one logical read op.
+    std::vector<IoVec> norm;
+    normalize_iov(iov, norm);
+    for_each_iov_batch<IoVec>(
+        norm, cap, [&](std::span<const IoVec> chunk) { n += do_preadv(chunk); });
+  }
   read_ops_.fetch_add(1, std::memory_order_relaxed);
   read_bytes_.fetch_add(static_cast<std::uint64_t>(n),
                         std::memory_order_relaxed);
@@ -41,7 +54,16 @@ void FileBackend::pwritev(std::span<const ConstIoVec> iov) {
                  "pwritev: negative offset");
     total += to_off(v.buf.size());
   }
-  do_pwritev(iov);
+  const Off cap = iov_batch_max();
+  if (iov_normalized(iov) && (cap <= 0 || to_off(iov.size()) <= cap)) {
+    do_pwritev(iov);
+  } else {
+    std::vector<ConstIoVec> norm;
+    normalize_iov(iov, norm);
+    for_each_iov_batch<ConstIoVec>(
+        norm, cap,
+        [&](std::span<const ConstIoVec> chunk) { do_pwritev(chunk); });
+  }
   write_ops_.fetch_add(1, std::memory_order_relaxed);
   write_bytes_.fetch_add(static_cast<std::uint64_t>(total),
                          std::memory_order_relaxed);

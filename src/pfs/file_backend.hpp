@@ -72,6 +72,21 @@ class FileBackend {
   /// Flush buffered data to stable storage (no-op for memory backends).
   virtual void sync() {}
 
+  /// Batch ceiling for vectored accesses: the public preadv/pwritev
+  /// wrappers normalize oversized or messy batches (drop zero-length
+  /// segments, coalesce adjacent runs) and split them into successive
+  /// do_preadv/do_pwritev calls of at most this many segments.  0
+  /// (default) = unbounded, leaving standalone backends bit-identical to
+  /// the pre-batching behavior.  File::open seeds this from
+  /// Options::iov_batch_max; decorators forward it inward so every layer
+  /// splits identically.
+  virtual void set_iov_batch_max(Off n) {
+    iov_batch_max_.store(n, std::memory_order_relaxed);
+  }
+  Off iov_batch_max() const {
+    return iov_batch_max_.load(std::memory_order_relaxed);
+  }
+
   /// Optional capability: execute whole-fileview accesses on the storage
   /// side (see pfs/view_io.hpp).  A backend that can replay a serialized
   /// datatype tree remotely returns itself; everything else (including
@@ -106,6 +121,7 @@ class FileBackend {
  private:
   std::atomic<std::uint64_t> read_ops_{0}, read_bytes_{0};
   std::atomic<std::uint64_t> write_ops_{0}, write_bytes_{0};
+  std::atomic<Off> iov_batch_max_{0};
 };
 
 using FilePtr = std::shared_ptr<FileBackend>;

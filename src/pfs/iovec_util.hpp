@@ -1,0 +1,63 @@
+// Shared iovec batch hygiene: zero-length dropping, adjacent-run
+// coalescing, and bounded-batch splitting.  The FileBackend public
+// wrappers apply these uniformly for every backend, and the psrv list
+// client mirrors the same extent cap so server-bound batches split
+// identically to local ones.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace llio::pfs {
+
+/// True when consecutive segments are file-adjacent AND memory-adjacent:
+/// they may merge into one segment with identical semantics.
+template <typename Vec>
+bool iov_adjacent(const Vec& a, const Vec& b) {
+  return a.offset + to_off(a.buf.size()) == b.offset &&
+         a.buf.data() + a.buf.size() == b.buf.data();
+}
+
+/// True when `iov` needs no normalization: no zero-length segments and no
+/// mergeable pair — the fast path takes the batch as-is, allocation-free.
+template <typename Vec>
+bool iov_normalized(std::span<const Vec> iov) {
+  for (std::size_t i = 0; i < iov.size(); ++i) {
+    if (iov[i].buf.empty()) return false;
+    if (i > 0 && iov_adjacent(iov[i - 1], iov[i])) return false;
+  }
+  return true;
+}
+
+/// Drop zero-length segments and merge adjacent runs into `out`.
+template <typename Vec>
+void normalize_iov(std::span<const Vec> iov, std::vector<Vec>& out) {
+  out.clear();
+  for (const Vec& v : iov) {
+    if (v.buf.empty()) continue;
+    if (!out.empty() && iov_adjacent(out.back(), v)) {
+      out.back().buf = {out.back().buf.data(),
+                        out.back().buf.size() + v.buf.size()};
+    } else {
+      out.push_back(v);
+    }
+  }
+}
+
+/// Invoke `fn` over consecutive chunks of at most `batch_max` segments
+/// (everything at once when batch_max <= 0).
+template <typename Vec, typename Fn>
+void for_each_iov_batch(std::span<const Vec> iov, Off batch_max, Fn&& fn) {
+  if (iov.empty()) return;
+  if (batch_max <= 0) {
+    fn(iov);
+    return;
+  }
+  const std::size_t step = to_size(batch_max);
+  for (std::size_t at = 0; at < iov.size(); at += step)
+    fn(iov.subspan(at, std::min(step, iov.size() - at)));
+}
+
+}  // namespace llio::pfs

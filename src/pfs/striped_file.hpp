@@ -21,6 +21,10 @@ class StripedFile final : public FileBackend {
   Off size() const override;
   void resize(Off new_size) override;
   void sync() override;
+  void set_iov_batch_max(Off n) override {
+    FileBackend::set_iov_batch_max(n);
+    for (const FilePtr& d : devices_) d->set_iov_batch_max(n);
+  }
 
   int device_count() const { return static_cast<int>(devices_.size()); }
   Off stripe_bytes() const { return stripe_; }

@@ -35,6 +35,10 @@ class ThrottledFile final : public FileBackend {
   Off size() const override { return inner_->size(); }
   void resize(Off new_size) override { inner_->resize(new_size); }
   void sync() override { inner_->sync(); }
+  void set_iov_batch_max(Off n) override {
+    FileBackend::set_iov_batch_max(n);
+    inner_->set_iov_batch_max(n);
+  }
 
   /// Total wall time injected by the throttle so far (seconds).
   double simulated_time() const;

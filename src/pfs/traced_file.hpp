@@ -22,6 +22,10 @@ class TracedFile final : public FileBackend, public ViewIo {
   Off size() const override { return inner_->size(); }
   void resize(Off new_size) override { inner_->resize(new_size); }
   void sync() override { inner_->sync(); }
+  void set_iov_batch_max(Off n) override {
+    FileBackend::set_iov_batch_max(n);
+    inner_->set_iov_batch_max(n);
+  }
 
   /// Purely observational wrapper, so — unlike the cost/fault decorators —
   /// the view-I/O capability is forwarded, interposed so the spans and

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <functional>
+#include <limits>
 #include <optional>
 #include <vector>
 
@@ -53,6 +54,12 @@ struct ServerFile::SubReq {
   sim::MsgClass cls = sim::MsgClass::Meta;
   ByteVec msg;
 
+  /// Write payloads, gathered onto the wire straight from user memory
+  /// (send_gather) instead of being staged into `msg`.  The spans must
+  /// stay valid until transact() returns — they are re-sent verbatim on
+  /// an UnknownView retry.
+  std::vector<ConstByteSpan> payload_runs;
+
   /// Ok-response payload destinations, filled sequentially (reads).
   std::vector<ByteSpan> dests;
 
@@ -86,8 +93,8 @@ void ServerFile::transact(std::vector<SubReq>& reqs) {
       // Server-side cache eviction: retry once with the tree attached,
       // reusing the credit this request already holds.
       r.view->installed[to_size(r.server)].store(false, std::memory_order_relaxed);
-      ep.comm().send(r.server, wire::kTagRequest, r.rebuild_with_tree(),
-                     r.cls);
+      ep.comm().send_gather(r.server, wire::kTagRequest,
+                            r.rebuild_with_tree(), r.payload_runs, r.cls);
       resp = ep.comm().recv(r.server, wire::kTagResponse);
       rd = wire::Reader(resp);
       status = static_cast<wire::Status>(rd.u8());
@@ -135,8 +142,8 @@ void ServerFile::transact(std::vector<SubReq>& reqs) {
         credit = pool_->acquire_credit(r.server);
       if (credit) {
         credits[sent] = std::move(credit);
-        ep.comm().send(r.server, wire::kTagRequest, ConstByteSpan(r.msg),
-                       r.cls);
+        ep.comm().send_gather(r.server, wire::kTagRequest,
+                              ConstByteSpan(r.msg), r.payload_runs, r.cls);
         ++sent;
         continue;
       }
@@ -199,7 +206,7 @@ void encode_contig(std::vector<Piece<SpanT>>& pieces, bool writing,
       r.cls = sim::MsgClass::Data;
       wire::put_u8(r.msg, static_cast<std::uint8_t>(wire::Op::Write));
       wire::put_i64(r.msg, p.local_off);
-      wire::put_bytes(r.msg, ConstByteSpan(p.buf.data(), p.buf.size()));
+      r.payload_runs.push_back(ConstByteSpan(p.buf.data(), p.buf.size()));
     } else {
       r.cls = sim::MsgClass::Meta;
       wire::put_u8(r.msg, static_cast<std::uint8_t>(wire::Op::Read));
@@ -211,44 +218,56 @@ void encode_contig(std::vector<Piece<SpanT>>& pieces, bool writing,
   }
 }
 
-/// Group pieces per server into one ol-list message each, coalescing
-/// adjacent extents client-side (the "batching of adjacent extents").
+/// Group pieces per server into ol-list messages, coalescing adjacent
+/// extents client-side (the "batching of adjacent extents").  When
+/// `batch_max` > 0 a server's list is split into multiple messages of at
+/// most that many coalesced extents each, mirroring how the local
+/// backends honor Options::iov_batch_max.
 template <typename SpanT>
 void encode_list(std::vector<Piece<SpanT>>& pieces, bool writing, int nservers,
-                 std::vector<ServerFile::SubReq>& reqs) {
+                 Off batch_max, std::vector<ServerFile::SubReq>& reqs) {
+  const std::size_t max_extents = batch_max > 0
+                                      ? to_size(batch_max)
+                                      : std::numeric_limits<std::size_t>::max();
   for (int s = 0; s < nservers; ++s) {
-    // Extents, coalescing shard-adjacent neighbours.
     std::vector<std::pair<Off, Off>> extents;  // (local_off, len)
-    Off total = 0;
-    for (const Piece<SpanT>& p : pieces) {
+    std::vector<Piece<SpanT>*> chunk;
+    const auto flush = [&] {
+      if (extents.empty()) return;
+      ServerFile::SubReq r;
+      r.server = s;
+      r.cls = writing ? sim::MsgClass::Data : sim::MsgClass::Meta;
+      wire::put_u8(r.msg,
+                   static_cast<std::uint8_t>(writing ? wire::Op::WriteList
+                                                     : wire::Op::ReadList));
+      wire::put_i64(r.msg, to_off(extents.size()));
+      for (const auto& [off, len] : extents) {
+        wire::put_i64(r.msg, off);
+        wire::put_i64(r.msg, len);
+      }
+      for (Piece<SpanT>* p : chunk) {
+        if (writing)
+          r.payload_runs.push_back(ConstByteSpan(p->buf.data(), p->buf.size()));
+        else if constexpr (std::is_same_v<SpanT, ByteSpan>)
+          r.dests.push_back(p->buf);
+      }
+      reqs.push_back(std::move(r));
+      extents.clear();
+      chunk.clear();
+    };
+    for (Piece<SpanT>& p : pieces) {
       if (p.server != s) continue;
       const Off len = to_off(p.buf.size());
       if (!extents.empty() &&
-          extents.back().first + extents.back().second == p.local_off)
+          extents.back().first + extents.back().second == p.local_off) {
         extents.back().second += len;
-      else
+      } else {
+        if (extents.size() >= max_extents) flush();
         extents.emplace_back(p.local_off, len);
-      total += len;
+      }
+      chunk.push_back(&p);
     }
-    if (extents.empty()) continue;
-    ServerFile::SubReq r;
-    r.server = s;
-    r.cls = writing ? sim::MsgClass::Data : sim::MsgClass::Meta;
-    wire::put_u8(r.msg, static_cast<std::uint8_t>(
-                            writing ? wire::Op::WriteList : wire::Op::ReadList));
-    wire::put_i64(r.msg, to_off(extents.size()));
-    for (const auto& [off, len] : extents) {
-      wire::put_i64(r.msg, off);
-      wire::put_i64(r.msg, len);
-    }
-    for (Piece<SpanT>& p : pieces) {
-      if (p.server != s) continue;
-      if (writing)
-        wire::put_bytes(r.msg, ConstByteSpan(p.buf.data(), p.buf.size()));
-      else if constexpr (std::is_same_v<SpanT, ByteSpan>)
-        r.dests.push_back(p.buf);
-    }
-    reqs.push_back(std::move(r));
+    flush();
   }
 }
 
@@ -287,7 +306,8 @@ void ServerFile::do_pwritev(std::span<const pfs::ConstIoVec> iov) {
   if (cls_ == RequestClass::Contig)
     encode_contig(pieces, /*writing=*/true, reqs);
   else
-    encode_list(pieces, /*writing=*/true, pool_->nservers(), reqs);
+    encode_list(pieces, /*writing=*/true, pool_->nservers(), iov_batch_max(),
+                reqs);
   transact(reqs);
   pool_->grow_size(hi);
 }
@@ -300,7 +320,8 @@ Off ServerFile::do_preadv(std::span<const pfs::IoVec> iov) {
   if (cls_ == RequestClass::Contig)
     encode_contig(pieces, /*writing=*/false, reqs);
   else
-    encode_list(pieces, /*writing=*/false, pool_->nservers(), reqs);
+    encode_list(pieces, /*writing=*/false, pool_->nservers(), iov_batch_max(),
+                reqs);
   transact(reqs);
   Off got = 0;
   for (const pfs::IoVec& v : iov)
@@ -377,7 +398,11 @@ Off ServerFile::view_access(const dt::Type& filetype, Off disp, Off stream_lo,
     const ConstByteSpan payload =
         writing ? wdata.subspan(to_size(seg.slo - stream_lo), to_size(slen))
                 : ConstByteSpan{};
-    const auto build = [cv, disp, writing, seg, slen, payload](bool with_tree) {
+    // The write payload is NOT staged into the message: it travels as a
+    // gather run straight out of the caller's buffer (transact uses
+    // send_gather), so a view write costs one header allocation, not a
+    // header-plus-payload copy.
+    const auto build = [cv, disp, writing, seg, slen](bool with_tree) {
       ByteVec m;
       wire::put_u8(m, static_cast<std::uint8_t>(writing ? wire::Op::WriteView
                                                         : wire::Op::ReadView));
@@ -391,7 +416,6 @@ Off ServerFile::view_access(const dt::Type& filetype, Off disp, Off stream_lo,
       } else {
         wire::put_i64(m, 0);
       }
-      if (writing) wire::put_bytes(m, payload);
       return m;
     };
     SubReq r;
@@ -399,7 +423,9 @@ Off ServerFile::view_access(const dt::Type& filetype, Off disp, Off stream_lo,
     r.cls = writing ? sim::MsgClass::Data : sim::MsgClass::Meta;
     r.msg = build(
         !cv->installed[to_size(seg.server)].load(std::memory_order_relaxed));
-    if (!writing)
+    if (writing)
+      r.payload_runs.push_back(payload);
+    else
       r.dests.push_back(
           rdata.subspan(to_size(seg.slo - stream_lo), to_size(slen)));
     r.view = cv;

@@ -181,6 +181,33 @@ constexpr int kTagAllgather = -101;
 constexpr int kTagAlltoall = -102;
 constexpr int kTagBcast = -103;
 constexpr int kTagReduce = -104;
+
+/// Build the wire image of a gather-send: header bytes, then the runs in
+/// order.  With no runs the header IS the message and moves untouched.
+ByteVec materialize_gather(ByteVec&& header,
+                           std::span<const ConstByteSpan> runs) {
+  if (runs.empty()) return std::move(header);
+  std::size_t total = header.size();
+  for (const ConstByteSpan& r : runs) total += r.size();
+  ByteVec out = std::move(header);
+  out.reserve(total);
+  for (const ConstByteSpan& r : runs)
+    out.insert(out.end(), r.begin(), r.end());
+  return out;
+}
+
+/// Deliver a received payload into the scatter runs, in order.
+void scatter_payload(ConstByteSpan payload, std::span<const ByteSpan> runs) {
+  std::size_t at = 0;
+  for (const ByteSpan& r : runs) {
+    LLIO_REQUIRE(at + r.size() <= payload.size(), Errc::Protocol,
+                 "scatter recv: runs exceed the payload");
+    if (!r.empty()) std::memcpy(r.data(), payload.data() + at, r.size());
+    at += r.size();
+  }
+  LLIO_REQUIRE(at == payload.size(), Errc::Protocol,
+               "scatter recv: runs do not cover the payload");
+}
 }  // namespace
 
 int Comm::size() const noexcept { return ctx_->size(); }
@@ -193,10 +220,31 @@ void Comm::send(int dst, int tag, ByteVec&& data, MsgClass cls) {
   ctx_->send(rank_, dst, tag, std::move(data), cls);
 }
 
+void Comm::send_gather(int dst, int tag, ConstByteSpan header,
+                       std::span<const ConstByteSpan> runs, MsgClass cls) {
+  ctx_->send(rank_, dst, tag,
+             materialize_gather(ByteVec(header.begin(), header.end()), runs),
+             cls);
+}
+
+void Comm::send_gather(int dst, int tag, ByteVec&& header,
+                       std::span<const ConstByteSpan> runs, MsgClass cls) {
+  ctx_->send(rank_, dst, tag, materialize_gather(std::move(header), runs),
+             cls);
+}
+
 ByteVec Comm::recv(int src, int tag) {
   obs::Span span("recv", obs::TraceLevel::Full);
   span.arg("src", src);
   return ctx_->recv(rank_, src, tag);
+}
+
+Off Comm::recv_scatter(int src, int tag, std::span<const ByteSpan> runs) {
+  obs::Span span("recv", obs::TraceLevel::Full);
+  span.arg("src", src);
+  const ByteVec msg = ctx_->recv(rank_, src, tag);
+  scatter_payload(msg, runs);
+  return to_off(msg.size());
 }
 
 std::pair<int, ByteVec> Comm::recv_any(int tag) {
@@ -268,6 +316,76 @@ std::vector<ByteVec> Comm::alltoall(std::vector<ByteVec> outgoing,
   for (int r = 0; r < p; ++r) {
     if (r == rank_) continue;
     in[to_size(Off{r})] = ctx_->recv(rank_, r, kTagAlltoall);
+  }
+  return in;
+}
+
+std::vector<ByteVec> Comm::alltoall_gather(std::vector<GatherMsg> outgoing,
+                                           MsgClass cls) {
+  const int p = size();
+  LLIO_REQUIRE(static_cast<int>(outgoing.size()) == p, Errc::InvalidArgument,
+               "alltoall_gather: outgoing size != nprocs");
+  obs::Span span("alltoall", obs::TraceLevel::Full);
+  if (span.active()) {
+    Off total = 0;
+    for (const GatherMsg& m : outgoing)
+      total += to_off(m.header.size()) + m.payload_bytes();
+    span.arg("bytes", total);
+  }
+  std::vector<ByteVec> in(to_size(Off{p}));
+  for (int r = 0; r < p; ++r) {
+    if (r == rank_) continue;
+    GatherMsg& m = outgoing[to_size(Off{r})];
+    ctx_->send(rank_, r, kTagAlltoall,
+               materialize_gather(std::move(m.header), m.runs), cls);
+  }
+  {
+    GatherMsg& m = outgoing[to_size(Off{rank_})];
+    in[to_size(Off{rank_})] = materialize_gather(std::move(m.header), m.runs);
+  }
+  for (int r = 0; r < p; ++r) {
+    if (r == rank_) continue;
+    in[to_size(Off{r})] = ctx_->recv(rank_, r, kTagAlltoall);
+  }
+  return in;
+}
+
+std::vector<ByteVec> Comm::alltoall_scatter(
+    std::vector<ByteVec> outgoing,
+    const std::vector<std::vector<ByteSpan>>& scatter, MsgClass cls) {
+  const int p = size();
+  LLIO_REQUIRE(static_cast<int>(outgoing.size()) == p, Errc::InvalidArgument,
+               "alltoall_scatter: outgoing size != nprocs");
+  LLIO_REQUIRE(static_cast<int>(scatter.size()) == p, Errc::InvalidArgument,
+               "alltoall_scatter: scatter size != nprocs");
+  obs::Span span("alltoall", obs::TraceLevel::Full);
+  if (span.active()) {
+    Off total = 0;
+    for (const ByteVec& v : outgoing) total += to_off(v.size());
+    span.arg("bytes", total);
+  }
+  std::vector<ByteVec> in(to_size(Off{p}));
+  for (int r = 0; r < p; ++r) {
+    if (r == rank_) continue;
+    ctx_->send(rank_, r, kTagAlltoall, std::move(outgoing[to_size(Off{r})]),
+               cls);
+  }
+  {
+    ByteVec self = std::move(outgoing[to_size(Off{rank_})]);
+    const auto& runs = scatter[to_size(Off{rank_})];
+    if (!runs.empty())
+      scatter_payload(self, runs);
+    else
+      in[to_size(Off{rank_})] = std::move(self);
+  }
+  for (int r = 0; r < p; ++r) {
+    if (r == rank_) continue;
+    ByteVec got = ctx_->recv(rank_, r, kTagAlltoall);
+    const auto& runs = scatter[to_size(Off{r})];
+    if (!runs.empty())
+      scatter_payload(got, runs);
+    else
+      in[to_size(Off{r})] = std::move(got);
   }
   return in;
 }

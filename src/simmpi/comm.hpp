@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -63,6 +64,25 @@ namespace detail {
 class Context;
 }
 
+/// A gather-on-send message: `header` bytes first, then the payload
+/// `runs` in order (iovec entries referencing caller memory).  The
+/// payload is copied exactly once — when the message is materialized
+/// into the receiver's mailbox; with no runs the header moves without
+/// copying.  Wire bytes and accounting are identical to packing the runs
+/// behind the header and calling send; the client staging copy is what
+/// disappears.
+struct GatherMsg {
+  ByteVec header;
+  std::vector<ConstByteSpan> runs;
+
+  Off payload_bytes() const {
+    Off n = 0;
+    for (const ConstByteSpan& r : runs) n += to_off(r.size());
+    return n;
+  }
+  bool empty() const { return header.empty() && runs.empty(); }
+};
+
 /// Per-rank communicator handle, valid inside Runtime::run's body.
 class Comm {
  public:
@@ -77,8 +97,23 @@ class Comm {
   /// (same stats accounting as the copying overload).
   void send(int dst, int tag, ByteVec&& data, MsgClass cls = MsgClass::Data);
 
+  /// Gather-on-send: one message built from `header` followed by `runs`.
+  void send_gather(int dst, int tag, ConstByteSpan header,
+                   std::span<const ConstByteSpan> runs,
+                   MsgClass cls = MsgClass::Data);
+
+  /// Rvalue fast path: with no runs, `header` moves like send(ByteVec&&).
+  void send_gather(int dst, int tag, ByteVec&& header,
+                   std::span<const ConstByteSpan> runs,
+                   MsgClass cls = MsgClass::Data);
+
   /// Blocking receive matching (src, tag).
   ByteVec recv(int src, int tag);
+
+  /// Scatter-on-recv: receive (src, tag) and deliver the payload into
+  /// `runs` in order.  The run lengths must sum to the message size
+  /// (Errc::Protocol otherwise).  Returns the bytes delivered.
+  Off recv_scatter(int src, int tag, std::span<const ByteSpan> runs);
 
   /// Blocking receive matching `tag` from any source (MPI_ANY_SOURCE):
   /// returns (src, payload).  Messages from one sender are delivered in
@@ -100,6 +135,19 @@ class Comm {
   /// loops back).  Returns incoming[i] from rank i.
   std::vector<ByteVec> alltoall(std::vector<ByteVec> outgoing,
                                 MsgClass cls = MsgClass::Data);
+
+  /// Personalized exchange with gather-on-send payloads: outgoing[i] is
+  /// materialized (header + runs) straight into rank i's mailbox.
+  std::vector<ByteVec> alltoall_gather(std::vector<GatherMsg> outgoing,
+                                       MsgClass cls = MsgClass::Data);
+
+  /// Personalized exchange with scatter-on-recv: an incoming payload i
+  /// with a non-empty scatter[i] is delivered into those runs and the
+  /// returned slot i is left empty; runs must sum to the payload size.
+  std::vector<ByteVec> alltoall_scatter(
+      std::vector<ByteVec> outgoing,
+      const std::vector<std::vector<ByteSpan>>& scatter,
+      MsgClass cls = MsgClass::Data);
 
   /// Broadcast root's bytes to everyone.
   ByteVec bcast(int root, ConstByteSpan mine);

@@ -21,19 +21,38 @@ import sys
 
 
 def load_rows(path):
+    """Parse one JSON object per line, keyed by sblock.
+
+    Lines that do not start with '{' (schema lines, prose) are skipped;
+    a line that *looks* like a record but fails to parse, or a matching
+    row missing a required field, is a hard error with the file:line —
+    silently dropping those is how a truncated bench file passes a
+    regression gate.
+    """
     rows = {}
     with open(path) as f:
-        for line in f:
+        for lineno, line in enumerate(f, start=1):
             line = line.strip()
             if not line or not line.startswith("{"):
                 continue
             try:
                 row = json.loads(line)
-            except json.JSONDecodeError:
-                continue
-            if row.get("bench") != "ablation_pack":
+            except json.JSONDecodeError as e:
+                print(f"error: {path}:{lineno}: invalid JSON record: {e.msg}",
+                      file=sys.stderr)
+                raise SystemExit(1)
+            if not isinstance(row, dict) or row.get("bench") != "ablation_pack":
                 continue
             if row.get("threads") == 1 and row.get("plan") == "on":
+                for field in ("sblock", "pack_mbps"):
+                    if field not in row:
+                        print(f"error: {path}:{lineno}: row missing "
+                              f"required field {field!r}", file=sys.stderr)
+                        raise SystemExit(1)
+                if not isinstance(row["pack_mbps"], (int, float)):
+                    print(f"error: {path}:{lineno}: pack_mbps is not a "
+                          f"number: {row['pack_mbps']!r}", file=sys.stderr)
+                    raise SystemExit(1)
                 rows[row["sblock"]] = row
     return rows
 
