@@ -30,6 +30,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "pfs/mem_file.hpp"
+#include "pfs/posix_file.hpp"
 #include "psrv/server_file.hpp"
 #include "simmpi/comm.hpp"
 #include "simmpi/net_model.hpp"
@@ -46,6 +47,32 @@ inline double env_double(const char* name, double fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
   return std::strtod(v, nullptr);
+}
+
+inline std::string env_str(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v == nullptr || *v == '\0') ? fallback : std::string(v);
+}
+
+/// Resolve a named storage target (hint llio_backend / env
+/// LLIO_BENCH_BACKEND) so every bench can swap its backend with one flag:
+///   "mem"          fresh pfs::MemFile (the default)
+///   "posix:<dir>"  anonymous PosixFile scratch file in <dir> (unlinked
+///                  at open, so aborted runs leave no litter), with
+///                  queue depth / O_DIRECT taken from opts.posix_qd and
+///                  opts.posix_direct
+inline pfs::FilePtr make_named_backend(const std::string& target,
+                                       const mpiio::Options& opts) {
+  if (target.empty() || target == "mem") return pfs::MemFile::create();
+  if (target.rfind("posix:", 0) == 0) {
+    pfs::PosixConfig pc;
+    pc.queue_depth = opts.posix_qd;
+    pc.direct = opts.posix_direct;
+    return pfs::PosixFile::open_temp(target.substr(6), pc);
+  }
+  throw_error(Errc::InvalidArgument,
+              "unknown storage target '" + target +
+                  "' (expected mem or posix:<dir>)");
 }
 
 /// The paper's Fig. 4 fileview for one rank.
@@ -146,9 +173,14 @@ inline BenchPoint run_noncontig(const NoncontigConfig& cfg) {
   if (!hint_opts.net_model.empty())
     net = sim::named_cost_model(hint_opts.net_model);
 
+  const std::string backend_target =
+      !hint_opts.backend.empty() ? hint_opts.backend
+                                 : env_str("LLIO_BENCH_BACKEND", "");
   pfs::FilePtr fs;
   if (cfg.make_backend) {
     fs = cfg.make_backend();
+  } else if (!backend_target.empty()) {
+    fs = make_named_backend(backend_target, hint_opts);
   } else if (hint_opts.psrv_servers > 0) {
     psrv::PoolConfig pc;
     pc.net = net;  // same interconnect on the client/server wire

@@ -56,6 +56,9 @@ void WorkerPool::loop() {
     queue_.pop_front();
     lock.unlock();
     fn();  // packaged_task: exceptions land in the caller's future
+    // Destroy the job before re-locking: its captures may hold a
+    // Reservation whose release takes mu_.
+    fn = nullptr;
     lock.lock();
   }
 }

@@ -11,10 +11,14 @@
 // never torn down (the pool outlives every user, like obs::Tracer), so
 // steady-state collective loops pay zero thread churn.
 //
-// Jobs must be self-contained: they may not submit nested jobs and wait
-// on them from inside the pool (callers always run one share of the work
-// inline, so the worst case under contention is serialization on the
-// submitting thread, never deadlock).
+// Nested submit-and-wait from inside a pool job is safe ONLY when the
+// nested stage holds its own live reservation for the workers it waits
+// on (pfs::AsyncIo reserves its queue depth for its whole lifetime, so a
+// pipeline I/O worker blocking in AsyncIo::wait always has dedicated
+// engine workers to make progress).  A job without that guarantee must
+// stay self-contained: run one share of the work inline so the worst
+// case under contention is serialization on the submitting thread, never
+// deadlock.
 #pragma once
 
 #include <condition_variable>

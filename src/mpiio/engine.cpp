@@ -169,14 +169,25 @@ std::unique_ptr<StreamMover> IoEngine::make_mover(const void* buf, Off count,
 namespace {
 /// Times the whole operation into stats.total_s and folds the finished
 /// per-op record into the cumulative counters.  Also opens a trace span
-/// covering the operation on the calling rank's track.
+/// covering the operation on the calling rank's track, and snapshots the
+/// backend's async submission counters around the op so the delta lands
+/// in async_file_ops / async_inflight_peak.
 class OpTimer {
  public:
-  OpTimer(const char* op, IoOpStats& stats, IoOpStats& cumulative)
-      : stats_(stats), cumulative_(cumulative), span_(op) {
+  OpTimer(const char* op, IoOpStats& stats, IoOpStats& cumulative,
+          const pfs::FileBackend* backend)
+      : stats_(stats), cumulative_(cumulative), backend_(backend), span_(op) {
     stats_ = IoOpStats{};
+    if (backend_ != nullptr)
+      if (const auto info = backend_->async_info())
+        start_submitted_ = info->stats.submitted;
   }
   ~OpTimer() {
+    if (backend_ != nullptr)
+      if (const auto info = backend_->async_info()) {
+        stats_.async_file_ops = info->stats.submitted - start_submitted_;
+        stats_.async_inflight_peak = info->stats.inflight_peak;
+      }
     stats_.total_s = timer_.seconds();
     cumulative_ += stats_;
   }
@@ -184,6 +195,8 @@ class OpTimer {
  private:
   IoOpStats& stats_;
   IoOpStats& cumulative_;
+  const pfs::FileBackend* backend_;
+  std::uint64_t start_submitted_ = 0;
   WallTimer timer_;
   obs::Span span_;
 };
@@ -193,7 +206,7 @@ Off IoEngine::read_at(Off offset_etypes, void* buf, Off count,
                       const dt::Type& mt) {
   const Off stream_lo = check_access(offset_etypes, buf, count, mt);
   std::lock_guard op_lock(op_mu_);
-  OpTimer op("read_at", stats_, cumulative_);
+  OpTimer op("read_at", stats_, cumulative_, file_.get());
   return do_read_at(stream_lo, buf, count, mt);
 }
 
@@ -201,7 +214,7 @@ Off IoEngine::write_at(Off offset_etypes, const void* buf, Off count,
                        const dt::Type& mt) {
   const Off stream_lo = check_access(offset_etypes, buf, count, mt);
   std::lock_guard op_lock(op_mu_);
-  OpTimer op("write_at", stats_, cumulative_);
+  OpTimer op("write_at", stats_, cumulative_, file_.get());
   return do_write_at(stream_lo, buf, count, mt);
 }
 
@@ -209,7 +222,7 @@ Off IoEngine::read_at_all(Off offset_etypes, void* buf, Off count,
                           const dt::Type& mt) {
   const Off stream_lo = check_access(offset_etypes, buf, count, mt);
   std::lock_guard op_lock(op_mu_);
-  OpTimer op("read_at_all", stats_, cumulative_);
+  OpTimer op("read_at_all", stats_, cumulative_, file_.get());
   return do_read_at_all(stream_lo, buf, count, mt);
 }
 
@@ -217,7 +230,7 @@ Off IoEngine::write_at_all(Off offset_etypes, const void* buf, Off count,
                            const dt::Type& mt) {
   const Off stream_lo = check_access(offset_etypes, buf, count, mt);
   std::lock_guard op_lock(op_mu_);
-  OpTimer op("write_at_all", stats_, cumulative_);
+  OpTimer op("write_at_all", stats_, cumulative_, file_.get());
   return do_write_at_all(stream_lo, buf, count, mt);
 }
 

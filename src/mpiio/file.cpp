@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "common/error.hpp"
+#include "common/worker_pool.hpp"
 #include "core/listless_engine.hpp"
 #include "listio/list_engine.hpp"
 #include "obs/metrics.hpp"
@@ -207,19 +208,28 @@ Off File::write_all(const void* buf, Off count, const dt::Type& mt) {
   return n;
 }
 
+// Nonblocking requests run on the shared worker pool instead of detached
+// std::async threads: each holds a one-worker reservation for its
+// lifetime, so concurrent requests count against the same process-wide
+// concurrency budget as the pipeline and AsyncIo engines.
+
 Request File::iread_at(Off offset, void* buf, Off count, const dt::Type& mt) {
   IoEngine* engine = engine_.get();
-  return Request(std::async(std::launch::async, [=]() {
-    return engine->read_at(offset, buf, count, mt);
-  }));
+  WorkerPool& pool = WorkerPool::shared();
+  return Request(
+      pool.submit([res = pool.reserve(1), engine, offset, buf, count, mt]() {
+        return engine->read_at(offset, buf, count, mt);
+      }));
 }
 
 Request File::iwrite_at(Off offset, const void* buf, Off count,
                         const dt::Type& mt) {
   IoEngine* engine = engine_.get();
-  return Request(std::async(std::launch::async, [=]() {
-    return engine->write_at(offset, buf, count, mt);
-  }));
+  WorkerPool& pool = WorkerPool::shared();
+  return Request(
+      pool.submit([res = pool.reserve(1), engine, offset, buf, count, mt]() {
+        return engine->write_at(offset, buf, count, mt);
+      }));
 }
 
 void File::write_at_all_begin(Off offset, const void* buf, Off count,

@@ -135,6 +135,31 @@ Options apply_info(const Info& info, Options base) {
                    Errc::InvalidArgument,
                    "hint llio_psrv_request: expected contig/list/view");
       base.psrv_request = value;
+    } else if (key == "llio_posix_qd") {
+      const int n = parse_int(key, value);
+      LLIO_REQUIRE(n >= 1, Errc::InvalidArgument,
+                   "hint llio_posix_qd: expected a depth >= 1");
+      base.posix_qd = n;
+    } else if (key == "llio_posix_direct") {
+      if (value == "on")
+        base.posix_direct = true;
+      else if (value == "off")
+        base.posix_direct = false;
+      else
+        throw_error(Errc::InvalidArgument,
+                    "hint llio_posix_direct: expected on/off");
+    } else if (key == "llio_stripe_rotate") {
+      if (value == "on")
+        base.stripe_rotate = true;
+      else if (value == "off")
+        base.stripe_rotate = false;
+      else
+        throw_error(Errc::InvalidArgument,
+                    "hint llio_stripe_rotate: expected on/off");
+    } else if (key == "llio_backend") {
+      LLIO_REQUIRE(!value.empty(), Errc::InvalidArgument,
+                   "hint llio_backend: empty target");
+      base.backend = value;
     } else if (key == "llio_net_model") {
       LLIO_REQUIRE(!value.empty(), Errc::InvalidArgument,
                    "hint llio_net_model: empty model name");
@@ -210,6 +235,10 @@ Info options_to_info(const Options& o) {
   if (o.psrv_queue_depth > 0)
     info.set("llio_psrv_queue_depth", strprintf("%d", o.psrv_queue_depth));
   if (o.psrv_request != "contig") info.set("llio_psrv_request", o.psrv_request);
+  if (o.posix_qd > 1) info.set("llio_posix_qd", strprintf("%d", o.posix_qd));
+  if (o.posix_direct) info.set("llio_posix_direct", "on");
+  if (o.stripe_rotate) info.set("llio_stripe_rotate", "on");
+  if (!o.backend.empty()) info.set("llio_backend", o.backend);
   if (!o.net_model.empty()) info.set("llio_net_model", o.net_model);
   // Observability hints appear only when explicitly set: unset means
   // "leave the process-global tracer/registry alone".

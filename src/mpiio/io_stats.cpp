@@ -46,6 +46,9 @@ std::string format_stats(const IoOpStats& s) {
   out += strprintf("pack plan        %llu hits / %llu misses\n",
                    (unsigned long long)s.plan_hits,
                    (unsigned long long)s.plan_misses);
+  out += strprintf("async qd         %llu ops, peak %llu in flight\n",
+                   (unsigned long long)s.async_file_ops,
+                   (unsigned long long)s.async_inflight_peak);
   return out;
 }
 

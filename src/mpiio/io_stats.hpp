@@ -56,6 +56,11 @@ struct IoOpStats {
   double pack_slice_total_s = 0;  ///< summed slice time; imbalance =
                                   ///< max / (total / slices)
 
+  /// Async queue-depth backend (llio_posix_qd / StripeLayout.queue_depth).
+  std::uint64_t async_file_ops = 0;  ///< operations submitted to an AsyncIo
+                                     ///< engine during this op
+  std::uint64_t async_inflight_peak = 0;  ///< engine's peak concurrent ops
+
   IoOpStats& operator+=(const IoOpStats& o) {
     total_s += o.total_s;
     list_build_s += o.list_build_s;
@@ -90,6 +95,10 @@ struct IoOpStats {
                            ? pack_slice_max_s
                            : o.pack_slice_max_s;
     pack_slice_total_s += o.pack_slice_total_s;
+    async_file_ops += o.async_file_ops;
+    async_inflight_peak = async_inflight_peak > o.async_inflight_peak
+                              ? async_inflight_peak
+                              : o.async_inflight_peak;
     return *this;
   }
 };

@@ -134,6 +134,24 @@ struct Options {
   int psrv_queue_depth = 0;
   std::string psrv_request = "contig";
 
+  /// POSIX/striped backend layout tuning, consumed by the harnesses that
+  /// build the backend (bench_common's named factory) — the engines see
+  /// only the resulting pfs::FileBackend.  posix_qd is the AsyncIo queue
+  /// depth per file (hint llio_posix_qd; 1 = the classic synchronous
+  /// path, byte-identical); posix_direct engages O_DIRECT with aligned
+  /// RMW at block edges (hint llio_posix_direct); stripe_rotate turns on
+  /// FFS cylinder-group rotation for striped targets (hint
+  /// llio_stripe_rotate).
+  int posix_qd = 1;
+  bool posix_direct = false;
+  bool stripe_rotate = false;
+
+  /// Named storage target for harness-built backends (hint llio_backend,
+  /// env LLIO_BENCH_BACKEND as a bench-wide default): "mem" or
+  /// "posix:<dir>" (anonymous scratch file in <dir>, configured by the
+  /// posix_* knobs above).  Empty = the harness's own default.
+  std::string backend = {};
+
   /// Named interconnect cost model (hint llio_net_model, see
   /// sim::named_cost_model); empty = whatever the harness configured.
   std::string net_model = {};

@@ -37,6 +37,9 @@ class ActiveBufferFile final : public FileBackend {
     FileBackend::set_iov_batch_max(n);
     inner_->set_iov_batch_max(n);
   }
+  std::optional<AsyncInfo> async_info() const override {
+    return inner_->async_info();
+  }
 
   /// Block until every staged write reached the inner backend.
   void drain();

@@ -27,6 +27,9 @@ class FaultyFile final : public FileBackend {
     FileBackend::set_iov_batch_max(n);
     inner_->set_iov_batch_max(n);
   }
+  std::optional<AsyncInfo> async_info() const override {
+    return inner_->async_info();
+  }
 
   /// Disarm all pending faults (e.g. to verify recovery paths).
   void disarm();

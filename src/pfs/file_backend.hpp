@@ -16,6 +16,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 
 #include "common/bytes.hpp"
@@ -41,6 +42,23 @@ struct IoVec {
 struct ConstIoVec {
   Off offset = 0;
   ConstByteSpan buf;
+};
+
+/// Lifetime counters of an AsyncIo submission engine (pfs/async_io.hpp).
+struct AsyncIoStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t inflight_peak = 0;  ///< max ops concurrently in flight
+  double op_s = 0;                  ///< summed per-op wall time
+};
+
+/// What an async-capable backend reports through async_info(): the
+/// configured queue depth, whether O_DIRECT is actually engaged, and the
+/// engine's since-open counters (shared by every handle on the backend).
+struct AsyncInfo {
+  int queue_depth = 1;
+  bool direct = false;
+  AsyncIoStats stats;
 };
 
 class FileBackend {
@@ -94,6 +112,13 @@ class FileBackend {
   /// every byte, so the capability is deliberately masked) returns null
   /// and the engines fall back to pread/pwrite through this object.
   virtual ViewIo* view_io() { return nullptr; }
+
+  /// Optional capability: the backend runs a queue-depth async submission
+  /// engine internally (PosixFile with queue_depth > 1, AsyncQdFile, a
+  /// StripedFile with a parallel layout).  Purely observational —
+  /// decorators forward inward so engines and benches can report queue
+  /// depth and in-flight statistics no matter how the stack is wrapped.
+  virtual std::optional<AsyncInfo> async_info() const { return std::nullopt; }
 
   FileStats stats() const;
   void reset_stats();

@@ -46,6 +46,40 @@ void normalize_iov(std::span<const Vec> iov, std::vector<Vec>& out) {
   }
 }
 
+/// One past the last index of the maximal file-contiguous run starting at
+/// `i`: segment k+1 begins exactly where segment k ends in the file
+/// (memory may be scattered — the run still maps to one preadv/pwritev).
+/// Capped at `max_iov` entries when max_iov > 0.
+template <typename Vec>
+std::size_t contig_group_end(std::span<const Vec> iov, std::size_t i,
+                             std::size_t max_iov = 0) {
+  Off next = iov[i].offset;
+  std::size_t j = i;
+  while (j < iov.size() && (max_iov == 0 || j - i < max_iov) &&
+         iov[j].offset == next) {
+    next += to_off(iov[j].buf.size());
+    ++j;
+  }
+  return j;
+}
+
+/// True when the batch's file-contiguous groups are sorted and pairwise
+/// disjoint, i.e. every group starts at or past the end of the previous
+/// one.  Only then may the groups be issued concurrently (async queue
+/// depth) without racing on overlapping file bytes.
+template <typename Vec>
+bool iov_groups_disjoint(std::span<const Vec> iov) {
+  Off prev_end = 0;
+  for (std::size_t i = 0; i < iov.size();) {
+    const std::size_t j = contig_group_end(iov, i);
+    if (iov[i].offset < prev_end) return false;
+    prev_end = iov[i].offset;
+    for (std::size_t k = i; k < j; ++k) prev_end += to_off(iov[k].buf.size());
+    i = j;
+  }
+  return true;
+}
+
 /// Invoke `fn` over consecutive chunks of at most `batch_max` segments
 /// (everything at once when batch_max <= 0).
 template <typename Vec, typename Fn>

@@ -7,11 +7,21 @@
 
 namespace llio::pfs {
 
-StripedFile::StripedFile(std::vector<FilePtr> devices, Off stripe_bytes)
-    : devices_(std::move(devices)), stripe_(stripe_bytes) {}
+StripedFile::StripedFile(std::vector<FilePtr> devices, Off stripe_bytes,
+                         const StripeLayout& layout)
+    : devices_(std::move(devices)), stripe_(stripe_bytes), layout_(layout) {
+  if (layout_.queue_depth > 0)
+    aio_ = std::make_unique<AsyncIo>(layout_.queue_depth, "stripe");
+}
 
 std::shared_ptr<StripedFile> StripedFile::create(std::vector<FilePtr> devices,
                                                  Off stripe_bytes) {
+  return create(std::move(devices), stripe_bytes, StripeLayout{});
+}
+
+std::shared_ptr<StripedFile> StripedFile::create(std::vector<FilePtr> devices,
+                                                 Off stripe_bytes,
+                                                 const StripeLayout& layout) {
   LLIO_REQUIRE(!devices.empty(), Errc::InvalidArgument,
                "StripedFile: no devices");
   for (const FilePtr& d : devices)
@@ -19,8 +29,18 @@ std::shared_ptr<StripedFile> StripedFile::create(std::vector<FilePtr> devices,
                  "StripedFile: null device");
   LLIO_REQUIRE(stripe_bytes > 0, Errc::InvalidArgument,
                "StripedFile: non-positive stripe size");
+  LLIO_REQUIRE(layout.queue_depth >= 0, Errc::InvalidArgument,
+               "StripedFile: negative queue depth");
   return std::shared_ptr<StripedFile>(
-      new StripedFile(std::move(devices), stripe_bytes));
+      new StripedFile(std::move(devices), stripe_bytes, layout));
+}
+
+Off StripedFile::row_stripe(Off dev, Off row) const {
+  if (!layout_.rotate) return dev;
+  const Off nd = static_cast<Off>(devices_.size());
+  Off k = (dev - row) % nd;
+  if (k < 0) k += nd;
+  return k;
 }
 
 template <typename Fn>
@@ -32,10 +52,12 @@ void StripedFile::for_each_piece(Off offset, Off len, Fn&& fn) const {
   while (remaining > 0) {
     const Off stripe_idx = at / stripe_;
     const Off within = at % stripe_;
-    const Off dev = stripe_idx % nd;
-    const Off dev_stripe = stripe_idx / nd;
+    const Off row = stripe_idx / nd;  // device-stripe row
+    const Off k = stripe_idx % nd;    // position within the row
+    // FFS cylinder-group rotation: row r starts on device r % nd.
+    const Off dev = layout_.rotate ? (k + row) % nd : k;
     const Off n = std::min(remaining, stripe_ - within);
-    fn(to_size(dev), dev_stripe * stripe_ + within, buf_off, n);
+    fn(to_size(dev), row * stripe_ + within, buf_off, n);
     at += n;
     buf_off += n;
     remaining -= n;
@@ -88,8 +110,22 @@ Off StripedFile::do_preadv(std::span<const IoVec> iov) {
                      total += n;
                    });
   }
-  for (std::size_t d = 0; d < per_dev.size(); ++d)
-    if (!per_dev[d].empty()) devices_[d]->preadv(per_dev[d]);
+  if (aio_) {
+    // Per-device batches are disjoint by construction: overlap them.
+    AsyncIo::Batch batch;
+    for (std::size_t d = 0; d < per_dev.size(); ++d) {
+      if (per_dev[d].empty()) continue;
+      Off bytes = 0;
+      for (const IoVec& v : per_dev[d]) bytes += to_off(v.buf.size());
+      aio_->submit(
+          batch, [this, d, &per_dev] { devices_[d]->preadv(per_dev[d]); },
+          bytes);
+    }
+    aio_->wait(batch);
+  } else {
+    for (std::size_t d = 0; d < per_dev.size(); ++d)
+      if (!per_dev[d].empty()) devices_[d]->preadv(per_dev[d]);
+  }
   return total;
 }
 
@@ -102,13 +138,28 @@ void StripedFile::do_pwritev(std::span<const ConstIoVec> iov) {
                          {dev_off,
                           ConstByteSpan(v.buf.data() + buf_off, to_size(n))});
                    });
-  for (std::size_t d = 0; d < per_dev.size(); ++d)
-    if (!per_dev[d].empty()) devices_[d]->pwritev(per_dev[d]);
+  if (aio_) {
+    AsyncIo::Batch batch;
+    for (std::size_t d = 0; d < per_dev.size(); ++d) {
+      if (per_dev[d].empty()) continue;
+      Off bytes = 0;
+      for (const ConstIoVec& v : per_dev[d]) bytes += to_off(v.buf.size());
+      aio_->submit(
+          batch, [this, d, &per_dev] { devices_[d]->pwritev(per_dev[d]); },
+          bytes);
+    }
+    aio_->wait(batch);
+  } else {
+    for (std::size_t d = 0; d < per_dev.size(); ++d)
+      if (!per_dev[d].empty()) devices_[d]->pwritev(per_dev[d]);
+  }
 }
 
 Off StripedFile::size() const {
-  // Reconstruct the logical size from per-device sizes: device d holding
-  // `s` bytes contributes stripes at logical positions d, d+nd, ...
+  // Reconstruct the logical size from per-device sizes: at device-stripe
+  // row r, device d holds logical stripe r*nd + row_stripe(d, r) (the
+  // rotation inverse; identity without rotation).  The logical stripe
+  // number grows strictly with the row, so only the last row matters.
   const Off nd = static_cast<Off>(devices_.size());
   Off logical = 0;
   for (Off d = 0; d < nd; ++d) {
@@ -117,9 +168,10 @@ Off StripedFile::size() const {
     const Off full = s / stripe_;
     const Off rem = s % stripe_;
     // The last (possibly partial) device stripe ends at this logical off:
-    const Off last_stripe = full - (rem == 0 ? 1 : 0);
+    const Off last_row = full - (rem == 0 ? 1 : 0);
     const Off tail = rem == 0 ? stripe_ : rem;
-    const Off end = (last_stripe * nd + d) * stripe_ + tail;
+    const Off end =
+        (last_row * nd + row_stripe(d, last_row)) * stripe_ + tail;
     logical = std::max(logical, end);
   }
   return logical;
@@ -130,12 +182,13 @@ void StripedFile::resize(Off new_size) {
                "StripedFile: negative size");
   const Off nd = static_cast<Off>(devices_.size());
   for (Off d = 0; d < nd; ++d) {
-    // Bytes of device d below logical new_size.
-    Off dev_size = 0;
+    // Bytes of device d below logical new_size: full rounds contribute a
+    // stripe each; in the partial last round (row = full_rounds) device d
+    // holds logical stripe row_stripe(d, full_rounds) of that row.
     const Off full_rounds = new_size / (stripe_ * nd);
     const Off rem = new_size % (stripe_ * nd);
-    dev_size = full_rounds * stripe_;
-    const Off rem_start = d * stripe_;
+    Off dev_size = full_rounds * stripe_;
+    const Off rem_start = row_stripe(d, full_rounds) * stripe_;
     if (rem > rem_start)
       dev_size += std::min(stripe_, rem - rem_start);
     devices_[to_size(d)]->resize(dev_size);
@@ -144,6 +197,16 @@ void StripedFile::resize(Off new_size) {
 
 void StripedFile::sync() {
   for (const FilePtr& d : devices_) d->sync();
+}
+
+std::optional<AsyncInfo> StripedFile::async_info() const {
+  if (!aio_) return std::nullopt;
+  AsyncInfo info;
+  info.queue_depth = layout_.queue_depth;
+  for (const FilePtr& d : devices_)
+    if (auto in = d->async_info(); in && in->direct) info.direct = true;
+  info.stats = aio_->stats();
+  return info;
 }
 
 }  // namespace llio::pfs

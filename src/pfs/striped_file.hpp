@@ -6,17 +6,39 @@
 // non-overlapping accesses scale until the devices saturate.
 #pragma once
 
+#include <memory>
 #include <vector>
 
+#include "pfs/async_io.hpp"
 #include "pfs/file_backend.hpp"
 
 namespace llio::pfs {
 
+/// Layout policy for StripedFile (hints llio_stripe_rotate / the striped
+/// bench flags map here).
+struct StripeLayout {
+  /// FFS cylinder-group rotation: row r of stripes (logical stripes
+  /// r*nd .. r*nd+nd-1) starts on device r % nd instead of device 0, so
+  /// collective IOP windows that all begin at a stripe boundary fan out
+  /// across every device instead of hammering device 0 in lockstep.
+  bool rotate = false;
+
+  /// > 0: run an AsyncIo engine of this depth and issue the per-device
+  /// vectored batches of one preadv/pwritev concurrently (they are
+  /// disjoint by construction — one batch per device).  0 = classic
+  /// serial device loop.
+  int queue_depth = 0;
+};
+
 class StripedFile final : public FileBackend {
  public:
-  /// Stripe unit `stripe_bytes` over the given devices (>= 1).
+  /// Stripe unit `stripe_bytes` over the given devices (>= 1), classic
+  /// layout (no rotation, serial device loop).
   static std::shared_ptr<StripedFile> create(std::vector<FilePtr> devices,
                                              Off stripe_bytes);
+  static std::shared_ptr<StripedFile> create(std::vector<FilePtr> devices,
+                                             Off stripe_bytes,
+                                             const StripeLayout& layout);
 
   Off size() const override;
   void resize(Off new_size) override;
@@ -25,9 +47,11 @@ class StripedFile final : public FileBackend {
     FileBackend::set_iov_batch_max(n);
     for (const FilePtr& d : devices_) d->set_iov_batch_max(n);
   }
+  std::optional<AsyncInfo> async_info() const override;
 
   int device_count() const { return static_cast<int>(devices_.size()); }
   Off stripe_bytes() const { return stripe_; }
+  const StripeLayout& layout() const { return layout_; }
 
  protected:
   Off do_pread(Off offset, ByteSpan out) override;
@@ -36,15 +60,22 @@ class StripedFile final : public FileBackend {
   void do_pwritev(std::span<const ConstIoVec> iov) override;
 
  private:
-  StripedFile(std::vector<FilePtr> devices, Off stripe_bytes);
+  StripedFile(std::vector<FilePtr> devices, Off stripe_bytes,
+              const StripeLayout& layout);
 
   /// Map a logical range onto per-device (offset, length) pieces and
   /// apply `fn(device, dev_off, buf_slice)`.
   template <typename Fn>
   void for_each_piece(Off offset, Off len, Fn&& fn) const;
 
+  /// Which logical stripe (0..nd-1 within its row) device `dev` holds at
+  /// device-stripe row `row` — the inverse of the rotation map.
+  Off row_stripe(Off dev, Off row) const;
+
   std::vector<FilePtr> devices_;
   Off stripe_;
+  StripeLayout layout_;
+  std::unique_ptr<AsyncIo> aio_;  ///< present iff layout_.queue_depth > 0
 };
 
 }  // namespace llio::pfs

@@ -39,6 +39,9 @@ class ThrottledFile final : public FileBackend {
     FileBackend::set_iov_batch_max(n);
     inner_->set_iov_batch_max(n);
   }
+  std::optional<AsyncInfo> async_info() const override {
+    return inner_->async_info();
+  }
 
   /// Total wall time injected by the throttle so far (seconds).
   double simulated_time() const;

@@ -26,6 +26,9 @@ class TracedFile final : public FileBackend, public ViewIo {
     FileBackend::set_iov_batch_max(n);
     inner_->set_iov_batch_max(n);
   }
+  std::optional<AsyncInfo> async_info() const override {
+    return inner_->async_info();
+  }
 
   /// Purely observational wrapper, so — unlike the cost/fault decorators —
   /// the view-I/O capability is forwarded, interposed so the spans and

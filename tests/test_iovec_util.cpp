@@ -1,0 +1,144 @@
+// Edge cases of the shared iovec batch hygiene (pfs/iovec_util.hpp):
+// zero-length handling, adjacency/coalescing, the contiguous-group walk
+// the async queue-depth fan-out depends on, and offset arithmetic near
+// the top of the Off range.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "pfs/iovec_util.hpp"
+#include "pfs/file_backend.hpp"
+
+namespace llio::pfs {
+namespace {
+
+ByteVec bytes(std::size_t n) { return ByteVec(n, Byte{0x5A}); }
+
+TEST(IovecUtil, ZeroLengthOnlyBatchNormalizesToEmpty) {
+  ByteVec b;
+  const IoVec iov[] = {{0, b}, {100, b}, {5, b}};
+  EXPECT_FALSE(iov_normalized(std::span<const IoVec>(iov)));
+  std::vector<IoVec> out{{7, b}};  // stale contents must be cleared
+  normalize_iov(std::span<const IoVec>(iov), out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(IovecUtil, EmptyBatchIsNormalizedAndDisjoint) {
+  const std::span<const IoVec> none;
+  EXPECT_TRUE(iov_normalized(none));
+  EXPECT_TRUE(iov_groups_disjoint(none));
+  int calls = 0;
+  for_each_iov_batch(none, 4, [&](std::span<const IoVec>) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(IovecUtil, AdjacencyNeedsBothFileAndMemoryContiguity) {
+  ByteVec buf = bytes(64);
+  // File-adjacent + memory-adjacent: merges.
+  const ConstIoVec both[] = {{0, {buf.data(), 16}}, {16, {buf.data() + 16, 16}}};
+  EXPECT_TRUE(iov_adjacent(both[0], both[1]));
+  // File-adjacent only (memory gap): stays split.
+  const ConstIoVec file_only[] = {{0, {buf.data(), 16}},
+                                  {16, {buf.data() + 32, 16}}};
+  EXPECT_FALSE(iov_adjacent(file_only[0], file_only[1]));
+  // Memory-adjacent only (file gap): stays split.
+  const ConstIoVec mem_only[] = {{0, {buf.data(), 16}},
+                                 {24, {buf.data() + 16, 16}}};
+  EXPECT_FALSE(iov_adjacent(mem_only[0], mem_only[1]));
+
+  std::vector<ConstIoVec> out;
+  normalize_iov(std::span<const ConstIoVec>(both), out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].offset, 0);
+  EXPECT_EQ(out[0].buf.size(), 32u);
+  normalize_iov(std::span<const ConstIoVec>(file_only), out);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(IovecUtil, NormalizeMergesRunsInterruptedByZeroLength) {
+  // A zero-length segment between two mergeable halves must not break
+  // the merge: it is dropped first, leaving the halves adjacent.
+  ByteVec buf = bytes(32);
+  ByteVec none;
+  const ConstIoVec iov[] = {{0, {buf.data(), 16}},
+                            {999, none},
+                            {16, {buf.data() + 16, 16}}};
+  std::vector<ConstIoVec> out;
+  normalize_iov(std::span<const ConstIoVec>(iov), out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].buf.size(), 32u);
+}
+
+TEST(IovecUtil, BatchSplitFallsOnCoalescableBoundary) {
+  // Six segments that form one mergeable run, split at batch_max=4: the
+  // chunking is positional, so the run is cut mid-merge and the caller
+  // sees two independent batches (4 + 2) — the documented trade-off of
+  // bounding syscall width after normalization.
+  ByteVec buf = bytes(6 * 8);
+  std::vector<ConstIoVec> iov;
+  for (int i = 0; i < 6; ++i)
+    iov.push_back({Off{i} * 8, {buf.data() + i * 8, 8}});
+  std::vector<std::size_t> widths;
+  for_each_iov_batch(std::span<const ConstIoVec>(iov), 4,
+                     [&](std::span<const ConstIoVec> chunk) {
+                       widths.push_back(chunk.size());
+                       // Each chunk is still one contiguous group.
+                       EXPECT_EQ(contig_group_end(chunk, 0), chunk.size());
+                     });
+  EXPECT_EQ(widths, (std::vector<std::size_t>{4, 2}));
+  // batch_max <= 0 means unbounded: one call with everything.
+  widths.clear();
+  for_each_iov_batch(std::span<const ConstIoVec>(iov), 0,
+                     [&](std::span<const ConstIoVec> chunk) {
+                       widths.push_back(chunk.size());
+                     });
+  EXPECT_EQ(widths, (std::vector<std::size_t>{6}));
+}
+
+TEST(IovecUtil, ContigGroupEndHonorsCapAndGaps) {
+  ByteVec buf = bytes(64);
+  // Segments 0..2 are file-contiguous, 3 starts after a gap.
+  const IoVec iov[] = {{0, {buf.data(), 8}},
+                       {8, {buf.data() + 8, 8}},
+                       {16, {buf.data() + 16, 8}},
+                       {100, {buf.data() + 24, 8}}};
+  const std::span<const IoVec> s(iov);
+  EXPECT_EQ(contig_group_end(s, 0), 3u);
+  EXPECT_EQ(contig_group_end(s, 0, /*max_iov=*/2), 2u);
+  EXPECT_EQ(contig_group_end(s, 3), 4u);
+}
+
+TEST(IovecUtil, GroupsDisjointDetectsOverlapAndOrder) {
+  ByteVec buf = bytes(64);
+  // Touching groups (next starts exactly at the previous end) are fine.
+  const IoVec touching[] = {{0, {buf.data(), 16}}, {16, {buf.data() + 16, 16}}};
+  EXPECT_TRUE(iov_groups_disjoint(std::span<const IoVec>(touching)));
+  // Overlap by one byte: not safe to issue concurrently.
+  const IoVec overlap[] = {{0, {buf.data(), 16}}, {15, {buf.data() + 16, 16}}};
+  EXPECT_FALSE(iov_groups_disjoint(std::span<const IoVec>(overlap)));
+  // Sorted-ness is required, even without byte overlap.
+  const IoVec unsorted[] = {{32, {buf.data(), 8}}, {0, {buf.data() + 8, 8}}};
+  EXPECT_FALSE(iov_groups_disjoint(std::span<const IoVec>(unsorted)));
+}
+
+TEST(IovecUtil, AdjacentOffsetsNearOffMax) {
+  // A run ending exactly at the top of the Off range: the group walk
+  // sums offsets + sizes without overflowing past the last segment.
+  constexpr Off kMax = std::numeric_limits<Off>::max();
+  ByteVec buf = bytes(32);
+  const IoVec iov[] = {{kMax - 32, {buf.data(), 16}},
+                       {kMax - 16, {buf.data() + 16, 16}}};
+  const std::span<const IoVec> s(iov);
+  EXPECT_EQ(contig_group_end(s, 0), 2u);
+  EXPECT_TRUE(iov_groups_disjoint(s));
+  // The same two segments in file-adjacent order but reversed memory:
+  // still one group (file contiguity only), yet not mergeable.
+  const IoVec rev[] = {{kMax - 32, {buf.data() + 16, 16}},
+                       {kMax - 16, {buf.data(), 16}}};
+  EXPECT_EQ(contig_group_end(std::span<const IoVec>(rev), 0), 2u);
+  EXPECT_FALSE(iov_adjacent(rev[0], rev[1]));
+}
+
+}  // namespace
+}  // namespace llio::pfs

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Gate a bench_posix run: queue depth must overlap per-op latency.
+
+Usage:
+    check_posix.py CURRENT [--min-speedup 1.2] [--target throttled]
+
+CURRENT holds one JSON object per line (the `sed -n 's/^json://p'`
+extraction of the bench output; a leading schema line is tolerated).
+
+The gate reads only the deterministic fallback target (`throttled` by
+default): its 150us fixed per-op latency makes the qd speedup a property
+of the submission engine, not of the CI runner's storage.  The rule is
+within-run, so machine speed cancels out:
+
+  * the best qd >= 4 row must reach at least --min-speedup x the qd=1
+    row of the same target, and
+  * both rows must exist — a sweep that silently dropped its baseline
+    or its deep points must fail loudly, not pass vacuously.
+
+Real-file targets (tmpfs/dir) are reported but not gated: on small CI
+runners page-cache writes complete faster than worker handoff, so queue
+depth legitimately may not help there.  Rotation rows are also checked
+when present: rotate=on must not lose to rotate=off on the striped
+target (the exclusive-device layout makes that deterministic too).
+
+Exit status: 0 when the gate holds, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    rows = []
+    with open(path) as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line or not line.startswith("{"):
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as e:
+                print(f"error: {path}:{lineno}: invalid JSON record: {e.msg}",
+                      file=sys.stderr)
+                raise SystemExit(1)
+            if not isinstance(row, dict) or row.get("bench") != "posix":
+                continue
+            for field in ("section", "target", "qd", "mbps_pp"):
+                if field not in row:
+                    print(f"error: {path}:{lineno}: row missing required "
+                          f"field {field!r}", file=sys.stderr)
+                    raise SystemExit(1)
+            rows.append(row)
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("current")
+    ap.add_argument("--min-speedup", type=float, default=1.2,
+                    help="floor for best qd>=4 vs qd=1 on the gated "
+                         "target (default 1.2)")
+    ap.add_argument("--target", default="throttled",
+                    help="qd-sweep target to gate (default throttled)")
+    args = ap.parse_args()
+
+    rows = load_rows(args.current)
+    if not rows:
+        print(f"error: no bench=posix rows in {args.current}",
+              file=sys.stderr)
+        return 1
+
+    ok = True
+
+    sweep = {r["qd"]: r["mbps_pp"] for r in rows
+             if r["section"] == "qd" and r["target"] == args.target}
+    base = sweep.get(1)
+    deep = {qd: m for qd, m in sweep.items() if qd >= 4}
+    if base is None or not deep:
+        print(f"FAIL: qd sweep on target {args.target!r} is missing its "
+              f"qd=1 baseline or its qd>=4 points (got qds "
+              f"{sorted(sweep)})")
+        ok = False
+    else:
+        best_qd, best = max(deep.items(), key=lambda kv: kv[1])
+        speedup = best / base if base > 0 else 0.0
+        verdict = "ok" if speedup >= args.min_speedup else "FAIL"
+        print(f"{verdict}: {args.target} qd={best_qd} {best:.1f} MB/s vs "
+              f"qd=1 {base:.1f} MB/s -> {speedup:.2f}x "
+              f"(floor {args.min_speedup:.2f}x)")
+        ok = ok and speedup >= args.min_speedup
+
+    for r in rows:
+        if r["section"] == "qd" and r["target"] != args.target:
+            print(f"info: {r['target']} qd={r['qd']} "
+                  f"{r['mbps_pp']:.1f} MB/s (not gated)")
+
+    rot = {bool(r.get("rotate")): r["mbps_pp"] for r in rows
+           if r["section"] == "rotate"}
+    if True in rot and False in rot:
+        speedup = rot[True] / rot[False] if rot[False] > 0 else 0.0
+        verdict = "ok" if speedup >= 1.0 else "FAIL"
+        print(f"{verdict}: stripe rotation {rot[True]:.1f} MB/s vs "
+              f"off {rot[False]:.1f} MB/s -> {speedup:.2f}x (floor 1.00x)")
+        ok = ok and speedup >= 1.0
+
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
