@@ -267,6 +267,9 @@ inline BenchPoint run_noncontig(const NoncontigConfig& cfg) {
       std::lock_guard<std::mutex> lk(stats_mu);
       folded += f.last_stats();
     }
+    // Job-level observability close (collective): aggregates every rank's
+    // phases/histograms and writes the llio_report JSON when asked for.
+    if (!f.options().report_path.empty()) f.close();
   });
 
   BenchPoint p;

@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "mpiio/sieve.hpp"
+#include "obs/snapshot.hpp"
 #include "obs/trace.hpp"
 #include "pfs/view_io.hpp"
 
@@ -169,30 +170,38 @@ std::unique_ptr<StreamMover> IoEngine::make_mover(const void* buf, Off count,
 namespace {
 /// Times the whole operation into stats.total_s and folds the finished
 /// per-op record into the cumulative counters.  Also opens a trace span
-/// covering the operation on the calling rank's track, and snapshots the
+/// covering the operation on the calling rank's track, snapshots the
 /// backend's async submission counters around the op so the delta lands
-/// in async_file_ops / async_inflight_peak.
+/// in async_file_ops / async_inflight_peak, and hands the finished record
+/// to IoEngine::observe_op (per-rank histograms + sampling ring).
 class OpTimer {
  public:
-  OpTimer(const char* op, IoOpStats& stats, IoOpStats& cumulative,
+  OpTimer(const char* op, std::uint32_t op_id, IoEngine& engine,
+          IoOpStats& stats, IoOpStats& cumulative,
           const pfs::FileBackend* backend)
-      : stats_(stats), cumulative_(cumulative), backend_(backend), span_(op) {
+      : op_id_(op_id), engine_(engine), stats_(stats),
+        cumulative_(cumulative), backend_(backend), span_(op) {
     stats_ = IoOpStats{};
     if (backend_ != nullptr)
       if (const auto info = backend_->async_info())
         start_submitted_ = info->stats.submitted;
   }
   ~OpTimer() {
+    int qd = 1;
     if (backend_ != nullptr)
       if (const auto info = backend_->async_info()) {
         stats_.async_file_ops = info->stats.submitted - start_submitted_;
         stats_.async_inflight_peak = info->stats.inflight_peak;
+        qd = info->queue_depth;
       }
     stats_.total_s = timer_.seconds();
     cumulative_ += stats_;
+    engine_.observe_op(op_id_, stats_, qd);
   }
 
  private:
+  std::uint32_t op_id_;
+  IoEngine& engine_;
   IoOpStats& stats_;
   IoOpStats& cumulative_;
   const pfs::FileBackend* backend_;
@@ -200,37 +209,82 @@ class OpTimer {
   WallTimer timer_;
   obs::Span span_;
 };
+
+long long to_us(double seconds) {
+  return static_cast<long long>(seconds * 1e6);
+}
 }  // namespace
+
+void IoEngine::observe_op(std::uint32_t op_id, const IoOpStats& s,
+                          int queue_depth) {
+  if (obs::metrics_enabled()) {
+    local_metrics_.histogram("op.total_us").record(to_us(s.total_s));
+    local_metrics_.histogram("op.pack_us").record(to_us(s.copy_s));
+    local_metrics_.histogram("op.exchange_us").record(to_us(s.exchange_s));
+    local_metrics_.histogram("op.preread_us").record(to_us(s.preread_s));
+    local_metrics_.histogram("op.io_us").record(to_us(s.file_s));
+    local_metrics_.histogram("op.wait_us").record(to_us(s.io_wait_s));
+  }
+  obs::Sampler& sampler = obs::Sampler::instance();
+  if (!sampler.enabled()) return;
+  if (!sample_dims_.resolved) {  // one-time per handle; op_mu_ is held
+    sample_dims_.engine = sampler.intern(method_name(opts_.method));
+    sample_dims_.backend =
+        sampler.intern(opts_.backend.empty() ? "default" : opts_.backend);
+    sample_dims_.net =
+        sampler.intern(opts_.net_model.empty() ? "default" : opts_.net_model);
+    sample_dims_.resolved = true;
+  }
+  obs::OpSample sample;
+  sample.rank = comm_->rank();
+  sample.op = op_id;
+  sample.engine = sample_dims_.engine;
+  sample.backend = sample_dims_.backend;
+  sample.net = sample_dims_.net;
+  sample.qd = queue_depth;
+  sample.bytes = s.bytes_moved;
+  sample.runs =
+      static_cast<long long>(s.file_read_ops + s.file_write_ops);
+  sample.dur_ns = static_cast<long long>(s.total_s * 1e9);
+  sampler.record(sample);
+}
 
 Off IoEngine::read_at(Off offset_etypes, void* buf, Off count,
                       const dt::Type& mt) {
   const Off stream_lo = check_access(offset_etypes, buf, count, mt);
+  static const std::uint32_t kOpId = obs::Sampler::instance().intern("read_at");
   std::lock_guard op_lock(op_mu_);
-  OpTimer op("read_at", stats_, cumulative_, file_.get());
+  OpTimer op("read_at", kOpId, *this, stats_, cumulative_, file_.get());
   return do_read_at(stream_lo, buf, count, mt);
 }
 
 Off IoEngine::write_at(Off offset_etypes, const void* buf, Off count,
                        const dt::Type& mt) {
   const Off stream_lo = check_access(offset_etypes, buf, count, mt);
+  static const std::uint32_t kOpId =
+      obs::Sampler::instance().intern("write_at");
   std::lock_guard op_lock(op_mu_);
-  OpTimer op("write_at", stats_, cumulative_, file_.get());
+  OpTimer op("write_at", kOpId, *this, stats_, cumulative_, file_.get());
   return do_write_at(stream_lo, buf, count, mt);
 }
 
 Off IoEngine::read_at_all(Off offset_etypes, void* buf, Off count,
                           const dt::Type& mt) {
   const Off stream_lo = check_access(offset_etypes, buf, count, mt);
+  static const std::uint32_t kOpId =
+      obs::Sampler::instance().intern("read_at_all");
   std::lock_guard op_lock(op_mu_);
-  OpTimer op("read_at_all", stats_, cumulative_, file_.get());
+  OpTimer op("read_at_all", kOpId, *this, stats_, cumulative_, file_.get());
   return do_read_at_all(stream_lo, buf, count, mt);
 }
 
 Off IoEngine::write_at_all(Off offset_etypes, const void* buf, Off count,
                            const dt::Type& mt) {
   const Off stream_lo = check_access(offset_etypes, buf, count, mt);
+  static const std::uint32_t kOpId =
+      obs::Sampler::instance().intern("write_at_all");
   std::lock_guard op_lock(op_mu_);
-  OpTimer op("write_at_all", stats_, cumulative_, file_.get());
+  OpTimer op("write_at_all", kOpId, *this, stats_, cumulative_, file_.get());
   return do_write_at_all(stream_lo, buf, count, mt);
 }
 

@@ -15,6 +15,7 @@
 #include "mpiio/navigator.hpp"
 #include "mpiio/options.hpp"
 #include "mpiio/view.hpp"
+#include "obs/metrics.hpp"
 #include "pfs/file_backend.hpp"
 #include "pfs/range_lock.hpp"
 #include "simmpi/comm.hpp"
@@ -58,6 +59,18 @@ class IoEngine {
   /// reset) on this rank.
   const IoOpStats& cumulative_stats() const { return cumulative_; }
   void reset_cumulative_stats() { cumulative_ = IoOpStats{}; }
+
+  /// Per-rank phase histograms (op.total_us / op.pack_us / op.io_us /
+  /// ...), one record per operation while obs::metrics_enabled().  This
+  /// is the rank-local unit the job-level Collector merges at
+  /// File::close; kept out of the process-global Registry because all
+  /// rank-threads of the simulated job share that one.
+  const obs::LocalRegistry& local_metrics() const { return local_metrics_; }
+
+  /// Internal: fold one finished operation into the per-rank histograms
+  /// and the always-on sampling ring.  Called by the per-op timer with
+  /// op_mu_ held; `op_id` is the Sampler-interned operation name.
+  void observe_op(std::uint32_t op_id, const IoOpStats& s, int queue_depth);
 
   /// Atomic mode (MPI_File_set_atomicity): when enabled, every
   /// independent access holds a byte-range lock over its whole file span,
@@ -110,6 +123,19 @@ class IoEngine {
 
   bool atomic_ = false;
   std::mutex op_mu_;  ///< serializes operations (async vs caller thread)
+
+ private:
+  obs::LocalRegistry local_metrics_;
+
+  /// Sampling dimensions interned once per handle (interning takes a
+  /// mutex; observe_op runs under op_mu_, so plain fields suffice).
+  struct SampleDims {
+    bool resolved = false;
+    std::uint32_t engine = 0;
+    std::uint32_t backend = 0;
+    std::uint32_t net = 0;
+  };
+  SampleDims sample_dims_;
 };
 
 }  // namespace llio::mpiio

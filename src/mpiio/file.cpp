@@ -1,5 +1,6 @@
 #include "mpiio/file.hpp"
 
+#include <fstream>
 #include <map>
 #include <mutex>
 
@@ -8,6 +9,7 @@
 #include "core/listless_engine.hpp"
 #include "listio/list_engine.hpp"
 #include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
 #include "obs/trace.hpp"
 #include "pfs/traced_file.hpp"
 
@@ -104,6 +106,17 @@ File File::open(sim::Comm& comm, pfs::FilePtr backend, const Options& opts) {
   if (opts.trace_file)
     obs::Tracer::instance().set_output_path(*opts.trace_file);
   if (opts.metrics) obs::set_metrics_enabled(*opts.metrics);
+  if (opts.obs_sample) obs::Sampler::instance().set_enabled(*opts.obs_sample);
+  // Resizing replaces the ring (dropping retained samples), so only act
+  // when the capacity actually changes: a re-open with the same hint is
+  // a no-op, and racing ranks of one collective open at worst install a
+  // few empty rings of the same size (old rings leak by design).
+  if (opts.obs_ring > 0 &&
+      static_cast<std::size_t>(opts.obs_ring) !=
+          obs::Sampler::instance().capacity()) {
+    obs::Sampler::instance().set_capacity(
+        static_cast<std::size_t>(opts.obs_ring));
+  }
   // Per-file-op observation needs the TracedFile decorator in the path.
   // Wrapping is per-handle and forwards to the shared inner backend, so
   // peers opening the same backend unwrapped stay coherent.
@@ -371,6 +384,55 @@ void File::set_atomicity(bool atomic) {
 }
 
 bool File::atomicity() const { return engine_->atomicity(); }
+
+obs::JobReport File::close() {
+  sim::Comm& comm = engine_->comm();
+  // Each rank's span buffer is thread-local; flush before the collective
+  // exchange so the tracer snapshot below sees every rank's spans.
+  obs::flush_thread_trace();
+
+  const IoOpStats& c = engine_->cumulative_stats();
+  obs::RankSnapshot mine;
+  mine.rank = comm.rank();
+  mine.phases = {{"total", c.total_s},      {"pack", c.copy_s},
+                 {"exchange", c.exchange_s}, {"preread", c.preread_s},
+                 {"io", c.file_s},           {"wait", c.io_wait_s}};
+  mine.counters = {
+      {"bytes_moved", static_cast<std::uint64_t>(c.bytes_moved)},
+      {"file_read_ops", c.file_read_ops},
+      {"file_write_ops", c.file_write_ops},
+      {"async_file_ops", c.async_file_ops},
+      {"zerocopy_windows", c.zerocopy_windows},
+      {"preread_skipped_windows", c.preread_skipped_windows},
+  };
+  mine.hists = engine_->local_metrics().histogram_data();
+
+  obs::JobReport report = obs::aggregate(comm, mine);
+
+  // Process-global sections: the registry, sampler, and tracer are
+  // shared by all rank-threads of the simulated job, so every rank
+  // attaches the same view and the reports stay rank-identical (the
+  // allgather above synchronized the ranks, so no op is mid-flight).
+  for (auto& [name, data] : obs::Registry::instance().histogram_data())
+    report.global_hists.emplace_back(name, data.summary());
+  const obs::MetricsSnapshot ms = obs::Sampler::instance().snapshot();
+  report.samples_produced = ms.produced;
+  report.samples_dropped = ms.dropped;
+  if (obs::trace_enabled())
+    report.critical = obs::critical_path(obs::Tracer::instance().snapshot());
+
+  const std::string& path = engine_->options().report_path;
+  if (!path.empty() && comm.rank() == 0) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    LLIO_REQUIRE(out.good(), Errc::Io, "close: cannot open report file " + path);
+    const std::string json = report.to_json();
+    out.write(json.data(), static_cast<std::streamsize>(json.size()));
+    out.put('\n');
+    LLIO_REQUIRE(out.good(), Errc::Io, "close: short write to " + path);
+  }
+  comm.barrier();  // readers of the report see it complete after close()
+  return report;
+}
 
 const IoOpStats& File::last_stats() const { return engine_->last_stats(); }
 

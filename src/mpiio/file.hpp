@@ -23,6 +23,7 @@
 #include "mpiio/io_stats.hpp"
 #include "mpiio/options.hpp"
 #include "mpiio/view.hpp"
+#include "obs/agg.hpp"
 #include "pfs/file_backend.hpp"
 #include "simmpi/comm.hpp"
 
@@ -156,6 +157,19 @@ class File {
   /// consistent (each holds a lock over its whole file span).
   void set_atomicity(bool atomic);
   bool atomicity() const;
+
+  /// Collective: job-level observability close (the MPI_File_close-time
+  /// aggregation point).  Every rank flushes its trace buffer and
+  /// contributes its cumulative phase decomposition (pack / exchange /
+  /// preread / io / wait), counters, and per-rank phase histograms;
+  /// every rank returns the same obs::JobReport — cross-rank
+  /// min/median/max per phase, merged histograms, straggler rank,
+  /// critical path over the trace (when tracing is on), and the sampling
+  /// ring totals.  Rank 0 writes the report JSON to Options::report_path
+  /// when set.  The handle stays usable afterwards: close() finalizes
+  /// observability, not the backend (simulated backends have no OS
+  /// handle to release).
+  obs::JobReport close();
 
   /// Statistics of this rank's most recent operation.
   const IoOpStats& last_stats() const;

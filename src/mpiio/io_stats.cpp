@@ -10,6 +10,7 @@ std::string format_stats(const IoOpStats& s) {
   out += strprintf("  list build     %10.6f s\n", s.list_build_s);
   out += strprintf("  copy           %10.6f s\n", s.copy_s);
   out += strprintf("  file I/O       %10.6f s\n", s.file_s);
+  out += strprintf("  rmw preread    %10.6f s\n", s.preread_s);
   out += strprintf("  exchange       %10.6f s\n", s.exchange_s);
   out += strprintf("  merge analysis %10.6f s\n", s.merge_analysis_s);
   out += strprintf("  overlap        %10.6f s\n", s.overlap_s);

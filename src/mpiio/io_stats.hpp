@@ -18,6 +18,8 @@ struct IoOpStats {
                             ///< compute thread (collective pipeline only)
   double io_wait_s = 0;     ///< compute-thread time blocked waiting on the
                             ///< pipeline's I/O worker
+  double preread_s = 0;     ///< the read-modify-write pre-read share of
+                            ///< file_s (collective write windows)
 
   Off bytes_moved = 0;       ///< user payload bytes
   Off file_read_bytes = 0;   ///< bytes actually read from storage
@@ -69,6 +71,7 @@ struct IoOpStats {
     exchange_s += o.exchange_s;
     overlap_s += o.overlap_s;
     io_wait_s += o.io_wait_s;
+    preread_s += o.preread_s;
     bytes_moved += o.bytes_moved;
     file_read_bytes += o.file_read_bytes;
     file_write_bytes += o.file_write_bytes;

@@ -166,6 +166,20 @@ struct Options {
   std::optional<obs::TraceLevel> trace = std::nullopt;
   std::optional<std::string> trace_file = std::nullopt;
   std::optional<bool> metrics = std::nullopt;
+
+  /// Job-level observability report (hint llio_report): File::close()
+  /// aggregates every rank's phase decomposition, counters, and
+  /// histograms into an obs::JobReport, and rank 0 writes its JSON
+  /// (schema llio_report/v1) to this path.  Empty = close() still
+  /// aggregates and returns the report, but writes nothing.
+  std::string report_path = {};
+
+  /// Always-on sampling ring (hints llio_obs_sample / llio_obs_ring).
+  /// Process-global like the tracer knobs; File::open applies any value
+  /// set here on top of the environment-seeded defaults (LLIO_OBS_SAMPLE
+  /// / LLIO_OBS_RING).  Unset / 0 = leave the global setting alone.
+  std::optional<bool> obs_sample = std::nullopt;
+  int obs_ring = 0;
 };
 
 const char* method_name(Method m) noexcept;

@@ -25,14 +25,15 @@ namespace {
 /// shared IoOpStats is never touched from a worker).
 struct FileJobStats {
   double seconds = 0;
+  double preread_seconds = 0;  ///< the RMW share of `seconds`
   Off read_bytes = 0;
   Off write_bytes = 0;
   std::uint64_t read_ops = 0;
   std::uint64_t write_ops = 0;
 };
 
-FileJobStats read_job(pfs::FileBackend& file, Off lo, ByteSpan buf,
-                      Off win) {
+FileJobStats read_job(pfs::FileBackend& file, Off lo, ByteSpan buf, Off win,
+                      bool rmw) {
   FileJobStats s;
   obs::Span span("preread");
   StopWatch w;
@@ -44,6 +45,9 @@ FileJobStats read_job(pfs::FileBackend& file, Off lo, ByteSpan buf,
   if (to_size(got) < buf.size())
     std::memset(buf.data() + got, 0, buf.size() - to_size(got));
   s.seconds = w.seconds();
+  // A read ahead of a write-back is the RMW pre-read the mergeview
+  // analysis tries to elide; a read-op window load is plain I/O.
+  if (rmw) s.preread_seconds = s.seconds;
   s.read_bytes = got;
   s.read_ops = 1;
   return s;
@@ -79,11 +83,26 @@ void run_serial(SieveContext& ctx, Off buffer_bytes, const WindowSource& next,
     if (plan.writeback && !plan.preread) ++ctx.stats.preread_skipped_windows;
     std::optional<pfs::ScopedRangeLock> lock;
     if (plan.lock) lock.emplace(ctx.locks, plan.lo, plan.hi);
-    if (plan.preread)
+    if (plan.preread) {
+      // Same span vocabulary as the pipelined jobs, here on the compute
+      // thread (tid 0): the explainer excludes these from worker overlap,
+      // the critical-path pass counts them as the window's I/O exposure.
+      obs::Span io_span("preread");
+      io_span.arg("win", plan.index);
+      io_span.arg("bytes", win);
+      StopWatch w;
+      w.start();
       timed_pread_zero_fill(ctx, plan.lo, ByteSpan(buf.data(), to_size(win)));
+      w.stop();
+      if (plan.writeback) ctx.stats.preread_s += w.seconds();
+    }
     fill(plan, ByteSpan(buf.data(), to_size(win)));
-    if (plan.writeback)
+    if (plan.writeback) {
+      obs::Span io_span("pwrite");
+      io_span.arg("win", plan.index);
+      io_span.arg("bytes", win);
       timed_pwrite(ctx, plan.lo, ConstByteSpan(buf.data(), to_size(win)));
+    }
   }
 }
 
@@ -140,6 +159,7 @@ void run_pipelined(SieveContext& ctx, int depth, Off buffer_bytes,
     try {
       const FileJobStats s = fl.io.get();
       worker.seconds += s.seconds;
+      worker.preread_seconds += s.preread_seconds;
       worker.read_bytes += s.read_bytes;
       worker.write_bytes += s.write_bytes;
       worker.read_ops += s.read_ops;
@@ -186,9 +206,10 @@ void run_pipelined(SieveContext& ctx, int depth, Off buffer_bytes,
         const ByteSpan span(bufs[fl.buf].data(), to_size(plan.hi - plan.lo));
         const Off lo = plan.lo;
         const Off win = plan.index;
+        const bool rmw = plan.writeback;
         fl.io = submit_io(1 + static_cast<int>(fl.buf), [&file, lo, span,
-                                                         win] {
-          return read_job(file, lo, span, win);
+                                                         win, rmw] {
+          return read_job(file, lo, span, win, rmw);
         });
       }
       pending.push_back(std::move(fl));
@@ -257,6 +278,7 @@ void run_pipelined(SieveContext& ctx, int depth, Off buffer_bytes,
   }
 
   ctx.stats.file_s += worker.seconds;
+  ctx.stats.preread_s += worker.preread_seconds;
   ctx.stats.file_read_bytes += worker.read_bytes;
   ctx.stats.file_write_bytes += worker.write_bytes;
   ctx.stats.file_read_ops += worker.read_ops;

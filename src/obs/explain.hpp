@@ -22,6 +22,11 @@
 //   "pack_slice" one slice of a parallel FOTF pack (slice 0 on the
 //                compute thread, the rest on worker tracks); the
 //                max/mean ratio of slice durations is the load imbalance
+//   "aio_op"     one operation through a pfs::AsyncIo engine — on an aio
+//                worker track (tid >= 16) at queue depth > 1, inline on
+//                the submitting track at depth 1.  Reported as its own
+//                column (it is the storage view of preread/pwrite time,
+//                so it never adds into worker_io / overlap)
 #pragma once
 
 #include <map>
@@ -53,6 +58,8 @@ struct RankPipelineSummary {
   double pack_us = 0;
   double worker_io_us = 0;  ///< preread + pwrite on worker tracks
   double overlap_us = 0;    ///< max(0, worker_io - io_wait)
+  long long aio_ops = 0;    ///< AsyncIo operations (any track)
+  double aio_us = 0;        ///< summed AsyncIo op time
   long long pack_slices = 0;      ///< parallel pack slices
   double pack_slice_us = 0;       ///< summed slice time
   double pack_slice_max_us = 0;   ///< slowest single slice

@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <map>
 #include <mutex>
@@ -30,12 +31,10 @@ void set_metrics_enabled(bool on) {
 
 // ---- histogram ---------------------------------------------------------
 
-namespace {
-
 /// Values < 16 map to their own bucket; above that, bucket = 16 +
 /// (msb - 4) * 4 + top-2-sub-bits.  Monotonic in v, 256 covers the full
 /// 64-bit range.
-int bucket_index(long long v) {
+int histogram_bucket_index(long long v) {
   if (v < 0) v = 0;
   const auto u = static_cast<unsigned long long>(v);
   if (u < 16) return static_cast<int>(u);
@@ -45,8 +44,7 @@ int bucket_index(long long v) {
   return std::min(idx, Histogram::kBuckets - 1);
 }
 
-/// Inclusive value range covered by a bucket.
-void bucket_bounds(int idx, long long& lo, long long& hi) {
+void histogram_bucket_bounds(int idx, long long& lo, long long& hi) {
   if (idx < 16) {
     lo = hi = idx;
     return;
@@ -57,11 +55,120 @@ void bucket_bounds(int idx, long long& lo, long long& hi) {
   hi = lo + (1LL << (msb - 2)) - 1;
 }
 
+namespace {
+
+/// The one quantile rule both Histogram and HistogramData use: pick the
+/// bucket holding the 1-based observation ceil(q * n) (nearest-rank), and
+/// return its lower bound clamped to the observed extrema.  Integer rank
+/// selection makes the result a pure function of the bucket counts — no
+/// float accumulation order, no interpolation at bucket edges — so any
+/// merge order and any split of the same samples produce the identical
+/// value, and that value sits in the exact observation's own bucket.
+template <class NextBucket>
+double quantile_from_buckets(double q, std::uint64_t n, long long vmin,
+                             long long vmax, NextBucket next) {
+  if (n == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n)));
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  std::uint64_t cum = 0;
+  int idx = 0;
+  std::uint64_t c = 0;
+  while (next(idx, c)) {
+    cum += c;
+    if (cum >= rank) {
+      long long lo = 0, hi = 0;
+      histogram_bucket_bounds(idx, lo, hi);
+      return static_cast<double>(std::clamp(lo, vmin, vmax));
+    }
+  }
+  return static_cast<double>(vmax);
+}
+
 }  // namespace
+
+void HistogramData::record(long long v) {
+  if (v < 0) v = 0;
+  const int idx = histogram_bucket_index(v);
+  auto it = std::lower_bound(
+      buckets.begin(), buckets.end(), idx,
+      [](const auto& b, int i) { return b.first < i; });
+  if (it != buckets.end() && it->first == idx)
+    it->second += 1;
+  else
+    buckets.insert(it, {idx, 1});
+  if (count == 0) {
+    min = max = v;
+  } else {
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  ++count;
+  sum += v;
+}
+
+void HistogramData::merge(const HistogramData& o) {
+  if (o.count == 0) return;
+  if (count == 0) {
+    min = o.min;
+    max = o.max;
+  } else {
+    min = std::min(min, o.min);
+    max = std::max(max, o.max);
+  }
+  count += o.count;
+  sum += o.sum;
+  // Merge two sorted sparse bucket lists.
+  std::vector<std::pair<int, std::uint64_t>> merged;
+  merged.reserve(buckets.size() + o.buckets.size());
+  std::size_t i = 0, j = 0;
+  while (i < buckets.size() || j < o.buckets.size()) {
+    if (j == o.buckets.size() ||
+        (i < buckets.size() && buckets[i].first < o.buckets[j].first)) {
+      merged.push_back(buckets[i++]);
+    } else if (i == buckets.size() ||
+               o.buckets[j].first < buckets[i].first) {
+      merged.push_back(o.buckets[j++]);
+    } else {
+      merged.push_back({buckets[i].first,
+                        buckets[i].second + o.buckets[j].second});
+      ++i;
+      ++j;
+    }
+  }
+  buckets = std::move(merged);
+}
+
+double HistogramData::quantile(double q) const {
+  std::size_t pos = 0;
+  return quantile_from_buckets(
+      q, count, min, max, [&](int& idx, std::uint64_t& c) {
+        if (pos >= buckets.size()) return false;
+        idx = buckets[pos].first;
+        c = buckets[pos].second;
+        ++pos;
+        return true;
+      });
+}
+
+HistogramSummary HistogramData::summary() const {
+  HistogramSummary s;
+  s.count = count;
+  if (s.count == 0) return s;
+  s.mean = static_cast<double>(sum) / static_cast<double>(s.count);
+  s.p50 = quantile(0.50);
+  s.p95 = quantile(0.95);
+  s.p99 = quantile(0.99);
+  s.min = min;
+  s.max = max;
+  return s;
+}
 
 void Histogram::record(long long v) {
   if (v < 0) v = 0;
-  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  buckets_[histogram_bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t n = count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(v, std::memory_order_relaxed);
   if (n == 0) {
@@ -82,43 +189,43 @@ void Histogram::record(long long v) {
 double Histogram::quantile(double q) const {
   const std::uint64_t n = count_.load(std::memory_order_relaxed);
   if (n == 0) return 0;
-  q = std::clamp(q, 0.0, 1.0);
-  // Rank of the target observation (1-based), then walk the cumulative
-  // distribution and interpolate inside the bucket that crosses it.
-  const double target = q * static_cast<double>(n);
-  std::uint64_t cum = 0;
+  int pos = 0;
+  return quantile_from_buckets(
+      q, n, min_.load(std::memory_order_relaxed),
+      max_.load(std::memory_order_relaxed),
+      [&](int& idx, std::uint64_t& c) {
+        while (pos < kBuckets) {
+          const std::uint64_t v =
+              buckets_[pos].load(std::memory_order_relaxed);
+          if (v != 0) {
+            idx = pos;
+            c = v;
+            ++pos;
+            return true;
+          }
+          ++pos;
+        }
+        return false;
+      });
+}
+
+HistogramData Histogram::data() const {
+  HistogramData d;
+  d.count = count_.load(std::memory_order_relaxed);
+  d.sum = sum_.load(std::memory_order_relaxed);
+  d.min = min_.load(std::memory_order_relaxed);
+  d.max = max_.load(std::memory_order_relaxed);
   for (int i = 0; i < kBuckets; ++i) {
     const std::uint64_t c = buckets_[i].load(std::memory_order_relaxed);
-    if (c == 0) continue;
-    const std::uint64_t prev = cum;
-    cum += c;
-    if (static_cast<double>(cum) >= target) {
-      long long lo = 0, hi = 0;
-      bucket_bounds(i, lo, hi);
-      const double frac =
-          (target - static_cast<double>(prev)) / static_cast<double>(c);
-      double v = static_cast<double>(lo) +
-                 frac * static_cast<double>(hi - lo);
-      v = std::max(v, static_cast<double>(min_.load(std::memory_order_relaxed)));
-      v = std::min(v, static_cast<double>(max_.load(std::memory_order_relaxed)));
-      return v;
-    }
+    if (c != 0) d.buckets.push_back({i, c});
   }
-  return static_cast<double>(max_.load(std::memory_order_relaxed));
+  return d;
 }
 
 HistogramSummary Histogram::summary() const {
-  HistogramSummary s;
-  s.count = count_.load(std::memory_order_relaxed);
-  if (s.count == 0) return s;
-  s.mean = static_cast<double>(sum_.load(std::memory_order_relaxed)) /
-           static_cast<double>(s.count);
-  s.p50 = quantile(0.50);
-  s.p95 = quantile(0.95);
-  s.p99 = quantile(0.99);
-  s.min = min_.load(std::memory_order_relaxed);
-  s.max = max_.load(std::memory_order_relaxed);
-  return s;
+  // One coherent copy of the buckets feeds all three quantiles, so the
+  // summary is internally consistent even while recordings continue.
+  return data().summary();
 }
 
 void Histogram::reset() {
@@ -166,6 +273,26 @@ HistogramSummary Registry::histogram_summary(const std::string& name) const {
   const auto it = impl_->histograms.find(name);
   return it == impl_->histograms.end() ? HistogramSummary{}
                                        : it->second.summary();
+}
+
+std::vector<std::pair<std::string, HistogramData>> Registry::histogram_data()
+    const {
+  std::lock_guard lock(impl_->mu);
+  std::vector<std::pair<std::string, HistogramData>> out;
+  out.reserve(impl_->histograms.size());
+  for (const auto& [name, h] : impl_->histograms)
+    out.push_back({name, h.data()});
+  return out;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::counter_values()
+    const {
+  std::lock_guard lock(impl_->mu);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(impl_->counters.size());
+  for (const auto& [name, c] : impl_->counters)
+    out.push_back({name, c.value()});
+  return out;
 }
 
 std::string Registry::to_json() const {
@@ -229,6 +356,27 @@ void Registry::reset_values() {
   for (auto& [name, c] : impl_->counters) c.reset();
   for (auto& [name, g] : impl_->gauges) g.reset();
   for (auto& [name, h] : impl_->histograms) h.reset();
+}
+
+// ---- local registry ----------------------------------------------------
+
+Histogram& LocalRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(mu_);
+  return hists_[name];  // std::map: references stay valid across inserts
+}
+
+std::vector<std::pair<std::string, HistogramData>>
+LocalRegistry::histogram_data() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::pair<std::string, HistogramData>> out;
+  out.reserve(hists_.size());
+  for (const auto& [name, h] : hists_) out.push_back({name, h.data()});
+  return out;
+}
+
+void LocalRegistry::reset_values() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, h] : hists_) h.reset();
 }
 
 }  // namespace llio::obs

@@ -19,7 +19,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace llio::obs {
 
@@ -66,6 +70,41 @@ struct HistogramSummary {
   long long max = 0;
 };
 
+/// Bucket mapping of the log-linear histograms: values < 16 are exact,
+/// above that each power-of-two octave splits into 4 sub-buckets.
+/// Exposed so merged histogram data (obs/agg) and external validators
+/// (tools/check_report.py reimplements the same formula) agree with the
+/// recording side bucket for bucket.
+int histogram_bucket_index(long long v);
+
+/// Inclusive value range [lo, hi] covered by a bucket.
+void histogram_bucket_bounds(int idx, long long& lo, long long& hi);
+
+/// Plain-data image of a Histogram: the non-empty buckets plus the
+/// scalar moments.  This is the mergeable, serializable unit the
+/// job-level aggregation (obs/agg) ships across ranks; quantiles use the
+/// same deterministic nearest-rank selection as Histogram::quantile, so
+/// a merged histogram reconciles with its per-rank parts within one
+/// bucket by construction.
+struct HistogramData {
+  std::uint64_t count = 0;
+  long long sum = 0;
+  long long min = 0;
+  long long max = 0;
+  /// (bucket index, count), sorted by index, counts > 0 only.
+  std::vector<std::pair<int, std::uint64_t>> buckets;
+
+  void record(long long v);
+  void merge(const HistogramData& o);
+
+  /// Deterministic nearest-rank quantile: the lower bound of the bucket
+  /// holding observation ceil(q * count) (1-based), clamped to the
+  /// observed [min, max].  0 when empty.
+  double quantile(double q) const;
+
+  HistogramSummary summary() const;
+};
+
 /// Log-linear histogram over non-negative integers (latencies in
 /// microseconds, sizes in bytes): values < 16 are exact, above that each
 /// power-of-two octave splits into 4 sub-buckets, so quantiles carry at
@@ -79,9 +118,13 @@ class Histogram {
     return count_.load(std::memory_order_relaxed);
   }
 
-  /// Quantile estimate in [bucket lo, bucket hi), clamped to the
-  /// observed min/max; q in [0, 1].  0 when empty.
+  /// Deterministic nearest-rank quantile (same rule as
+  /// HistogramData::quantile — both sides of a merge agree); q in [0, 1].
+  /// 0 when empty.
   double quantile(double q) const;
+
+  /// Copy out the current contents as mergeable plain data.
+  HistogramData data() const;
 
   HistogramSummary summary() const;
   void reset();
@@ -108,6 +151,12 @@ class Registry {
   /// registered when the instrumented path did not run).
   HistogramSummary histogram_summary(const std::string& name) const;
 
+  /// Bulk enumeration for job-level reports: every registered histogram's
+  /// data / every counter's value, sorted by name.  Empty histograms are
+  /// included (registration without traffic is itself informative).
+  std::vector<std::pair<std::string, HistogramData>> histogram_data() const;
+  std::vector<std::pair<std::string, std::uint64_t>> counter_values() const;
+
   std::string to_json() const;
   std::string to_table() const;
   void reset_values();
@@ -116,6 +165,23 @@ class Registry {
   Registry();
   struct Impl;
   Impl* impl_;
+};
+
+/// A private name -> histogram map with the same stable-reference
+/// contract as Registry, but owned by one object (an mpiio::IoEngine)
+/// instead of the process.  The process-global Registry is shared by
+/// every rank thread of the simulated job, so it cannot answer per-rank
+/// questions; each engine feeds its own LocalRegistry and the job-level
+/// Collector aggregates them across ranks.
+class LocalRegistry {
+ public:
+  Histogram& histogram(const std::string& name);
+  std::vector<std::pair<std::string, HistogramData>> histogram_data() const;
+  void reset_values();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Histogram> hists_;
 };
 
 }  // namespace llio::obs

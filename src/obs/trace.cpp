@@ -194,6 +194,8 @@ void instant(const char* name, TraceLevel min,
 
 int current_pid() { return tl_track.pid; }
 
+void flush_thread_trace() { tls_buffer().flush(); }
+
 ThreadTrackGuard::ThreadTrackGuard(int pid, int tid,
                                    const std::string& process_name,
                                    const std::string& thread_name)

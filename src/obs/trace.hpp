@@ -132,6 +132,12 @@ void instant(const char* name, TraceLevel min,
 /// that record events without a track get a stable synthetic pid.
 int current_pid();
 
+/// Hand the calling thread's buffered events to the tracer now.
+/// Tracer::snapshot() flushes only the *calling* thread, so a collective
+/// aggregation point (mpiio::File::close) has every rank thread flush
+/// itself before one rank snapshots.
+void flush_thread_trace();
+
 /// Assigns the calling thread to a (pid, tid) track for its lifetime and
 /// registers the Perfetto process/thread names; restores the previous
 /// assignment on destruction.  sim::Runtime tags rank threads

@@ -100,13 +100,21 @@ void AsyncIo::submit(Batch& batch, std::function<void()> op, Off bytes) {
     }
     std::exception_ptr err;
     StopWatch w;
-    w.start();
-    try {
-      op();
-    } catch (...) {
-      err = std::current_exception();
+    {
+      // Span on the *caller's* track: at qd 1 the op runs inline, and the
+      // timeline should show that I/O time where it was actually spent
+      // (the explainer reconciles aio_op spans on any track).
+      obs::Span span("aio_op");
+      span.arg("bytes", bytes);
+      span.arg("inline", 1);
+      w.start();
+      try {
+        op();
+      } catch (...) {
+        err = std::current_exception();
+      }
+      w.stop();
     }
-    w.stop();
     if (obs::Histogram* h = lat_hist_.load(std::memory_order_acquire);
         h != nullptr && obs::metrics_enabled())
       h->record(static_cast<long long>(w.seconds() * 1e6));
