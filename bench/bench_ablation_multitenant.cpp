@@ -1,0 +1,152 @@
+// Ablation: multi-tenant scaling of the psrv pool — clients x cache.
+//
+// N independent tenants (sim::Runtime::run_jobs worlds, each a 2-rank
+// job with its own File and psrv session) drive the shared-log workload
+// concurrently against ONE 4-server pool, each tenant aimed at its own
+// band of the file via the fileview displacement.  Swept: tenant count
+// (saturation curve) x session cache off/on.  Reported per point:
+//   * aggregate and per-tenant-min/max throughput — the fair-share
+//     scheduler's job is to keep min/aggregate near 1/N (the
+//     check_multitenant.py gate: slowest tenant >= 1/(2N) of aggregate),
+//   * dense re-read bandwidth — the client cache's job is to collapse
+//     re-read wire traffic into local hits (gate: cache-on >= 1.3x off),
+//   * client-observed read p99 and the pool's recall/aggregation/
+//     escalation counters.
+// Scale knobs: LLIO_BENCH_APPENDS, LLIO_BENCH_RECORD, LLIO_BENCH_NET.
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "shared_log.hpp"
+
+using namespace llio;
+using namespace llio::bench;
+
+int main() {
+  const int nprocs = 2;  // ranks per tenant job
+  SharedLogConfig cfg;
+  cfg.record = env_off("LLIO_BENCH_RECORD", 512);
+  cfg.appends = static_cast<int>(env_off("LLIO_BENCH_APPENDS", 32));
+  cfg.ordered_every = 8;
+  cfg.reread_passes = 3;
+  const std::string net_name = env_str("LLIO_BENCH_NET", "fast");
+  const sim::CommCostModel net = sim::named_cost_model(net_name);
+
+  // Per-tenant band: the tenant's whole log plus slack, stripe-aligned.
+  const Off log_pp = cfg.record * (Off{cfg.appends} +
+                                   Off{cfg.appends / cfg.ordered_every});
+  const Off band = ((Off{nprocs} * log_pp * 2) / 4096 + 1) * 4096;
+
+  std::printf(
+      "multitenant: tenants x {cache off,on} over one 4-server pool; "
+      "each tenant = %d-rank shared-log job (%d x %lld B appends/rank, "
+      "%d re-read passes) in its own %lld KB band, net=%s\n",
+      nprocs, cfg.appends, static_cast<long long>(cfg.record),
+      cfg.reread_passes, static_cast<long long>(band / 1024),
+      net_name.c_str());
+  std::printf(
+      "json-schema:{\"bench\":\"string\",\"ntenants\":\"int\","
+      "\"cache\":\"bool\",\"net\":\"string\",\"agg_mbps\":\"number\","
+      "\"tenant_mbps_min\":\"number\",\"tenant_mbps_max\":\"number\","
+      "\"fair_frac\":\"number\",\"reread_mbps\":\"number\","
+      "\"read_p99_us\":\"number\",\"cache_hits\":\"int\","
+      "\"recalls\":\"int\",\"agg_writes\":\"int\","
+      "\"escalations\":\"int\"}\n");
+
+  Table table({"tenants", "cache", "agg MB/s", "min MB/s", "max MB/s",
+               "fair", "reread MB/s", "read p99 us"});
+  std::string json;
+  for (const int ntenants : {1, 2, 4, 8}) {
+    for (const bool cache : {false, true}) {
+      psrv::PoolConfig pc;
+      pc.nservers = 4;
+      pc.stripe = 4096;
+      pc.capacity = band * ntenants;
+      pc.net = net;
+      pc.client_slots = ntenants * nprocs + 4;
+      pc.session_slots = ntenants + 2;
+      auto pool = psrv::ServerPool::create(std::move(pc));
+
+      // One handle (= one session) per tenant, opened up front so no
+      // tenant pays session setup inside the timed region.
+      std::vector<pfs::FilePtr> handles;
+      for (int j = 0; j < ntenants; ++j) {
+        psrv::SessionConfig sc;
+        sc.cache = cache;
+        handles.push_back(psrv::ServerFile::create(
+            pool, psrv::RequestClass::List, sc));
+      }
+
+      std::vector<SharedLogStats> per_job(to_size(Off{ntenants}));
+      std::mutex mu;
+      std::atomic<int> ready{0};
+      sim::Runtime::run_jobs(
+          ntenants, nprocs, net, [&](int job, sim::Comm& comm) {
+            mpiio::File f = mpiio::File::open(comm, handles[to_size(Off{
+                                                  job})]);
+            f.set_view(Off{job} * band, dt::byte(), dt::byte());
+            // Line every rank of every job up before timing starts, so
+            // tenant throughputs measure contention, not launch skew.
+            ready.fetch_add(1);
+            while (ready.load() < ntenants * nprocs)
+              std::this_thread::yield();
+            const SharedLogStats mine = drive_shared_log(comm, f, cfg);
+            std::lock_guard<std::mutex> lk(mu);
+            per_job[to_size(Off{job})] += mine;
+          });
+
+      double agg = 0, tmin = 0, tmax = 0, reread_bytes = 0, reread_s = 0;
+      std::vector<double> read_us;
+      for (const SharedLogStats& j : per_job) {
+        const double secs = j.append_s + j.reread_s;
+        const double mbps =
+            secs > 0 ? static_cast<double>(j.appended + j.reread) / secs /
+                           (1024.0 * 1024.0)
+                     : 0;
+        agg += mbps;
+        tmin = tmin == 0 ? mbps : std::min(tmin, mbps);
+        tmax = std::max(tmax, mbps);
+        reread_bytes += static_cast<double>(j.reread);
+        reread_s = std::max(reread_s, j.reread_s);
+        read_us.insert(read_us.end(), j.read_us.begin(), j.read_us.end());
+      }
+      const double fair = agg > 0 ? tmin / agg : 0;
+      const double reread_mbps =
+          reread_s > 0 ? reread_bytes / reread_s / (1024.0 * 1024.0) : 0;
+      const double p99 = quantile_us(read_us, 0.99);
+
+      std::uint64_t hits = 0;
+      for (const pfs::FilePtr& h : handles)
+        hits += static_cast<psrv::ServerFile*>(h.get())
+                    ->session()
+                    .cache_stats()
+                    .hits;
+      const psrv::ServerStats st = pool->total_server_stats();
+      handles.clear();  // close sessions before the pool goes down
+
+      table.add_row({strprintf("%d", ntenants), cache ? "on" : "off",
+                     fmt_mbps(agg), fmt_mbps(tmin), fmt_mbps(tmax),
+                     strprintf("%.2f", fair), fmt_mbps(reread_mbps),
+                     strprintf("%.2f", p99)});
+      json += strprintf(
+          "json:{\"bench\":\"ablation_multitenant\",\"ntenants\":%d,"
+          "\"cache\":%s,\"net\":\"%s\",\"agg_mbps\":%.3f,"
+          "\"tenant_mbps_min\":%.3f,\"tenant_mbps_max\":%.3f,"
+          "\"fair_frac\":%.4f,\"reread_mbps\":%.3f,\"read_p99_us\":%.2f,"
+          "\"cache_hits\":%llu,\"recalls\":%llu,\"agg_writes\":%llu,"
+          "\"escalations\":%llu}\n",
+          ntenants, cache ? "true" : "false", net_name.c_str(), agg, tmin,
+          tmax, fair, reread_mbps, p99,
+          static_cast<unsigned long long>(hits),
+          static_cast<unsigned long long>(st.recalls_sent),
+          static_cast<unsigned long long>(st.agg_writes),
+          static_cast<unsigned long long>(st.escalations));
+    }
+  }
+  table.print(
+      "tenant saturation x session cache over one psrv pool "
+      "[per-tenant shared-log throughput; fair = min tenant / aggregate]");
+  std::printf("%s", json.c_str());
+  return 0;
+}

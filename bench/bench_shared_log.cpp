@@ -1,0 +1,116 @@
+// Shared-log append workload (ROADMAP scenario c) over the backend and
+// cache matrix.
+//
+// P ranks append records through the shared file pointer with periodic
+// ordered-collective checkpoints, then densely re-read the log three
+// times.  Backends:
+//   mem              the in-process reference (no wire),
+//   psrv             the file-server pool, session cache off — every
+//                    append claims the pointer and ships a wire write,
+//                    every re-read byte crosses the wire again,
+//   psrv+cache       the same pool with the lease-coherent client cache:
+//                    appends buffer as write-back dirty blocks and the
+//                    re-read passes after the first are served from the
+//                    client, so the wire cost collapses to the first
+//                    touch plus the flush.
+// Reported: append and re-read bandwidth (aggregate across ranks) and
+// client-observed read latency quantiles.  Scale knobs: LLIO_BENCH_RECORD,
+// LLIO_BENCH_APPENDS, LLIO_BENCH_NET (named interconnect, default fast).
+#include <functional>
+#include <string>
+
+#include "shared_log.hpp"
+
+using namespace llio;
+using namespace llio::bench;
+
+namespace {
+
+struct Setup {
+  const char* name;
+  bool cache;                             // psrv session cache
+  std::function<pfs::FilePtr()> make_fs;  // empty name check below
+};
+
+}  // namespace
+
+int main() {
+  const int nprocs = static_cast<int>(env_off("LLIO_BENCH_PROCS", 4));
+  SharedLogConfig cfg;
+  cfg.record = env_off("LLIO_BENCH_RECORD", 512);
+  cfg.appends = static_cast<int>(env_off("LLIO_BENCH_APPENDS", 48));
+  cfg.ordered_every = 16;
+  cfg.reread_passes = 3;
+  const std::string net_name = env_str("LLIO_BENCH_NET", "fast");
+  const sim::CommCostModel net = sim::named_cost_model(net_name);
+
+  auto make_pool = [&] {
+    psrv::PoolConfig pc;
+    pc.nservers = 4;
+    pc.stripe = 4096;
+    pc.net = net;
+    return psrv::ServerPool::create(std::move(pc));
+  };
+  const Setup setups[] = {
+      {"mem", false, [] { return pfs::MemFile::create(); }},
+      {"psrv", false,
+       [&] {
+         return psrv::ServerFile::create(make_pool(),
+                                         psrv::RequestClass::List);
+       }},
+      {"psrv+cache", true,
+       [&] {
+         psrv::SessionConfig sc;
+         sc.cache = true;
+         return psrv::ServerFile::create(make_pool(),
+                                         psrv::RequestClass::List, sc);
+       }},
+  };
+
+  std::printf(
+      "shared-log: P=%d, %d x %lld B appends/rank + ordered checkpoint "
+      "every %d, %d dense re-read passes, net=%s\n",
+      nprocs, cfg.appends, static_cast<long long>(cfg.record),
+      cfg.ordered_every, cfg.reread_passes, net_name.c_str());
+  std::printf(
+      "json-schema:{\"bench\":\"string\",\"backend\":\"string\","
+      "\"cache\":\"bool\",\"net\":\"string\",\"append_mbps\":\"number\","
+      "\"reread_mbps\":\"number\",\"read_p50_us\":\"number\","
+      "\"read_p99_us\":\"number\",\"log_bytes\":\"int\"}\n");
+
+  Table table({"backend", "append MB/s", "reread MB/s", "read p50 us",
+               "read p99 us"});
+  std::string json;
+  for (const Setup& s : setups) {
+    pfs::FilePtr fs = s.make_fs();
+    SharedLogStats total;
+    std::mutex mu;
+    sim::Runtime::run(nprocs, net, [&](sim::Comm& comm) {
+      mpiio::File f = mpiio::File::open(comm, fs);
+      const SharedLogStats mine = drive_shared_log(comm, f, cfg);
+      std::lock_guard<std::mutex> lk(mu);
+      total += mine;
+    });
+    const double append_mbps =
+        total.append_s > 0 ? static_cast<double>(total.appended) /
+                                 total.append_s / (1024.0 * 1024.0)
+                           : 0;
+    const double reread_mbps =
+        total.reread_s > 0 ? static_cast<double>(total.reread) /
+                                 total.reread_s / (1024.0 * 1024.0)
+                           : 0;
+    const double p50 = quantile_us(total.read_us, 0.50);
+    const double p99 = quantile_us(total.read_us, 0.99);
+    table.add_row({s.name, fmt_mbps(append_mbps), fmt_mbps(reread_mbps),
+                   strprintf("%.2f", p50), strprintf("%.2f", p99)});
+    json += strprintf(
+        "json:{\"bench\":\"shared_log\",\"backend\":\"%s\",\"cache\":%s,"
+        "\"net\":\"%s\",\"append_mbps\":%.3f,\"reread_mbps\":%.3f,"
+        "\"read_p50_us\":%.2f,\"read_p99_us\":%.2f,\"log_bytes\":%lld}\n",
+        s.name, s.cache ? "true" : "false", net_name.c_str(), append_mbps,
+        reread_mbps, p50, p99, static_cast<long long>(total.appended));
+  }
+  table.print("shared-log append + dense re-read [aggregate bandwidth]");
+  std::printf("%s", json.c_str());
+  return 0;
+}

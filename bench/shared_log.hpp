@@ -1,0 +1,97 @@
+// Shared-log append traffic generator (ROADMAP scenario c): every rank
+// appends fixed-size records to one shared file through the shared file
+// pointer, with a periodic ordered-collective checkpoint record, then
+// re-reads the whole log densely.  The shape is the classic contended
+// log: appends serialize on the shared pointer (fetch-and-add claims),
+// checkpoints serialize on rank order, and the re-read phase is the
+// cache-friendly half — every byte is read again, so a client-side block
+// cache turns the second and later passes into pure hits.
+//
+// Used standalone by bench_shared_log and as the per-tenant traffic
+// source for bench_ablation_multitenant (each tenant aims its log at its
+// own band of the shared pool via the fileview displacement).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace llio::bench {
+
+struct SharedLogConfig {
+  Off record = 512;        ///< bytes per appended record
+  int appends = 48;        ///< write_shared appends per rank
+  int ordered_every = 16;  ///< ordered-collective checkpoint cadence (0=off)
+  int reread_passes = 3;   ///< dense record-at-a-time passes over the log
+};
+
+/// One rank's results; fold across ranks with operator+=.  The phase
+/// timings are max-across-ranks (each rank times barrier-to-barrier, so
+/// the fold keeps the slowest, which is the wall time of the phase).
+struct SharedLogStats {
+  Off appended = 0;             ///< log bytes this rank claimed
+  Off reread = 0;               ///< bytes this rank read back
+  double append_s = 0;          ///< append+checkpoint phase wall time
+  double reread_s = 0;          ///< re-read phase wall time
+  std::vector<double> read_us;  ///< per-read-op latency samples
+
+  SharedLogStats& operator+=(const SharedLogStats& o) {
+    appended += o.appended;
+    reread += o.reread;
+    append_s = std::max(append_s, o.append_s);
+    reread_s = std::max(reread_s, o.reread_s);
+    read_us.insert(read_us.end(), o.read_us.begin(), o.read_us.end());
+    return *this;
+  }
+};
+
+/// Drive the workload through an open File (view already set by the
+/// caller; offsets below are view-relative).  Collective: every rank of
+/// `comm` must call it with the same config.
+inline SharedLogStats drive_shared_log(sim::Comm& comm, mpiio::File& f,
+                                       const SharedLogConfig& cfg) {
+  SharedLogStats st;
+  const ByteVec rec(to_size(cfg.record),
+                    Byte{static_cast<unsigned char>(0x40 + comm.rank())});
+
+  comm.barrier();
+  WallTimer ta;
+  for (int i = 0; i < cfg.appends; ++i) {
+    f.write_shared(rec.data(), cfg.record, dt::byte());
+    st.appended += cfg.record;
+    if (cfg.ordered_every > 0 && (i + 1) % cfg.ordered_every == 0) {
+      f.write_ordered(rec.data(), cfg.record, dt::byte());
+      st.appended += cfg.record;
+    }
+  }
+  comm.barrier();
+  st.append_s = ta.seconds();
+
+  // The log is complete; every rank now scans it record by record.
+  const Off log_bytes = f.tell_shared();  // etype = byte
+  ByteVec buf(to_size(cfg.record));
+  WallTimer tr;
+  for (int pass = 0; pass < cfg.reread_passes; ++pass) {
+    for (Off off = 0; off + cfg.record <= log_bytes; off += cfg.record) {
+      WallTimer top;
+      f.read_at(off, buf.data(), cfg.record, dt::byte());
+      st.read_us.push_back(top.seconds() * 1e6);
+      st.reread += cfg.record;
+    }
+  }
+  comm.barrier();
+  st.reread_s = tr.seconds();
+  return st;
+}
+
+/// Nearest-rank quantile of a latency sample set (q in [0,1]).
+inline double quantile_us(std::vector<double> v, double q) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+}  // namespace llio::bench

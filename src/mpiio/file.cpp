@@ -12,6 +12,7 @@
 #include "obs/snapshot.hpp"
 #include "obs/trace.hpp"
 #include "pfs/traced_file.hpp"
+#include "psrv/server_file.hpp"
 
 namespace llio::mpiio {
 
@@ -415,6 +416,35 @@ obs::JobReport File::close() {
   // allgather above synchronized the ranks, so no op is mid-flight).
   for (auto& [name, data] : obs::Registry::instance().histogram_data())
     report.global_hists.emplace_back(name, data.summary());
+  // A psrv backend contributes its pool's summed server-side counters
+  // (unwrapping the TracedFile decorator if observation added one).
+  {
+    const pfs::FileBackend* b = backend_.get();
+    if (const auto* tf = dynamic_cast<const pfs::TracedFile*>(b))
+      b = tf->inner().get();
+    if (const auto* sf = dynamic_cast<const psrv::ServerFile*>(b)) {
+      const psrv::ServerStats ps = sf->pool()->total_server_stats();
+      report.global_counters = {
+          {"psrv.requests", ps.requests},
+          {"psrv.contig_ops", ps.contig_ops},
+          {"psrv.list_ops", ps.list_ops},
+          {"psrv.view_ops", ps.view_ops},
+          {"psrv.bytes_in", ps.bytes_in},
+          {"psrv.bytes_out", ps.bytes_out},
+          {"psrv.batched_extents", ps.batched_extents},
+          {"psrv.session_ops", ps.session_ops},
+          {"psrv.lease_ops", ps.lease_ops},
+          {"psrv.writeback_ops", ps.writeback_ops},
+          {"psrv.writeback_bytes", ps.writeback_bytes},
+          {"psrv.recalls_sent", ps.recalls_sent},
+          {"psrv.parked", ps.parked},
+          {"psrv.fenced_drops", ps.fenced_drops},
+          {"psrv.agg_writes", ps.agg_writes},
+          {"psrv.escalations", ps.escalations},
+          {"psrv.max_queue_depth", ps.max_queue_depth},
+      };
+    }
+  }
   const obs::MetricsSnapshot ms = obs::Sampler::instance().snapshot();
   report.samples_produced = ms.produced;
   report.samples_dropped = ms.dropped;

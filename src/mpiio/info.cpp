@@ -135,6 +135,21 @@ Options apply_info(const Info& info, Options base) {
                    Errc::InvalidArgument,
                    "hint llio_psrv_request: expected contig/list/view");
       base.psrv_request = value;
+    } else if (key == "llio_psrv_session_weight") {
+      const int n = parse_int(key, value);
+      LLIO_REQUIRE(n >= 1, Errc::InvalidArgument,
+                   "hint llio_psrv_session_weight: expected a weight >= 1");
+      base.psrv_session_weight = n;
+    } else if (key == "llio_psrv_cache") {
+      if (value == "on")
+        base.psrv_cache = true;
+      else if (value == "off")
+        base.psrv_cache = false;
+      else
+        throw_error(Errc::InvalidArgument,
+                    "hint llio_psrv_cache: expected on/off");
+    } else if (key == "llio_psrv_lease_ms") {
+      base.psrv_lease_ms = parse_int(key, value);
     } else if (key == "llio_posix_qd") {
       const int n = parse_int(key, value);
       LLIO_REQUIRE(n >= 1, Errc::InvalidArgument,
@@ -252,6 +267,12 @@ Info options_to_info(const Options& o) {
   if (o.psrv_queue_depth > 0)
     info.set("llio_psrv_queue_depth", strprintf("%d", o.psrv_queue_depth));
   if (o.psrv_request != "contig") info.set("llio_psrv_request", o.psrv_request);
+  if (o.psrv_session_weight > 0)
+    info.set("llio_psrv_session_weight",
+             strprintf("%d", o.psrv_session_weight));
+  if (o.psrv_cache) info.set("llio_psrv_cache", "on");
+  if (o.psrv_lease_ms > 0)
+    info.set("llio_psrv_lease_ms", strprintf("%d", o.psrv_lease_ms));
   if (o.posix_qd > 1) info.set("llio_posix_qd", strprintf("%d", o.posix_qd));
   if (o.posix_direct) info.set("llio_posix_direct", "on");
   if (o.stripe_rotate) info.set("llio_stripe_rotate", "on");

@@ -134,6 +134,17 @@ struct Options {
   int psrv_queue_depth = 0;
   std::string psrv_request = "contig";
 
+  /// Multi-tenant psrv knobs: psrv_session_weight is this handle's
+  /// fair-share weight on every server's scheduler rotation (hint
+  /// llio_psrv_session_weight; 0 = default weight 1); psrv_cache turns
+  /// on the lease-coherent client block cache (hint llio_psrv_cache);
+  /// psrv_lease_ms overrides the read-lease term, measured in sim-clock
+  /// ticks despite the conventional _ms suffix (hint llio_psrv_lease_ms;
+  /// 0 = pool default).
+  int psrv_session_weight = 0;
+  bool psrv_cache = false;
+  int psrv_lease_ms = 0;
+
   /// POSIX/striped backend layout tuning, consumed by the harnesses that
   /// build the backend (bench_common's named factory) — the engines see
   /// only the resulting pfs::FileBackend.  posix_qd is the AsyncIo queue

@@ -389,6 +389,11 @@ std::string JobReport::to_json() const {
     out += strprintf("\"%s\":", global_hists[i].first.c_str());
     out += summary_json(global_hists[i].second);
   }
+  out += "},\"global_counters\":{";
+  for (std::size_t i = 0; i < global_counters.size(); ++i)
+    out += strprintf(i == 0 ? "\"%s\":%llu" : ",\"%s\":%llu",
+                     global_counters[i].first.c_str(),
+                     static_cast<unsigned long long>(global_counters[i].second));
   out += strprintf(
       "},\"sampling\":{\"produced\":%llu,\"dropped\":%llu}}",
       static_cast<unsigned long long>(samples_produced),

@@ -129,6 +129,11 @@ struct JobReport {
   /// so they complement rather than duplicate the per-rank data.
   std::vector<std::pair<std::string, HistogramSummary>> global_hists;
 
+  /// Process-global counters attached by the caller (e.g. the psrv pool's
+  /// summed ServerStats: psrv.requests, psrv.recalls_sent, ...).  Kept
+  /// apart from `counters`, which are per-rank sums.
+  std::vector<std::pair<std::string, std::uint64_t>> global_counters;
+
   /// Always-on sampling ring state (obs/snapshot.hpp).
   std::uint64_t samples_produced = 0;
   std::uint64_t samples_dropped = 0;

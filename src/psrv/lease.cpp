@@ -1,0 +1,158 @@
+#include "psrv/lease.hpp"
+
+#include <algorithm>
+
+namespace llio::psrv::lease {
+
+LeaseTable::Grant LeaseTable::acquire(std::int64_t id, std::int64_t session,
+                                      Mode mode, Off lo, Off hi,
+                                      std::int64_t now, std::int64_t term) {
+  Grant g;
+  std::vector<std::int64_t> in_the_way;
+  for (const auto& [lid, l] : leases_) {
+    if (l.session == session || !l.overlaps(lo, hi) || !live(l, now)) continue;
+    if (mode == Mode::Write || l.mode == Mode::Write) in_the_way.push_back(lid);
+  }
+  if (!in_the_way.empty()) {
+    ++stats_.denied;
+    g.recalled = mark_recalled(in_the_way, now);
+    return g;
+  }
+  Lease l;
+  l.id = id;
+  l.session = session;
+  l.mode = mode;
+  l.lo = lo;
+  l.hi = hi;
+  l.term = term;
+  l.expiry = mode == Mode::Read ? now + term : kNever;
+  leases_.emplace(id, l);
+  ++stats_.granted;
+  g.granted = true;
+  g.lease_id = id;
+  g.expiry = l.expiry;
+  return g;
+}
+
+bool LeaseTable::release(std::int64_t id) {
+  const auto it = leases_.find(id);
+  if (it == leases_.end()) return false;
+  leases_.erase(it);
+  ++version_;
+  return true;
+}
+
+void LeaseTable::renew_session(std::int64_t session, std::int64_t now) {
+  for (auto& [id, l] : leases_) {
+    if (l.session != session || l.mode != Mode::Read || l.recalled()) continue;
+    l.expiry = std::max(l.expiry, now + l.term);
+  }
+}
+
+void LeaseTable::drop_session(std::int64_t session) {
+  bool any = false;
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    if (it->second.session == session) {
+      it = leases_.erase(it);
+      any = true;
+    } else {
+      ++it;
+    }
+  }
+  fenced_.erase(session);
+  if (any) ++version_;
+}
+
+std::vector<const Lease*> LeaseTable::conflicts(std::int64_t session,
+                                                bool writing, Off lo, Off hi,
+                                                std::int64_t now) const {
+  std::vector<const Lease*> out;
+  for (const auto& [id, l] : leases_) {
+    if (l.session == session || !l.overlaps(lo, hi) || !live(l, now)) continue;
+    if (writing || l.mode == Mode::Write) out.push_back(&l);
+  }
+  return out;
+}
+
+std::vector<Lease> LeaseTable::mark_recalled(
+    const std::vector<std::int64_t>& ids, std::int64_t now) {
+  std::vector<Lease> newly;
+  for (std::int64_t id : ids) {
+    const auto it = leases_.find(id);
+    if (it == leases_.end() || it->second.recalled()) continue;
+    it->second.recall_deadline = now + grace_;
+    ++stats_.recalls;
+    newly.push_back(it->second);
+  }
+  return newly;
+}
+
+int LeaseTable::sweep(std::int64_t now) {
+  int removed = 0;
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    Lease& l = it->second;
+    if (l.recalled() && now >= l.recall_deadline) {
+      // Grace ran out: the holder is dead or unresponsive.  A write
+      // lease dying this way fences its range — any dirty data it
+      // protected must never land over whatever is served next.
+      if (l.mode == Mode::Write) {
+        fenced_[l.session].emplace_back(l.lo, l.hi);
+        ++stats_.fenced_ranges;
+      }
+      ++stats_.force_expired;
+      it = leases_.erase(it);
+      ++removed;
+    } else if (l.mode == Mode::Read && !l.recalled() && now >= l.expiry) {
+      ++stats_.expired;
+      it = leases_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  if (removed > 0) ++version_;
+  return removed;
+}
+
+bool LeaseTable::is_fenced(std::int64_t session, Off lo, Off hi) const {
+  const auto it = fenced_.find(session);
+  if (it == fenced_.end()) return false;
+  for (const auto& [flo, fhi] : it->second)
+    if (flo < hi && lo < fhi) return true;
+  return false;
+}
+
+bool LeaseTable::covered_by_write(std::int64_t session, Off lo, Off hi,
+                                  std::int64_t now) const {
+  if (lo >= hi) return true;
+  // Union coverage by this session's live write leases: sort the
+  // overlapping ones and walk a cursor across [lo, hi).
+  std::vector<std::pair<Off, Off>> spans;
+  for (const auto& [id, l] : leases_) {
+    if (l.session != session || l.mode != Mode::Write) continue;
+    if (!l.overlaps(lo, hi) || !live(l, now)) continue;
+    spans.emplace_back(l.lo, l.hi);
+  }
+  std::sort(spans.begin(), spans.end());
+  Off at = lo;
+  for (const auto& [slo, shi] : spans) {
+    if (slo > at) return false;
+    at = std::max(at, shi);
+    if (at >= hi) return true;
+  }
+  return at >= hi;
+}
+
+std::int64_t LeaseTable::earliest_recall_deadline() const {
+  std::int64_t best = kNever;
+  for (const auto& [id, l] : leases_)
+    if (l.recalled()) best = std::min(best, l.recall_deadline);
+  return best;
+}
+
+const Lease* LeaseTable::find(std::int64_t id) const {
+  const auto it = leases_.find(id);
+  return it == leases_.end() ? nullptr : &it->second;
+}
+
+}  // namespace llio::psrv::lease

@@ -1,0 +1,155 @@
+// Lease-based coherence for multi-tenant psrv (Gray & Cheriton leases,
+// the protocol NFSv4 delegations descend from).
+//
+// A lease is a time-bounded promise from a server to a client session:
+// while the lease is live, no conflicting access will be served.  Read
+// leases let the session cache blocks; write leases additionally let it
+// buffer dirty data client-side (write-back).  All times are ticks of the
+// pool-wide *sim clock* (one tick per served request, jumped forward when
+// a server stalls with parked work) — never wall time, so expiry is
+// deterministic under test and independent of machine speed.
+//
+// Conflict rule: two accesses conflict iff they come from different
+// sessions, their byte ranges overlap, and at least one side writes.
+// The table enforces it twice:
+//   * at grant — a conflicting LeaseAcquire is denied outright, and every
+//     lease in the way is recalled (the client goes uncached for that
+//     block);
+//   * at data ops — a conflicting read/write is *parked* by the server,
+//     the leases in the way are recalled, and the op is served once they
+//     are released or their recall grace expires.
+//
+// Recall grace: a recalled lease stays valid for `grace` ticks so a live
+// client can flush write-back data.  If the deadline passes (client dead
+// or unresponsive), the lease is force-expired; a *write* lease expiring
+// this way fences its range — later write-backs from that session are
+// dropped, not applied over newer data.
+//
+// Natural (non-recall) expiry applies to read leases only: a stale read
+// lease silently lapses and the client revalidates.  Write leases never
+// lapse on their own — dirty data whose lease silently vanished would be
+// unflushable — they end only by release, session close, or recall+grace.
+// Any request from a session renews its read leases (activity = renewal).
+//
+// The table is owned by exactly one server thread; no locking inside.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace llio::psrv::lease {
+
+enum class Mode : std::uint8_t { Read = 0, Write = 1 };
+
+/// Tick value meaning "no deadline".
+constexpr std::int64_t kNever = std::numeric_limits<std::int64_t>::max() / 2;
+
+struct Lease {
+  std::int64_t id = 0;
+  std::int64_t session = 0;
+  Mode mode = Mode::Read;
+  Off lo = 0, hi = 0;  ///< global file offsets, [lo, hi)
+  std::int64_t expiry = kNever;           ///< read leases: natural lapse
+  std::int64_t recall_deadline = kNever;  ///< set once recalled
+  std::int64_t term = 0;                  ///< renewal adds this many ticks
+
+  bool recalled() const { return recall_deadline != kNever; }
+  bool overlaps(Off l, Off h) const { return lo < h && l < hi; }
+};
+
+struct LeaseStats {
+  std::uint64_t granted = 0;
+  std::uint64_t denied = 0;         ///< conflicting acquires bounced
+  std::uint64_t recalls = 0;        ///< leases newly marked for recall
+  std::uint64_t expired = 0;        ///< natural read-lease lapses
+  std::uint64_t force_expired = 0;  ///< recall grace ran out
+  std::uint64_t fenced_ranges = 0;  ///< write ranges fenced by force-expiry
+};
+
+class LeaseTable {
+ public:
+  /// `grace` = ticks a recalled lease stays valid for the flush.
+  explicit LeaseTable(std::int64_t grace) : grace_(grace) {}
+
+  struct Grant {
+    bool granted = false;
+    std::int64_t lease_id = 0;
+    std::int64_t expiry = kNever;
+    /// Leases newly marked for recall by this (denied) acquire; the
+    /// caller owes each one a recall message.
+    std::vector<Lease> recalled;
+  };
+
+  /// Try to grant (session, mode, [lo, hi)).  `term` is the read-lease
+  /// natural lifetime in ticks (ignored for write leases).  On conflict:
+  /// denied, conflicting leases recalled with deadline now + grace.
+  Grant acquire(std::int64_t id, std::int64_t session, Mode mode, Off lo,
+                Off hi, std::int64_t now, std::int64_t term);
+
+  /// Drop a lease (client released it).  Returns true if it existed.
+  bool release(std::int64_t id);
+
+  /// Activity-based renewal: push every live read lease of `session` out
+  /// to now + its term.  Recalled leases are NOT renewed — the recall
+  /// deadline must stand.
+  void renew_session(std::int64_t session, std::int64_t now);
+
+  /// Session close: drop all its leases and fenced ranges (a graceful
+  /// close flushed first; nothing to fence).
+  void drop_session(std::int64_t session);
+
+  /// Live leases of OTHER sessions conflicting with an access.  A lease
+  /// conflicts if ranges overlap and (writing || lease.mode == Write).
+  std::vector<const Lease*> conflicts(std::int64_t session, bool writing,
+                                      Off lo, Off hi,
+                                      std::int64_t now) const;
+
+  /// Mark the given lease ids recalled (deadline = now + grace) if not
+  /// already; returns the leases newly recalled (recall messages owed).
+  std::vector<Lease> mark_recalled(const std::vector<std::int64_t>& ids,
+                                   std::int64_t now);
+
+  /// Expire what the clock has passed: read leases beyond their natural
+  /// expiry, and any recalled lease beyond its grace deadline (fencing
+  /// write ranges).  Returns the number of leases removed.
+  int sweep(std::int64_t now);
+
+  /// Does [lo, hi) overlap a fenced range of `session`?
+  bool is_fenced(std::int64_t session, Off lo, Off hi) const;
+
+  /// Is [lo, hi) fully covered by live write leases of `session`?
+  bool covered_by_write(std::int64_t session, Off lo, Off hi,
+                        std::int64_t now) const;
+
+  /// Earliest recall deadline over live leases (kNever when none): the
+  /// tick a stalled server must jump the clock to so parked work can
+  /// make progress.
+  std::int64_t earliest_recall_deadline() const;
+
+  /// Bumped whenever a lease disappears (release / expiry / drop):
+  /// parked requests re-evaluate when this changes.
+  std::uint64_t version() const { return version_; }
+
+  const LeaseStats& stats() const { return stats_; }
+  std::size_t size() const { return leases_.size(); }
+  const Lease* find(std::int64_t id) const;
+
+ private:
+  bool live(const Lease& l, std::int64_t now) const {
+    return !(l.mode == Mode::Read && l.expiry <= now && !l.recalled());
+  }
+
+  std::int64_t grace_;
+  std::map<std::int64_t, Lease> leases_;
+  /// session -> fenced ranges (unflushed write-lease ranges that were
+  /// force-expired; write-backs overlapping them are dropped).
+  std::map<std::int64_t, std::vector<std::pair<Off, Off>>> fenced_;
+  std::uint64_t version_ = 0;
+  LeaseStats stats_;
+};
+
+}  // namespace llio::psrv::lease

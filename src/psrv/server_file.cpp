@@ -68,14 +68,18 @@ struct ServerFile::SubReq {
   std::function<ByteVec()> rebuild_with_tree;
 };
 
-ServerFile::ServerFile(std::shared_ptr<ServerPool> pool, RequestClass cls)
+ServerFile::ServerFile(std::shared_ptr<ServerPool> pool, RequestClass cls,
+                       SessionConfig scfg)
     : pool_(std::move(pool)), cls_(cls) {
   LLIO_REQUIRE(pool_ != nullptr, Errc::InvalidArgument, "psrv: null pool");
+  session_ = Session::open(pool_, scfg);
 }
 
 std::shared_ptr<ServerFile> ServerFile::create(std::shared_ptr<ServerPool> pool,
-                                               RequestClass cls) {
-  return std::shared_ptr<ServerFile>(new ServerFile(std::move(pool), cls));
+                                               RequestClass cls,
+                                               SessionConfig scfg) {
+  return std::shared_ptr<ServerFile>(
+      new ServerFile(std::move(pool), cls, scfg));
 }
 
 void ServerFile::transact(std::vector<SubReq>& reqs) {
@@ -137,9 +141,9 @@ void ServerFile::transact(std::vector<SubReq>& reqs) {
     if (sent < reqs.size()) {
       SubReq& r = reqs[sent];
       std::optional<ServerPool::Credit> credit =
-          pool_->try_acquire_credit(r.server);
+          pool_->try_acquire_credit(r.server, session_->id());
       if (!credit && done == sent)
-        credit = pool_->acquire_credit(r.server);
+        credit = pool_->acquire_credit(r.server, session_->id());
       if (credit) {
         credits[sent] = std::move(credit);
         ep.comm().send_gather(r.server, wire::kTagRequest,
@@ -198,18 +202,19 @@ void split_extent(const ServerPool& pool, Off off, SpanT buf,
 /// One Read/Write round trip per piece (the chatty contig baseline).
 template <typename SpanT>
 void encode_contig(std::vector<Piece<SpanT>>& pieces, bool writing,
+                   std::int64_t session,
                    std::vector<ServerFile::SubReq>& reqs) {
   for (Piece<SpanT>& p : pieces) {
     ServerFile::SubReq r;
     r.server = p.server;
     if (writing) {
       r.cls = sim::MsgClass::Data;
-      wire::put_u8(r.msg, static_cast<std::uint8_t>(wire::Op::Write));
+      r.msg = wire::request_header(wire::Op::Write, session);
       wire::put_i64(r.msg, p.local_off);
       r.payload_runs.push_back(ConstByteSpan(p.buf.data(), p.buf.size()));
     } else {
       r.cls = sim::MsgClass::Meta;
-      wire::put_u8(r.msg, static_cast<std::uint8_t>(wire::Op::Read));
+      r.msg = wire::request_header(wire::Op::Read, session);
       wire::put_i64(r.msg, p.local_off);
       wire::put_i64(r.msg, to_off(p.buf.size()));
       if constexpr (std::is_same_v<SpanT, ByteSpan>) r.dests.push_back(p.buf);
@@ -225,7 +230,8 @@ void encode_contig(std::vector<Piece<SpanT>>& pieces, bool writing,
 /// backends honor Options::iov_batch_max.
 template <typename SpanT>
 void encode_list(std::vector<Piece<SpanT>>& pieces, bool writing, int nservers,
-                 Off batch_max, std::vector<ServerFile::SubReq>& reqs) {
+                 Off batch_max, std::int64_t session,
+                 std::vector<ServerFile::SubReq>& reqs) {
   const std::size_t max_extents = batch_max > 0
                                       ? to_size(batch_max)
                                       : std::numeric_limits<std::size_t>::max();
@@ -237,9 +243,8 @@ void encode_list(std::vector<Piece<SpanT>>& pieces, bool writing, int nservers,
       ServerFile::SubReq r;
       r.server = s;
       r.cls = writing ? sim::MsgClass::Data : sim::MsgClass::Meta;
-      wire::put_u8(r.msg,
-                   static_cast<std::uint8_t>(writing ? wire::Op::WriteList
-                                                     : wire::Op::ReadList));
+      r.msg = wire::request_header(
+          writing ? wire::Op::WriteList : wire::Op::ReadList, session);
       wire::put_i64(r.msg, to_off(extents.size()));
       for (const auto& [off, len] : extents) {
         wire::put_i64(r.msg, off);
@@ -274,10 +279,17 @@ void encode_list(std::vector<Piece<SpanT>>& pieces, bool writing, int nservers,
 }  // namespace
 
 void ServerFile::do_pwrite(Off offset, ConstByteSpan data) {
+  // Cache-enabled sessions buffer the write under write leases; a lease
+  // denial (cross-session contention) falls back to the wire path after
+  // the session flushed + dropped the overlapping cache state.
+  if (session_->cache_enabled() && session_->cached_write(offset, data)) {
+    pool_->grow_size(offset + to_off(data.size()));
+    return;
+  }
   std::vector<WPiece> pieces;
   split_extent(*pool_, offset, data, pieces);
   std::vector<SubReq> reqs;
-  encode_contig(pieces, /*writing=*/true, reqs);
+  encode_contig(pieces, /*writing=*/true, session_->id(), reqs);
   transact(reqs);
   pool_->grow_size(offset + to_off(data.size()));
 }
@@ -285,10 +297,12 @@ void ServerFile::do_pwrite(Off offset, ConstByteSpan data) {
 Off ServerFile::do_pread(Off offset, ByteSpan out) {
   const Off len = to_off(out.size());
   const Off fsize = pool_->logical_size();
+  if (session_->cache_enabled() && session_->cached_read(offset, out))
+    return std::clamp<Off>(fsize - offset, 0, len);
   std::vector<RPiece> pieces;
   split_extent(*pool_, offset, out, pieces);
   std::vector<SubReq> reqs;
-  encode_contig(pieces, /*writing=*/false, reqs);
+  encode_contig(pieces, /*writing=*/false, session_->id(), reqs);
   transact(reqs);
   // Servers zero-fill past their shard EOF; the read count follows the
   // logical file size (short reads only at end of file).
@@ -301,13 +315,16 @@ void ServerFile::do_pwritev(std::span<const pfs::ConstIoVec> iov) {
   for (const pfs::ConstIoVec& v : iov) {
     split_extent(*pool_, v.offset, v.buf, pieces);
     hi = std::max(hi, v.offset + to_off(v.buf.size()));
+    if (session_->cache_enabled())
+      session_->prepare_bypass(v.offset, v.offset + to_off(v.buf.size()),
+                               /*writing=*/true);
   }
   std::vector<SubReq> reqs;
   if (cls_ == RequestClass::Contig)
-    encode_contig(pieces, /*writing=*/true, reqs);
+    encode_contig(pieces, /*writing=*/true, session_->id(), reqs);
   else
     encode_list(pieces, /*writing=*/true, pool_->nservers(), iov_batch_max(),
-                reqs);
+                session_->id(), reqs);
   transact(reqs);
   pool_->grow_size(hi);
 }
@@ -315,13 +332,18 @@ void ServerFile::do_pwritev(std::span<const pfs::ConstIoVec> iov) {
 Off ServerFile::do_preadv(std::span<const pfs::IoVec> iov) {
   const Off fsize = pool_->logical_size();
   std::vector<RPiece> pieces;
-  for (const pfs::IoVec& v : iov) split_extent(*pool_, v.offset, v.buf, pieces);
+  for (const pfs::IoVec& v : iov) {
+    split_extent(*pool_, v.offset, v.buf, pieces);
+    if (session_->cache_enabled())
+      session_->prepare_bypass(v.offset, v.offset + to_off(v.buf.size()),
+                               /*writing=*/false);
+  }
   std::vector<SubReq> reqs;
   if (cls_ == RequestClass::Contig)
-    encode_contig(pieces, /*writing=*/false, reqs);
+    encode_contig(pieces, /*writing=*/false, session_->id(), reqs);
   else
     encode_list(pieces, /*writing=*/false, pool_->nservers(), iov_batch_max(),
-                reqs);
+                session_->id(), reqs);
   transact(reqs);
   Off got = 0;
   for (const pfs::IoVec& v : iov)
@@ -355,6 +377,10 @@ Off ServerFile::view_access(const dt::Type& filetype, Off disp, Off stream_lo,
   if (n <= 0) return 0;
   LLIO_REQUIRE(stream_lo >= 0 && disp >= 0, Errc::InvalidArgument,
                "psrv view access: negative position");
+  // A view access' precise footprint is only known after navigation;
+  // keep the cache coherent conservatively over the whole file.
+  if (session_->cache_enabled())
+    session_->prepare_bypass(0, ServerPool::kOpenEnd, writing);
   std::shared_ptr<ClientView> cv = intern_view(filetype);
 
   // Split the stream range at shard boundaries: navigable monotone
@@ -402,10 +428,10 @@ Off ServerFile::view_access(const dt::Type& filetype, Off disp, Off stream_lo,
     // gather run straight out of the caller's buffer (transact uses
     // send_gather), so a view write costs one header allocation, not a
     // header-plus-payload copy.
-    const auto build = [cv, disp, writing, seg, slen](bool with_tree) {
-      ByteVec m;
-      wire::put_u8(m, static_cast<std::uint8_t>(writing ? wire::Op::WriteView
-                                                        : wire::Op::ReadView));
+    const auto build = [cv, disp, writing, seg, slen,
+                        session = session_->id()](bool with_tree) {
+      ByteVec m = wire::request_header(
+          writing ? wire::Op::WriteView : wire::Op::ReadView, session);
       wire::put_i64(m, cv->id);
       wire::put_i64(m, disp);
       wire::put_i64(m, seg.slo);
@@ -457,11 +483,15 @@ Off ServerFile::view_read(const dt::Type& filetype, Off disp, Off stream_lo,
 void ServerFile::resize(Off new_size) {
   LLIO_REQUIRE(new_size >= 0, Errc::InvalidArgument,
                "psrv resize: negative size");
+  // A resize invalidates cached state wholesale (truncation may cut
+  // under any block): flush, drop, release.
+  if (session_->cache_enabled())
+    session_->prepare_bypass(0, ServerPool::kOpenEnd, /*writing=*/true);
   std::vector<SubReq> reqs;
   for (int s = 0; s < pool_->nservers(); ++s) {
     SubReq r;
     r.server = s;
-    wire::put_u8(r.msg, static_cast<std::uint8_t>(wire::Op::Resize));
+    r.msg = wire::request_header(wire::Op::Resize, session_->id());
     wire::put_i64(r.msg, new_size);
     reqs.push_back(std::move(r));
   }
@@ -470,11 +500,12 @@ void ServerFile::resize(Off new_size) {
 }
 
 void ServerFile::sync() {
+  if (session_->cache_enabled()) session_->flush();
   std::vector<SubReq> reqs;
   for (int s = 0; s < pool_->nservers(); ++s) {
     SubReq r;
     r.server = s;
-    wire::put_u8(r.msg, static_cast<std::uint8_t>(wire::Op::Sync));
+    r.msg = wire::request_header(wire::Op::Sync, session_->id());
     reqs.push_back(std::move(r));
   }
   transact(reqs);
@@ -488,8 +519,12 @@ std::shared_ptr<ServerFile> make_server_file(const mpiio::Options& opts,
   if (opts.psrv_servers > 0) cfg.nservers = opts.psrv_servers;
   if (opts.psrv_queue_depth > 0) cfg.queue_depth = opts.psrv_queue_depth;
   if (!opts.net_model.empty()) cfg.net = sim::named_cost_model(opts.net_model);
+  SessionConfig scfg;
+  if (opts.psrv_session_weight > 0) scfg.weight = opts.psrv_session_weight;
+  scfg.cache = opts.psrv_cache;
+  if (opts.psrv_lease_ms > 0) scfg.lease_term = opts.psrv_lease_ms;
   return ServerFile::create(ServerPool::create(std::move(cfg)),
-                            request_class_from_name(opts.psrv_request));
+                            request_class_from_name(opts.psrv_request), scfg);
 }
 
 }  // namespace llio::psrv

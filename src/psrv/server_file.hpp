@@ -27,6 +27,7 @@
 #include "pfs/file_backend.hpp"
 #include "pfs/view_io.hpp"
 #include "psrv/server_pool.hpp"
+#include "psrv/session.hpp"
 
 namespace llio::mpiio {
 struct Options;
@@ -42,12 +43,16 @@ const char* request_class_name(RequestClass cls) noexcept;
 
 class ServerFile final : public pfs::FileBackend, public pfs::ViewIo {
  public:
+  /// Every handle opens a client session on the pool (its scheduling and
+  /// lease identity); `scfg` picks the fair-share weight and, optionally,
+  /// the lease-coherent client cache.
   static std::shared_ptr<ServerFile> create(
       std::shared_ptr<ServerPool> pool,
-      RequestClass cls = RequestClass::Contig);
+      RequestClass cls = RequestClass::Contig, SessionConfig scfg = {});
 
   const std::shared_ptr<ServerPool>& pool() const noexcept { return pool_; }
   RequestClass request_class() const noexcept { return cls_; }
+  Session& session() noexcept { return *session_; }
 
   struct ClientView;
   struct SubReq;
@@ -71,7 +76,8 @@ class ServerFile final : public pfs::FileBackend, public pfs::ViewIo {
   void do_pwritev(std::span<const pfs::ConstIoVec> iov) override;
 
  private:
-  ServerFile(std::shared_ptr<ServerPool> pool, RequestClass cls);
+  ServerFile(std::shared_ptr<ServerPool> pool, RequestClass cls,
+             SessionConfig scfg);
 
   /// Send every sub-request (credit-gated) and drain the responses in
   /// order on one endpoint; throws the first server-reported error after
@@ -86,15 +92,17 @@ class ServerFile final : public pfs::FileBackend, public pfs::ViewIo {
 
   std::shared_ptr<ServerPool> pool_;
   RequestClass cls_;
+  std::unique_ptr<Session> session_;  ///< after pool_: closed before release
 
   std::mutex views_mu_;
   std::map<ByteVec, std::shared_ptr<ClientView>> views_;
 };
 
 /// Build a pool + handle from the llio_psrv_* options: psrv_servers,
-/// psrv_queue_depth, psrv_request, plus llio_net_model for the
-/// interconnect.  `base` supplies everything the options do not cover
-/// (stripe, capacity, shard factory, ...).
+/// psrv_queue_depth, psrv_request, psrv_session_weight, psrv_cache,
+/// psrv_lease_ms, plus llio_net_model for the interconnect.  `base`
+/// supplies everything the options do not cover (stripe, capacity, shard
+/// factory, ...).
 std::shared_ptr<ServerFile> make_server_file(const mpiio::Options& opts,
                                              PoolConfig base = {});
 

@@ -126,6 +126,50 @@ class Context {
     }
   }
 
+  std::optional<std::pair<int, ByteVec>> try_recv_any(int self, int tag) {
+    Mailbox& mb = mailboxes_[to_size(Off{self})];
+    std::unique_lock<std::mutex> lock(mb.mu);
+    check_alive();
+    auto it = std::find_if(mb.queue.begin(), mb.queue.end(),
+                           [&](const Message& m) { return m.tag == tag; });
+    if (it == mb.queue.end()) return std::nullopt;
+    const int src = it->src;
+    ByteVec out = std::move(it->data);
+    mb.queue.erase(it);
+    if (!net_.free()) {
+      lock.unlock();
+      charge_network(out.size());
+    }
+    return std::make_pair(src, std::move(out));
+  }
+
+  std::optional<std::pair<int, ByteVec>> recv_any_for(int self, int tag,
+                                                      double timeout_s) {
+    Mailbox& mb = mailboxes_[to_size(Off{self})];
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(std::max(timeout_s, 0.0)));
+    std::unique_lock<std::mutex> lock(mb.mu);
+    for (;;) {
+      check_alive();
+      auto it = std::find_if(mb.queue.begin(), mb.queue.end(),
+                             [&](const Message& m) { return m.tag == tag; });
+      if (it != mb.queue.end()) {
+        const int src = it->src;
+        ByteVec out = std::move(it->data);
+        mb.queue.erase(it);
+        if (!net_.free()) {
+          lock.unlock();
+          charge_network(out.size());
+        }
+        return std::make_pair(src, std::move(out));
+      }
+      if (mb.cv.wait_until(lock, deadline) == std::cv_status::timeout)
+        return std::nullopt;
+    }
+  }
+
   /// Burn wall time per the interconnect cost model.
   void charge_network(std::size_t bytes) const {
     double s = net_.latency_s;
@@ -250,6 +294,16 @@ Off Comm::recv_scatter(int src, int tag, std::span<const ByteSpan> runs) {
 std::pair<int, ByteVec> Comm::recv_any(int tag) {
   obs::Span span("recv_any", obs::TraceLevel::Full);
   return ctx_->recv_any(rank_, tag);
+}
+
+std::optional<std::pair<int, ByteVec>> Comm::try_recv_any(int tag) {
+  return ctx_->try_recv_any(rank_, tag);
+}
+
+std::optional<std::pair<int, ByteVec>> Comm::recv_any_for(int tag,
+                                                          double timeout_s) {
+  obs::Span span("recv_any", obs::TraceLevel::Full);
+  return ctx_->recv_any_for(rank_, tag, timeout_s);
 }
 
 void Comm::barrier() {
@@ -496,6 +550,26 @@ void Runtime::run(int nprocs, const CommCostModel& net,
     });
   }
   for (auto& t : threads) t.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+void Runtime::run_jobs(int njobs, int nprocs, const CommCostModel& net,
+                       const std::function<void(int job, Comm&)>& body) {
+  LLIO_REQUIRE(njobs >= 1, Errc::InvalidArgument, "run_jobs: njobs < 1");
+  std::vector<std::exception_ptr> errors(to_size(Off{njobs}));
+  std::vector<std::thread> jobs;
+  jobs.reserve(to_size(Off{njobs}));
+  for (int j = 0; j < njobs; ++j) {
+    jobs.emplace_back([&, j] {
+      try {
+        run(nprocs, net, [&](Comm& c) { body(j, c); });
+      } catch (...) {
+        errors[to_size(Off{j})] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : jobs) t.join();
   for (auto& e : errors)
     if (e) std::rethrow_exception(e);
 }

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <utility>
 #include <vector>
@@ -121,6 +122,18 @@ class Comm {
   /// client will request next.
   std::pair<int, ByteVec> recv_any(int tag);
 
+  /// Non-blocking probe-and-receive: a matching message if one is already
+  /// queued, std::nullopt otherwise.  A scheduler loop uses this to drain
+  /// its mailbox without stalling on an empty queue.
+  std::optional<std::pair<int, ByteVec>> try_recv_any(int tag);
+
+  /// Bounded-wait receive: like recv_any but gives up after `timeout_s`
+  /// seconds of an empty mailbox and returns std::nullopt.  This is a
+  /// liveness mechanism only (detecting a stalled peer) — protocol
+  /// decisions keyed to it must use a logical clock, not the wall time.
+  std::optional<std::pair<int, ByteVec>> recv_any_for(int tag,
+                                                      double timeout_s);
+
   void barrier();
 
   /// Gather every rank's contribution; result[i] is rank i's bytes.
@@ -215,6 +228,14 @@ class Runtime {
   /// As run(), with an interconnect cost model applied to every receive.
   static void run(int nprocs, const CommCostModel& net,
                   const std::function<void(Comm&)>& body);
+
+  /// Run `njobs` independent jobs concurrently, each a full run() world
+  /// of `nprocs` rank-threads over its own communication domain.  The
+  /// jobs share nothing at this layer — multi-tenancy happens in whatever
+  /// the bodies touch (e.g. one psrv::ServerPool opened by every job).
+  /// Joins all jobs and rethrows the first failure.
+  static void run_jobs(int njobs, int nprocs, const CommCostModel& net,
+                       const std::function<void(int job, Comm&)>& body);
 };
 
 }  // namespace llio::sim

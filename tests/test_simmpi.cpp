@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstring>
 #include <numeric>
+#include <set>
 
 #include "common/error.hpp"
 #include "simmpi/comm.hpp"
@@ -279,6 +280,66 @@ TEST(Abort, FailingRankUnblocksBarrier) {
     if (c.rank() == 2) throw_error(Errc::Io, "boom");
     c.barrier();
   }), Error);
+}
+
+TEST(PointToPoint, TryRecvAnyDrainsWithoutBlocking) {
+  Runtime::run(3, [&](Comm& c) {
+    if (c.rank() == 0) {
+      EXPECT_FALSE(c.try_recv_any(9).has_value());  // nothing sent yet
+      c.barrier();
+      std::set<int> srcs;
+      while (srcs.size() < 2) {
+        if (auto m = c.try_recv_any(9)) {
+          EXPECT_EQ(string_of(m->second), "ping");
+          srcs.insert(m->first);
+        }
+      }
+      EXPECT_EQ(srcs, (std::set<int>{1, 2}));
+    } else {
+      c.barrier();
+      c.send(0, 9, bytes_of("ping"));
+    }
+  });
+}
+
+TEST(PointToPoint, RecvAnyForTimesOutOnSilenceThenDelivers) {
+  Runtime::run(2, [&](Comm& c) {
+    if (c.rank() == 0) {
+      EXPECT_FALSE(c.recv_any_for(5, 0.01).has_value());
+      c.barrier();  // now the sender fires
+      const auto m = c.recv_any_for(5, 10.0);
+      ASSERT_TRUE(m.has_value());
+      EXPECT_EQ(m->first, 1);
+      EXPECT_EQ(string_of(m->second), "late");
+    } else {
+      c.barrier();
+      c.send(0, 5, bytes_of("late"));
+    }
+  });
+}
+
+TEST(Runtime, RunJobsWorldsAreIndependent) {
+  // Each job is its own communicator world: collectives see only the
+  // job's own ranks, never a neighbor job's.
+  std::atomic<int> hits{0};
+  Runtime::run_jobs(3, 2, CommCostModel{}, [&](int job, Comm& c) {
+    EXPECT_EQ(c.size(), 2);
+    const auto all = c.allgather(bytes_of(std::to_string(job * 10 + c.rank())));
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_EQ(string_of(all[0]), std::to_string(job * 10));
+    EXPECT_EQ(string_of(all[1]), std::to_string(job * 10 + 1));
+    hits.fetch_add(1);
+  });
+  EXPECT_EQ(hits.load(), 6);
+}
+
+TEST(Runtime, RunJobsRethrowsAJobsFailure) {
+  EXPECT_THROW(Runtime::run_jobs(2, 1, CommCostModel{},
+                                 [&](int job, Comm&) {
+                                   if (job == 1)
+                                     throw_error(Errc::Io, "job died");
+                                 }),
+               Error);
 }
 
 }  // namespace

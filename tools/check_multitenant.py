@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Gate a bench_ablation_multitenant run: fair-share and cache win.
+
+Usage:
+    check_multitenant.py CURRENT [--min-cache-win 1.3]
+
+CURRENT holds one JSON object per line (the `sed -n 's/^json://p'`
+extraction of the bench output; a leading schema line is tolerated).
+
+Two within-run rules, so CI runner speed cancels out:
+
+  * fair-share — for every (ntenants, cache) point, the slowest
+    tenant's throughput must be at least 1/(2*ntenants) of the
+    aggregate (`fair_frac >= 0.5/ntenants`).  A weighted round-robin
+    scheduler that starves a lane shows up here directly.
+  * cache win — at every tenant count present with both cache states,
+    dense re-read bandwidth with the session cache on must be at least
+    --min-cache-win x the cache-off row: re-reads served from the
+    client block cache instead of the wire.
+
+Both sides of each comparison must exist — a sweep that silently
+dropped rows fails loudly, not vacuously.
+
+Exit status: 0 when every gate holds, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    rows = []
+    with open(path) as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line or not line.startswith("{"):
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as e:
+                print(f"error: {path}:{lineno}: invalid JSON record: "
+                      f"{e.msg}", file=sys.stderr)
+                raise SystemExit(1)
+            if (not isinstance(row, dict)
+                    or row.get("bench") != "ablation_multitenant"):
+                continue
+            for field in ("ntenants", "cache", "fair_frac", "reread_mbps",
+                          "agg_mbps"):
+                if field not in row:
+                    print(f"error: {path}:{lineno}: row missing required "
+                          f"field {field!r}", file=sys.stderr)
+                    raise SystemExit(1)
+            rows.append(row)
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("current")
+    ap.add_argument("--min-cache-win", type=float, default=1.3,
+                    help="floor for cache-on / cache-off dense re-read "
+                         "bandwidth at each tenant count (default 1.3)")
+    args = ap.parse_args()
+
+    rows = load_rows(args.current)
+    if not rows:
+        print(f"error: no bench=ablation_multitenant rows in "
+              f"{args.current}", file=sys.stderr)
+        return 1
+
+    ok = True
+
+    for r in rows:
+        n = r["ntenants"]
+        floor = 0.5 / n
+        verdict = "ok" if r["fair_frac"] >= floor else "FAIL"
+        print(f"{verdict}: fair-share ntenants={n} cache="
+              f"{'on' if r['cache'] else 'off'}: slowest tenant = "
+              f"{r['fair_frac']:.3f} of aggregate {r['agg_mbps']:.1f} "
+              f"MB/s (floor {floor:.3f})")
+        ok = ok and r["fair_frac"] >= floor
+
+    by_n = {}
+    for r in rows:
+        by_n.setdefault(r["ntenants"], {})[bool(r["cache"])] = r
+    paired = False
+    for n in sorted(by_n):
+        pair = by_n[n]
+        if True not in pair or False not in pair:
+            continue
+        paired = True
+        off = pair[False]["reread_mbps"]
+        on = pair[True]["reread_mbps"]
+        win = on / off if off > 0 else 0.0
+        verdict = "ok" if win >= args.min_cache_win else "FAIL"
+        print(f"{verdict}: cache win ntenants={n}: re-read {on:.1f} vs "
+              f"{off:.1f} MB/s -> {win:.2f}x (floor "
+              f"{args.min_cache_win:.2f}x)")
+        ok = ok and win >= args.min_cache_win
+    if not paired:
+        print("FAIL: no tenant count has both cache-on and cache-off "
+              "rows — cache gate is vacuous")
+        ok = False
+
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
