@@ -1,0 +1,184 @@
+// Ablation: the adaptive policy layer vs every static configuration
+// under an adversarial mid-run condition flip (llio_adaptive).
+//
+// Scenario "net-recovery": the job starts on a congested client fabric
+// (sim "slow": 50 us / 100 MB/s) in front of a psrv file-server pool
+// whose storage wire is fast the whole time, and halfway through the
+// run the client fabric recovers (flip to "shared-mem").  The workload
+// is the paper's interleaved noncontig collective write with tiny
+// blocks (S_block = 8), served by list-class requests — so the two
+// collective routes cross hard:
+//
+//   two-phase (tp)    aggregates the interleaved blocks into dense
+//                     per-aggregator windows: tiny ol-lists on the
+//                     storage wire, but the exchange pays the client
+//                     fabric — catastrophic while it is congested.
+//   independent (ix)  skips the exchange entirely: each rank ships its
+//                     fragmented ol-list (16 B per 8 B block) straight
+//                     to the servers.  Immune to the client fabric,
+//                     ~4x slower than tp once the fabric is fast.
+//
+// No static row wins both halves.  The adaptive rows start from the ix
+// base (the right arm for the congested start), epsilon-probe
+// single-knob neighbors, and must discover the tp arm after the
+// recovery: the mid-run cost-model change lands them under a fresh
+// (net dim) advisor key, so the new regime is learned from scratch
+// instead of fighting the old regime's EWMAs.
+//
+// Static grid: {listless, list-based} x {tp, ix}, llio_adaptive=off.
+// Adaptive rows: auto (hysteresis) and force (greedy), both gated in CI
+// by tools/check_adaptive.py: >= 0.9x the best static, >= 1.15x the
+// worst, and at least one switch in the decision trail.  Two pure-
+// regime rows per route document the crossing itself (not gated).
+//
+// Output: aligned table + json: lines; commit a full run as
+// BENCH_adaptive.json.  --quick shrinks the op count for CI.
+#include <cstring>
+
+#include "bench_common.hpp"
+#include "simmpi/net_model.hpp"
+
+using namespace llio;
+using namespace llio::bench;
+
+namespace {
+
+constexpr int kProcs = 4;
+constexpr Off kNblock = 2048;
+constexpr Off kSblock = 8;
+
+struct RowSpec {
+  const char* config;    ///< row label ("ll:tp", "auto", ...)
+  const char* adaptive;  ///< llio_adaptive value
+  mpiio::Method method;
+  bool two_phase;
+};
+
+NoncontigConfig base_config(const RowSpec& spec, int flip_at) {
+  NoncontigConfig cfg;
+  cfg.method = spec.method;
+  cfg.nprocs = kProcs;
+  cfg.nblock = kNblock;
+  cfg.sblock = kSblock;
+  cfg.collective = true;
+  cfg.write = true;
+  cfg.target_bytes_pp = env_off("LLIO_BENCH_TARGET_KB", 256) * 1024;
+  cfg.net = sim::named_cost_model("slow");
+  cfg.hints.set("llio_adaptive", spec.adaptive);
+  if (!spec.two_phase) cfg.hints.set("romio_cb_write", "disable");
+  if (std::strcmp(spec.adaptive, "off") != 0) {
+    cfg.hints.set("llio_adaptive_epsilon",
+                  env_str("LLIO_BENCH_ADAPT_EPS", "0.125"));
+    cfg.hints.set("llio_adaptive_window",
+                  env_str("LLIO_BENCH_ADAPT_WINDOW", "2"));
+    // LLIO_BENCH_ADAPT_REPORT=path: write the auto row's llio_report
+    // JSON (the decision trail lands in its "adapt" section — CI gates
+    // it with check_report.py --expect-adapt --min-switches 1).
+    const std::string rp = env_str("LLIO_BENCH_ADAPT_REPORT", "");
+    if (!rp.empty() && std::strcmp(spec.adaptive, "auto") == 0)
+      cfg.hints.set("llio_report", rp);
+  }
+  // The storage wire stays fast through the flip: only the client
+  // fabric recovers.  (run_noncontig would otherwise give the pool the
+  // client model.)
+  cfg.make_backend = [] {
+    psrv::PoolConfig pc;
+    pc.nservers = 4;
+    pc.net = sim::named_cost_model("shared-mem");
+    return psrv::ServerFile::create(psrv::ServerPool::create(std::move(pc)),
+                                    psrv::RequestClass::List);
+  };
+  if (flip_at > 0) {
+    // min_seconds 0 pins repeats at exactly 2*flip_at, so every row
+    // measures the identical op sequence: flip_at congested ops, then
+    // flip_at recovered ones.
+    cfg.min_seconds = 0;
+    cfg.flip_at = flip_at;
+    cfg.flip_net = "shared-mem";
+  } else {
+    cfg.min_seconds = env_double("LLIO_BENCH_MIN_SECONDS", 0.05);
+  }
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+
+  const int flip_at = static_cast<int>(
+      env_off("LLIO_BENCH_FLIP_AT", quick ? 100 : 150));
+
+  std::printf(
+      "ablation: adaptive policy vs static grid (listless/list x tp/ix, "
+      "P=%d, %lld x %lld B interleaved collective write, client fabric "
+      "slow -> shared-mem at op %d of %d; psrv wire fast throughout)\n",
+      kProcs, static_cast<long long>(kNblock),
+      static_cast<long long>(kSblock), flip_at, 2 * flip_at);
+  std::printf(
+      "json-schema:{\"bench\":\"string\",\"scenario\":\"string\","
+      "\"config\":\"string\",\"adaptive\":\"string\",\"policy\":\"string\","
+      "\"mbps_pp\":\"number\",\"repeats\":\"int\",\"flip_at\":\"int\","
+      "\"decisions\":\"int\",\"probes\":\"int\",\"switches\":\"int\"}\n");
+
+  Table table({"scenario", "config", "adaptive", "policy", "MB/s/proc",
+               "repeats", "probes", "switches"});
+  std::string json;
+  auto emit = [&](const char* scenario, const RowSpec& spec,
+                  const BenchPoint& p, int flip) {
+    const char* policy =
+        p.adapt_policy.empty() ? "static" : p.adapt_policy.c_str();
+    table.add_row({scenario, spec.config, spec.adaptive, policy,
+                   fmt_mbps(p.mbps_pp()), strprintf("%d", p.repeats),
+                   strprintf("%llu",
+                             static_cast<unsigned long long>(p.adapt_probes)),
+                   strprintf("%llu", static_cast<unsigned long long>(
+                                         p.adapt_switches))});
+    json += strprintf(
+        "json:{\"bench\":\"ablation_adaptive\",\"scenario\":\"%s\","
+        "\"config\":\"%s\",\"adaptive\":\"%s\",\"policy\":\"%s\","
+        "\"mbps_pp\":%.3f,\"repeats\":%d,\"flip_at\":%d,"
+        "\"decisions\":%llu,\"probes\":%llu,\"switches\":%llu}\n",
+        scenario, spec.config, spec.adaptive, policy, p.mbps_pp(), p.repeats,
+        flip, static_cast<unsigned long long>(p.adapt_decisions),
+        static_cast<unsigned long long>(p.adapt_probes),
+        static_cast<unsigned long long>(p.adapt_switches));
+  };
+
+  const RowSpec statics[] = {
+      {"ll:tp", "off", mpiio::Method::Listless, true},
+      {"ll:ix", "off", mpiio::Method::Listless, false},
+      {"lb:tp", "off", mpiio::Method::ListBased, true},
+      {"lb:ix", "off", mpiio::Method::ListBased, false},
+  };
+  const RowSpec adaptives[] = {
+      {"auto", "auto", mpiio::Method::Listless, false},
+      {"force", "force", mpiio::Method::Listless, false},
+  };
+
+  // The crossing itself, one pure regime per row (not gated: context for
+  // the flip rows).
+  for (const char* net : {"slow", "shared-mem"}) {
+    for (const RowSpec& spec : {statics[0], statics[1]}) {
+      NoncontigConfig cfg = base_config(spec, /*flip_at=*/0);
+      cfg.net = sim::named_cost_model(net);
+      emit(net, spec, run_noncontig(cfg), 0);
+    }
+  }
+
+  // The adversarial flip scenario: the gate material.
+  for (const RowSpec& spec : statics)
+    emit("net-recovery", spec, run_noncontig(base_config(spec, flip_at)),
+         flip_at);
+  for (const RowSpec& spec : adaptives)
+    emit("net-recovery", spec, run_noncontig(base_config(spec, flip_at)),
+         flip_at);
+
+  table.print(
+      "no static row wins both fabric regimes; adaptive must ride ix "
+      "through the congestion and switch to tp after the recovery");
+  std::printf("%s", json.c_str());
+  return 0;
+}

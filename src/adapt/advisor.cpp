@@ -1,0 +1,512 @@
+#include "adapt/advisor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "obs/snapshot.hpp"
+
+namespace llio::adapt {
+
+const char* policy_name(AdaptConfig::Policy p) noexcept {
+  switch (p) {
+    case AdaptConfig::Policy::Static: return "static";
+    case AdaptConfig::Policy::Greedy: return "greedy";
+    case AdaptConfig::Policy::Hysteresis: return "hysteresis";
+  }
+  return "hysteresis";
+}
+
+namespace {
+
+/// log2 size class: ops within a factor of two share a cost-model key.
+int size_class_of(long long n) {
+  int c = 0;
+  while (n > 1) {
+    n >>= 1;
+    ++c;
+  }
+  return c;
+}
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  h *= 1099511628211ULL;
+  return h;
+}
+
+/// Arm encoding: 4 toggle bits + three 4-bit candidate-list indices.
+/// Stable for a given (sanitized) AdaptConfig, which is identical on
+/// every rank of a handle — so an encoded arm travels over bcast.
+constexpr std::uint16_t kMethodBit = 1 << 0;  ///< 1 = list-based
+constexpr std::uint16_t kRouteBit = 1 << 1;   ///< 1 = independent route
+constexpr std::uint16_t kZcOffBit = 1 << 2;   ///< 1 = zerocopy off
+
+std::size_t index_of_int(const std::vector<int>& xs, int v) {
+  const auto it = std::find(xs.begin(), xs.end(), v);
+  return it == xs.end() ? 0 : static_cast<std::size_t>(it - xs.begin());
+}
+
+std::size_t index_of_off(const std::vector<Off>& xs, Off v) {
+  const auto it = std::find(xs.begin(), xs.end(), v);
+  return it == xs.end() ? 0 : static_cast<std::size_t>(it - xs.begin());
+}
+
+class PolicyEngine final : public Advisor {
+ public:
+  explicit PolicyEngine(AdaptConfig cfg) : cfg_(std::move(cfg)) {
+    base_arm_ = encode(cfg_.base);
+  }
+
+  const AdaptConfig& config() const override { return cfg_; }
+  const char* name() const override { return policy_name(cfg_.policy); }
+
+  Decision advise(const OpContext& ctx) override {
+    std::lock_guard lock(mu_);
+    KeyState& ks = key_state(ctx);
+    ++ks.ops;
+    Decision d;
+    if (cfg_.policy == AdaptConfig::Policy::Static) {
+      d.arm = base_arm_;
+      d.tuning = cfg_.base;
+      d.incumbent_cost = ewma_of(ks, base_arm_);
+      return d;
+    }
+    d.incumbent_cost = ewma_of(ks, ks.incumbent);
+    d.arm = ks.incumbent;
+    if (cfg_.epsilon > 0) {
+      // Deterministic epsilon schedule: every round(1/eps)-th op of this
+      // key probes a non-incumbent arm.  Two refinements keep the
+      // steady-state probe drag low without giving up responsiveness:
+      //
+      //   confirmation — while a challenger holds a margin-beating
+      //   streak, probe slots re-test *it* at the base cadence instead
+      //   of continuing the round-robin, so the `window` confirmations
+      //   a switch needs arrive within window*period ops rather than
+      //   one per full neighbor cycle.
+      //
+      //   backoff — each full neighbor cycle that ends without a switch
+      //   doubles this key's probe period (probe_backoff_max caps the
+      //   doublings; a switch resets them), so a converged key all but
+      //   stops exploring instead of forever paying for probes of arms
+      //   it has already rejected.
+      const std::uint64_t base_period = std::max<std::uint64_t>(
+          2, static_cast<std::uint64_t>(std::llround(1.0 / cfg_.epsilon)));
+      if (ks.challenger != 0 && ks.ops % base_period == 0) {
+        d.arm = ks.challenger;
+        d.probe = true;
+      } else if (ks.ops % (base_period << ks.backoff) == 0) {
+        const std::vector<std::uint16_t> nb = neighbors(ks.incumbent, ctx);
+        // Per-arm cooldown on top of the ring: an arm whose last probe
+        // lost by more than kPenaltyRatio sits out exponentially many
+        // probe slots (observe() set its wait), so probe slots
+        // concentrate on competitive neighbors instead of re-paying
+        // for arms that cost 10x the incumbent every cycle.
+        for (std::size_t i = 0; i < nb.size() && !d.probe; ++i) {
+          const std::uint16_t cand = nb[ks.probe_cursor % nb.size()];
+          ++ks.probe_cursor;
+          ArmStat& cs = ks.arms[cand];
+          if (cs.wait > 0) {
+            --cs.wait;
+            continue;
+          }
+          d.arm = cand;
+          d.probe = true;
+        }
+        if (d.probe && ++ks.cycle_probes >= nb.size()) {
+          ks.cycle_probes = 0;
+          if (ks.backoff < cfg_.probe_backoff_max) ++ks.backoff;
+        }
+      }
+    }
+    d.tuning = decode(d.arm);
+    return d;
+  }
+
+  Decision follow(const OpContext& ctx, std::uint16_t arm,
+                  bool probe) override {
+    std::lock_guard lock(mu_);
+    key_state(ctx);  // materialize so observe() has a home for the cost
+    Decision d;
+    d.arm = arm;
+    d.tuning = decode(arm);
+    d.probe = probe;
+    d.incumbent_cost = ewma_of(key_state(ctx), key_state(ctx).incumbent);
+    return d;
+  }
+
+  void observe(const OpContext& ctx, const Decision& d,
+               const Outcome& outcome) override {
+    std::lock_guard lock(mu_);
+    KeyState& ks = key_state(ctx);
+    const double cost =
+        outcome.seconds * 1e9 /
+        static_cast<double>(std::max<long long>(1, outcome.nbytes));
+    ArmStat& st = ks.arms[d.arm];
+    st.ewma = st.ewma < 0 ? cost : cfg_.alpha * cost +
+                                       (1.0 - cfg_.alpha) * st.ewma;
+    ++st.samples;
+
+    if (d.probe && d.arm != ks.incumbent) {
+      // Probe verdict for the cooldown: a bad loss earns exponentially
+      // longer sit-outs; anything competitive clears the penalty so the
+      // ring resumes testing it at full cadence.
+      const double inc = ewma_of(ks, ks.incumbent);
+      if (inc >= 0 && st.ewma > inc * kPenaltyRatio) {
+        st.penalty = std::min(st.penalty + 1, kPenaltyMax);
+        st.wait = 1 << st.penalty;
+      } else {
+        st.penalty = 0;
+        st.wait = 0;
+      }
+    }
+
+    bool switched = false;
+    if (cfg_.policy != AdaptConfig::Policy::Static) {
+      const double margin =
+          cfg_.policy == AdaptConfig::Policy::Greedy ? 0.0 : cfg_.margin;
+      const int need =
+          cfg_.policy == AdaptConfig::Policy::Greedy ? 1 : cfg_.window;
+      const double inc = ewma_of(ks, ks.incumbent);
+      if (d.arm != ks.incumbent) {
+        // Fresh evidence about a challenger.  The streak advances only
+        // here — never on incumbent observations with a stale challenger
+        // estimate — so one lucky probe cannot ride K incumbent ops into
+        // a switch: it takes `need` consecutive *observations of that
+        // arm*, each leaving its EWMA past the margin.
+        if (inc >= 0 && st.ewma < inc * (1.0 - margin)) {
+          if (ks.challenger == d.arm)
+            ++ks.losses;
+          else {
+            ks.challenger = d.arm;
+            ks.losses = 1;
+          }
+          if (ks.losses >= need) {
+            ks.incumbent = d.arm;
+            ks.losses = 0;
+            ks.challenger = 0;
+            // New incumbent: restart the neighbor walk around it at the
+            // base probe cadence.
+            ks.probe_cursor = 0;
+            ks.cycle_probes = 0;
+            ks.backoff = 0;
+            switched = true;
+          }
+        } else if (ks.challenger == d.arm) {
+          // The challenger failed to beat the margin: streak dies.
+          ks.losses = 0;
+          ks.challenger = 0;
+        }
+      } else if (ks.challenger != 0) {
+        // Incumbent observation moved its own EWMA: re-validate the
+        // pending streak against the updated baseline.
+        const double ch = ewma_of(ks, ks.challenger);
+        if (ch < 0 || ch >= st.ewma * (1.0 - margin)) {
+          ks.losses = 0;
+          ks.challenger = 0;
+        }
+      }
+    }
+
+    obs::AdaptDecision rec;
+    rec.seq = ++trail_seq_;
+    rec.op = ctx.op;
+    rec.backend = ctx.backend;
+    rec.net = ctx.net;
+    rec.view_sig = ctx.view_sig;
+    rec.size_class = size_class_of(ctx.nbytes);
+    rec.arm = arm_label_locked(d.arm);
+    rec.probe = d.probe;
+    rec.switched = switched;
+    rec.cost_ns_per_byte = cost;
+    rec.incumbent_ns_per_byte = d.incumbent_cost;
+    trail_.push_back(std::move(rec));
+    while (trail_.size() > cfg_.trail_capacity) trail_.pop_front();
+    ++decisions_;
+    if (d.probe) ++probes_;
+    if (switched) ++switches_;
+  }
+
+  Tuning decode(std::uint16_t arm) const override {
+    Tuning t = cfg_.base;
+    t.method = (arm & kMethodBit) ? mpiio::Method::ListBased
+                                  : mpiio::Method::Listless;
+    t.two_phase = (arm & kRouteBit) == 0;
+    t.zerocopy = (arm & kZcOffBit) ? mpiio::Zerocopy::Off
+                                   : mpiio::Zerocopy::Auto;
+    t.pipeline_depth = cfg_.depths[std::min<std::size_t>(
+        (arm >> 4) & 0xF, cfg_.depths.size() - 1)];
+    t.pack_threads = cfg_.threads[std::min<std::size_t>(
+        (arm >> 8) & 0xF, cfg_.threads.size() - 1)];
+    t.window = cfg_.windows[std::min<std::size_t>((arm >> 12) & 0xF,
+                                                  cfg_.windows.size() - 1)];
+    return t;
+  }
+
+  std::uint16_t encode(const Tuning& t) const override {
+    std::uint16_t arm = 0;
+    if (t.method == mpiio::Method::ListBased) arm |= kMethodBit;
+    if (!t.two_phase) arm |= kRouteBit;
+    if (t.zerocopy == mpiio::Zerocopy::Off) arm |= kZcOffBit;
+    arm |= static_cast<std::uint16_t>(
+        (index_of_int(cfg_.depths, t.pipeline_depth) & 0xF) << 4);
+    arm |= static_cast<std::uint16_t>(
+        (index_of_int(cfg_.threads, t.pack_threads) & 0xF) << 8);
+    arm |= static_cast<std::uint16_t>(
+        (index_of_off(cfg_.windows, t.window) & 0xF) << 12);
+    return arm;
+  }
+
+  std::string arm_label(std::uint16_t arm) const override {
+    return arm_label_locked(arm);
+  }
+
+  std::vector<obs::AdaptDecision> trail() const override {
+    std::lock_guard lock(mu_);
+    return {trail_.begin(), trail_.end()};
+  }
+
+  void report_into(obs::JobReport& report) const override {
+    std::lock_guard lock(mu_);
+    report.adapt_policy = name();
+    report.adapt_decisions = decisions_;
+    report.adapt_probes = probes_;
+    report.adapt_switches = switches_;
+    report.adapt_trail.assign(trail_.begin(), trail_.end());
+    const obs::Sampler& sampler = obs::Sampler::instance();
+    const std::uint32_t n = sampler.dim_count();
+    report.adapt_dims.clear();
+    report.adapt_dims.reserve(n);
+    for (std::uint32_t id = 0; id < n; ++id)
+      report.adapt_dims.push_back(sampler.name(id));
+  }
+
+ private:
+  /// Probe-cooldown tuning: losing a probe by more than kPenaltyRatio
+  /// doubles the arm's sit-out (in probe slots), up to 2^kPenaltyMax.
+  static constexpr double kPenaltyRatio = 2.0;
+  static constexpr int kPenaltyMax = 4;
+
+  struct ArmStat {
+    double ewma = -1;  ///< ns per byte; < 0 = never observed
+    std::uint64_t samples = 0;
+    int penalty = 0;  ///< consecutive bad probe losses (doublings)
+    int wait = 0;     ///< probe slots left to sit out
+  };
+
+  struct KeyState {
+    std::uint16_t incumbent = 0;
+    std::map<std::uint16_t, ArmStat> arms;
+    std::uint16_t challenger = 0;
+    int losses = 0;  ///< challenger's consecutive margin-beating streak
+    std::uint64_t ops = 0;
+    std::size_t probe_cursor = 0;
+    std::size_t cycle_probes = 0;  ///< probes into the current cycle
+    int backoff = 0;               ///< period doublings accrued
+  };
+
+  static std::uint64_t key_of(const OpContext& ctx) {
+    std::uint64_t h = 1469598103934665603ULL;
+    h = fnv_mix(h, ctx.view_sig);
+    h = fnv_mix(h, ctx.backend);
+    h = fnv_mix(h, ctx.net);
+    h = fnv_mix(h, static_cast<std::uint64_t>(size_class_of(ctx.nbytes)));
+    h = fnv_mix(h, ctx.writing ? 1 : 0);
+    return h;
+  }
+
+  KeyState& key_state(const OpContext& ctx) {
+    const std::uint64_t k = key_of(ctx);
+    const auto it = keys_.find(k);
+    if (it != keys_.end()) return it->second;
+    KeyState& ks = keys_[k];
+    ks.incumbent = base_arm_;
+    warm_start(ks, ctx);
+    return ks;
+  }
+
+  double ewma_of(const KeyState& ks, std::uint16_t arm) const {
+    const auto it = ks.arms.find(arm);
+    return it == ks.arms.end() ? -1 : it->second.ewma;
+  }
+
+  /// Seed a fresh key's method arms from matching sampling-ring records:
+  /// a new handle inherits what earlier handles measured under the same
+  /// (op, backend, net) dimensions instead of starting blind.  Only the
+  /// advising rank's seeds steer decisions, so ring coherence across
+  /// ranks is not required.
+  void warm_start(KeyState& ks, const OpContext& ctx) {
+    obs::Sampler& sampler = obs::Sampler::instance();
+    if (!sampler.enabled()) return;
+    const obs::MetricsSnapshot snap =
+        sampler.snapshot_since(cfg_.warm_start_seq);
+    if (snap.samples.empty()) return;
+    const std::uint32_t listless = sampler.intern("listless");
+    const std::uint32_t listbased = sampler.intern("list-based");
+    double sum[2] = {0, 0};
+    long long n[2] = {0, 0};
+    for (const obs::OpSample& s : snap.samples) {
+      if (s.op != ctx.op || s.backend != ctx.backend || s.net != ctx.net)
+        continue;
+      if (s.bytes <= 0 || s.dur_ns <= 0) continue;
+      const int m = s.engine == listbased ? 1 : s.engine == listless ? 0 : -1;
+      if (m < 0) continue;
+      sum[m] += static_cast<double>(s.dur_ns) / static_cast<double>(s.bytes);
+      ++n[m];
+    }
+    for (int m = 0; m < 2; ++m) {
+      if (n[m] == 0) continue;
+      Tuning t = cfg_.base;
+      t.method = m == 1 ? mpiio::Method::ListBased : mpiio::Method::Listless;
+      ArmStat& st = ks.arms[encode(t)];
+      if (st.ewma < 0) st.ewma = sum[m] / static_cast<double>(n[m]);
+    }
+  }
+
+  /// Single-knob mutations of `arm`, ordered by what the phase profile
+  /// says is worth trying first: pack-dominated ops probe the pack-side
+  /// knobs (threads, zerocopy, depth) before the data-path ones (route,
+  /// method, window); io-dominated ops the other way around.
+  std::vector<std::uint16_t> neighbors(std::uint16_t arm,
+                                       const OpContext& ctx) const {
+    const Tuning t = decode(arm);
+    std::vector<std::uint16_t> pack_side, io_side;
+    if (cfg_.threads.size() > 1) {
+      Tuning v = t;
+      const std::size_t i = index_of_int(cfg_.threads, t.pack_threads);
+      v.pack_threads = cfg_.threads[(i + 1) % cfg_.threads.size()];
+      pack_side.push_back(encode(v));
+    }
+    if (cfg_.explore_zerocopy) {
+      Tuning v = t;
+      v.zerocopy = t.zerocopy == mpiio::Zerocopy::Off
+                       ? mpiio::Zerocopy::Auto
+                       : mpiio::Zerocopy::Off;
+      pack_side.push_back(encode(v));
+    }
+    if (cfg_.depths.size() > 1) {
+      Tuning v = t;
+      const std::size_t i = index_of_int(cfg_.depths, t.pipeline_depth);
+      v.pipeline_depth = cfg_.depths[(i + 1) % cfg_.depths.size()];
+      pack_side.push_back(encode(v));
+    }
+    // The independent route is universal: server-side view I/O when the
+    // backend advertises pfs::ViewIo, plain per-rank accesses otherwise.
+    // Whether skipping the exchange pays (e.g. a slow client interconnect
+    // in front of a fast storage wire) is the cost model's job to learn,
+    // so the toggle is always probe-eligible.
+    if (cfg_.explore_route) {
+      Tuning v = t;
+      v.two_phase = !t.two_phase;
+      io_side.push_back(encode(v));
+    }
+    if (cfg_.explore_method) {
+      Tuning v = t;
+      v.method = t.method == mpiio::Method::Listless
+                     ? mpiio::Method::ListBased
+                     : mpiio::Method::Listless;
+      io_side.push_back(encode(v));
+    }
+    if (cfg_.windows.size() > 1) {
+      Tuning v = t;
+      const std::size_t i = index_of_off(cfg_.windows, t.window);
+      v.window = cfg_.windows[(i + 1) % cfg_.windows.size()];
+      io_side.push_back(encode(v));
+    }
+    std::vector<std::uint16_t> out;
+    const bool pack_first = ctx.pack_frac > 0.5;
+    const auto& first = pack_first ? pack_side : io_side;
+    const auto& second = pack_first ? io_side : pack_side;
+    out.insert(out.end(), first.begin(), first.end());
+    out.insert(out.end(), second.begin(), second.end());
+    out.erase(std::remove(out.begin(), out.end(), arm), out.end());
+    return out;
+  }
+
+  std::string arm_label_locked(std::uint16_t arm) const {
+    const Tuning t = decode(arm);
+    return strprintf(
+        "%s:%s:d%d:t%d:%s:w%lld",
+        t.method == mpiio::Method::ListBased ? "lb" : "ll",
+        t.two_phase ? "tp" : "ix", t.pipeline_depth, t.pack_threads,
+        t.zerocopy == mpiio::Zerocopy::Off ? "st" : "zc",
+        static_cast<long long>(t.window));
+  }
+
+  AdaptConfig cfg_;
+  std::uint16_t base_arm_ = 0;
+
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, KeyState> keys_;
+  std::deque<obs::AdaptDecision> trail_;
+  std::uint64_t trail_seq_ = 0;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t probes_ = 0;
+  std::uint64_t switches_ = 0;
+};
+
+template <class T>
+void sanitize_list(std::vector<T>& xs, T base, std::size_t cap = 16) {
+  if (std::find(xs.begin(), xs.end(), base) == xs.end()) xs.push_back(base);
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  if (xs.size() > cap) xs.resize(cap);
+  // The base value must survive the cap: arms are decoded relative to
+  // these lists, and the static arm must always be expressible.
+  if (std::find(xs.begin(), xs.end(), base) == xs.end()) xs.back() = base;
+}
+
+}  // namespace
+
+std::unique_ptr<Advisor> make_advisor(AdaptConfig cfg) {
+  LLIO_REQUIRE(cfg.epsilon >= 0 && cfg.epsilon <= 0.5, Errc::InvalidArgument,
+               "adapt: epsilon out of [0, 0.5]");
+  LLIO_REQUIRE(cfg.window >= 1, Errc::InvalidArgument, "adapt: window < 1");
+  LLIO_REQUIRE(cfg.margin >= 0 && cfg.margin < 1, Errc::InvalidArgument,
+               "adapt: margin out of [0, 1)");
+  LLIO_REQUIRE(cfg.alpha > 0 && cfg.alpha <= 1, Errc::InvalidArgument,
+               "adapt: alpha out of (0, 1]");
+  if (cfg.trail_capacity < 1) cfg.trail_capacity = 1;
+  cfg.probe_backoff_max = std::clamp(cfg.probe_backoff_max, 0, 20);
+  if (cfg.depths.empty()) cfg.depths = {0};
+  if (cfg.threads.empty()) cfg.threads = {1};
+  if (cfg.windows.empty()) cfg.windows = {4 << 20};
+  sanitize_list(cfg.depths, cfg.base.pipeline_depth);
+  sanitize_list(cfg.threads, cfg.base.pack_threads);
+  sanitize_list(cfg.windows, cfg.base.window);
+  return std::make_unique<PolicyEngine>(std::move(cfg));
+}
+
+Tuning tuning_from_options(const mpiio::Options& o) {
+  Tuning t;
+  t.method = o.method;
+  t.two_phase = o.cb_write && o.cb_read;
+  t.pipeline_depth = o.pipeline_depth;
+  t.pack_threads = o.pack_threads;
+  t.zerocopy = o.zerocopy;
+  t.window = o.file_buffer_size;
+  return t;
+}
+
+AdaptConfig config_from_options(const mpiio::Options& o) {
+  AdaptConfig cfg;
+  cfg.base = tuning_from_options(o);
+  cfg.policy = o.adaptive == mpiio::Adaptive::Force
+                   ? AdaptConfig::Policy::Greedy
+                   : AdaptConfig::Policy::Hysteresis;
+  if (o.adaptive_policy == "static")
+    cfg.policy = AdaptConfig::Policy::Static;
+  else if (o.adaptive_policy == "greedy")
+    cfg.policy = AdaptConfig::Policy::Greedy;
+  else if (o.adaptive_policy == "hysteresis")
+    cfg.policy = AdaptConfig::Policy::Hysteresis;
+  cfg.epsilon = o.adaptive_epsilon;
+  cfg.window = o.adaptive_window;
+  return cfg;
+}
+
+}  // namespace llio::adapt

@@ -1,0 +1,218 @@
+// Adaptive policy layer: measurement-driven per-operation tuning.
+//
+// The bench baselines prove no static hint set wins everywhere: two-phase
+// beats the server-view route on fast interconnects and loses on slow
+// ones (BENCH_servers), plan-on packing wins serial but loses at 2-4
+// threads on small blocks (BENCH_pack), and zero-copy descriptor I/O has
+// a dense/holey crossover (BENCH_zerocopy).  ROMIO answers this with
+// hints the user must guess per platform; the ViPIOS line argues the I/O
+// system should own the decision.  This layer is that owner: an Advisor
+// consumes the live measurements the obs layer already collects (the
+// sampling ring, the engines' phase histograms) and picks, per collective
+// operation: engine method (list / listless), the two-phase vs
+// independent route (which becomes server-side view I/O when the backend
+// advertises pfs::ViewIo), pipeline_depth, pack_threads, zero-copy
+// on/off, and the collective-buffer window.
+//
+// Shape (after FreeBSD's pluggable TCP congestion-control stacks —
+// rack/bbr behind one function table): pluggable policies behind one
+// Advisor interface.
+//   * static     — always the configured base tuning; never probes.
+//                  The measurement/trail machinery runs, decisions don't
+//                  change: the A/B control arm.
+//   * greedy     — switch to the best-known arm the moment its estimate
+//                  beats the incumbent (margin 0, window 1).  Tracks
+//                  fast, may flap under noise.
+//   * hysteresis — a challenger must beat the incumbent's EWMA by
+//                  `margin` for `window` consecutive observations before
+//                  it takes over; any observation that breaks the streak
+//                  resets it.  Bounded exploration: every round(1/eps)-th
+//                  op per key probes one single-knob neighbor of the
+//                  incumbent, round-robin, so the model keeps tracking
+//                  changing conditions without paying more than eps of
+//                  the ops for it.
+//
+// Cost model: per (view signature, backend, net model, size class,
+// direction) key, an EWMA of ns-per-byte per arm.  New keys warm-start
+// from matching obs::Sampler ring records, so a freshly opened handle
+// inherits what previous handles measured under the same dimensions.
+//
+// Determinism: no wall-clock reads, no randomness — probing is a
+// deterministic schedule of the per-key op counter.  Rank consistency is
+// the caller's job (mpiio::File makes the OpContext rank-consistent,
+// rank 0 advises, followers adopt the arm via follow()); identical
+// observe() inputs keep every rank's advisor state converged.
+//
+// Every decision lands in a bounded trail ring (obs::AdaptDecision) that
+// File::close attaches to the llio_report/v1 JobReport and --explain
+// prints.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "mpiio/options.hpp"
+#include "obs/agg.hpp"
+
+namespace llio::adapt {
+
+/// One complete per-operation tuning (an "arm" of the bandit).
+struct Tuning {
+  mpiio::Method method = mpiio::Method::Listless;
+
+  /// true = collective buffering (two-phase exchange); false = degrade
+  /// the collective to independent accesses + barrier, which the engines
+  /// turn into server-side view I/O when the backend advertises
+  /// pfs::ViewIo — the "server-view route" of the psrv ablations.
+  bool two_phase = true;
+
+  int pipeline_depth = 0;
+  int pack_threads = 1;
+  mpiio::Zerocopy zerocopy = mpiio::Zerocopy::Auto;
+
+  /// Collective-buffer / file-domain window (Options::file_buffer_size).
+  Off window = 4 << 20;
+
+  bool operator==(const Tuning&) const = default;
+};
+
+/// Rank-consistent description of the operation about to run.  The
+/// caller (mpiio::File) is responsible for consistency: nbytes is the
+/// job-global payload (allreduce-summed), view_sig is harmonized across
+/// ranks at set_view, and the dim ids come from the handle's options.
+struct OpContext {
+  std::uint32_t op = 0;       ///< interned op name ("write_at_all", ...)
+  std::uint32_t backend = 0;  ///< interned storage target
+  std::uint32_t net = 0;      ///< interned interconnect model
+  std::uint64_t view_sig = 0;
+  long long nbytes = 0;  ///< global payload bytes of this op
+  bool writing = false;
+  bool view_io = false;  ///< backend advertises pfs::ViewIo
+  int nprocs = 1;
+
+  /// Phase bias from the engine's LocalRegistry histograms:
+  /// pack time / (pack + io) over the ops so far; < 0 = unknown.  Only
+  /// the advising rank's value is used (it biases probe order, not
+  /// correctness).
+  double pack_frac = -1.0;
+};
+
+/// What one operation cost.  seconds is the op's job-global wall time
+/// (allreduce-maxed by the caller so every rank observes the same value).
+struct Outcome {
+  double seconds = 0;
+  long long nbytes = 0;
+};
+
+/// The Advisor's verdict for one operation.
+struct Decision {
+  Tuning tuning;
+  std::uint16_t arm = 0;  ///< encoded tuning — what rank 0 broadcasts
+  bool probe = false;     ///< epsilon exploration, not the incumbent
+  double incumbent_cost = -1;  ///< incumbent EWMA ns/byte (< 0 = none yet)
+};
+
+struct AdaptConfig {
+  enum class Policy { Static, Greedy, Hysteresis };
+  Policy policy = Policy::Hysteresis;
+
+  /// Fraction of ops (per key) spent probing a non-incumbent arm.
+  /// 0 disables exploration (the incumbent can then only change through
+  /// warm-start or greedy observations of probe-free arms).
+  double epsilon = 1.0 / 16.0;
+
+  /// Exploration backoff: every full neighbor cycle that completes
+  /// without a switch doubles the key's probe period, up to this many
+  /// doublings; any switch resets it.  A converged key thus stops
+  /// paying steady-state probe drag, while regime changes that move a
+  /// keying dimension (net model, view, size class) land on a fresh
+  /// key that starts at the base cadence.  0 disables backoff.
+  int probe_backoff_max = 4;
+
+  /// Hysteresis: consecutive observations a challenger must win by
+  /// `margin` before it becomes the incumbent.
+  int window = 3;
+  double margin = 0.15;
+
+  /// EWMA weight of a new observation.
+  double alpha = 0.3;
+
+  std::size_t trail_capacity = 256;
+
+  /// The static arm: the policy's starting incumbent, and everything the
+  /// static policy ever returns.
+  Tuning base;
+
+  /// Candidate values per knob (the arm space is their cross product;
+  /// probing only walks single-knob neighbors).  Each list is capped at
+  /// 16 entries — arm encoding packs 4-bit indices.
+  std::vector<int> depths = {0, 2};
+  std::vector<int> threads = {1, 2, 4};
+  std::vector<Off> windows = {1 << 20, 4 << 20};
+
+  bool explore_method = true;    ///< list vs listless neighbors
+  bool explore_route = true;     ///< two-phase vs independent toggle
+  bool explore_zerocopy = true;  ///< zerocopy toggle
+
+  /// Sampler ring position to warm-start new keys from (0 = whole ring).
+  std::uint64_t warm_start_seq = 0;
+};
+
+const char* policy_name(AdaptConfig::Policy p) noexcept;
+
+/// The pluggable policy interface.  Thread-safe; every method may be
+/// called from any rank-thread of the owning handle.
+class Advisor {
+ public:
+  virtual ~Advisor() = default;
+
+  virtual const AdaptConfig& config() const = 0;
+  virtual const char* name() const = 0;
+
+  /// Root rank: pick the arm for this op and advance exploration state.
+  virtual Decision advise(const OpContext& ctx) = 0;
+
+  /// Follower ranks: adopt the root's broadcast arm without advancing
+  /// exploration state.  The returned Decision feeds observe() so the
+  /// follower's cost model evolves identically to the root's.
+  virtual Decision follow(const OpContext& ctx, std::uint16_t arm,
+                          bool probe) = 0;
+
+  /// Feed back what the operation cost.  Updates the arm's EWMA, runs
+  /// the switching logic, and appends to the decision trail.  Must be
+  /// called with identical arguments on every rank (the caller
+  /// allreduces the outcome) to keep advisor states converged.
+  virtual void observe(const OpContext& ctx, const Decision& d,
+                       const Outcome& outcome) = 0;
+
+  virtual Tuning decode(std::uint16_t arm) const = 0;
+  virtual std::uint16_t encode(const Tuning& t) const = 0;
+
+  /// Human-readable arm label for the trail / --explain
+  /// (e.g. "ll:tp:d2:t1:zc:w4194304").
+  virtual std::string arm_label(std::uint16_t arm) const = 0;
+
+  /// Decision trail so far (oldest first, bounded by trail_capacity).
+  virtual std::vector<obs::AdaptDecision> trail() const = 0;
+
+  /// Attach policy name, totals, trail, and the interned-dim table to a
+  /// JobReport (the "adapt" section of llio_report/v1).
+  virtual void report_into(obs::JobReport& report) const = 0;
+};
+
+/// Build an advisor.  Candidate lists are sanitized (base values
+/// inserted, duplicates removed, 16-entry cap enforced).
+std::unique_ptr<Advisor> make_advisor(AdaptConfig cfg);
+
+/// Derive the advisor configuration from a handle's options
+/// (llio_adaptive / llio_adaptive_policy / llio_adaptive_epsilon /
+/// llio_adaptive_window plus the static knobs as the base arm).
+AdaptConfig config_from_options(const mpiio::Options& o);
+
+/// The base arm implied by a handle's static options.
+Tuning tuning_from_options(const mpiio::Options& o);
+
+}  // namespace llio::adapt

@@ -80,6 +80,13 @@ void ListlessEngine::set_view(const View& v) {
   }
 }
 
+void ListlessEngine::on_tuning_changed() {
+  const int threads = std::max(1, opts_.pack_threads);
+  if (nav_) nav_->set_pack_threads(threads);
+  for (CachedView& cv : cached_)
+    if (cv.nav) cv.nav->set_pack_threads(threads);
+}
+
 std::unique_ptr<mpiio::StreamMover> ListlessEngine::make_nc_mover(
     const void* buf, Off count, const dt::Type& mt) {
   return std::make_unique<FotfMover>(buf, count, mt, pack_config(opts_),

@@ -42,6 +42,11 @@ class ListlessEngine final : public mpiio::IoEngine {
   std::unique_ptr<mpiio::StreamMover> make_nc_mover(
       const void* buf, Off count, const dt::Type& mt) override;
 
+  /// Adaptive tuning: re-point pack threads inside the navs built at
+  /// set_view (everything else in their PackConfig stays as baked, so
+  /// compiled plans survive).
+  void on_tuning_changed() override;
+
  private:
   /// Cached remote fileview (fileview caching, §3.2.3).
   struct CachedView {

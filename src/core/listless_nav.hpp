@@ -29,6 +29,12 @@ class ListlessNav final : public mpiio::ViewNav {
   /// identity survives the per-op reset).
   void bind_stats(mpiio::IoOpStats* stats) { stats_ = stats; }
 
+  /// Per-op parallelism tuning (the adaptive layer re-points pack
+  /// threads between ops).  Only the thread count moves: plan usage and
+  /// the slicing threshold stay as built, so the compiled plan remains
+  /// valid.  Called under the engine's op lock.
+  void set_pack_threads(int threads) { cfg_.threads = threads; }
+
   Off stream_to_file_start(Off s) override;
   Off stream_to_file_end(Off s) override;
   Off file_to_stream(Off mem) override;

@@ -78,7 +78,29 @@ class IoEngine {
   void set_atomicity(bool atomic) { atomic_ = atomic; }
   bool atomicity() const { return atomic_; }
 
+  /// Per-operation tuning from the adaptive policy layer (adapt::Advisor
+  /// via mpiio::File): the subset of knobs the engines re-read on every
+  /// operation.  two_phase=false maps to cb_write/cb_read disable, which
+  /// degrades collectives to independent access + barrier — the
+  /// server-view route when the backend advertises pfs::ViewIo.  Applied
+  /// under op_mu_, so it can never interleave with a running op; with
+  /// llio_adaptive=off it is never called and the open-time options stay
+  /// byte-identical.
+  struct OpTuning {
+    bool two_phase = true;
+    int pipeline_depth = 0;
+    int pack_threads = 1;
+    Zerocopy zerocopy = Zerocopy::Auto;
+    Off file_buffer_size = 4 << 20;
+  };
+  void apply_op_tuning(const OpTuning& t);
+
  protected:
+  /// Engine-specific propagation of an apply_op_tuning change (e.g. the
+  /// listless engine re-points pack threads inside its cached
+  /// navigators).  Runs under op_mu_.
+  virtual void on_tuning_changed() {}
+
   virtual Off do_read_at(Off stream_lo, void* buf, Off count,
                          const dt::Type& mt) = 0;
   virtual Off do_write_at(Off stream_lo, const void* buf, Off count,

@@ -87,11 +87,20 @@ class Sampler {
   /// The string behind an interned id ("?" for an unknown id).
   std::string name(std::uint32_t id) const;
 
+  /// Number of interned dimension ids (valid ids are [0, dim_count)).
+  std::uint32_t dim_count() const;
+
   /// Record one sample (sample.seq is assigned here).  No-op when
   /// disabled.  Never blocks: a slot collision drops the sample.
   void record(OpSample sample);
 
   MetricsSnapshot snapshot() const;
+
+  /// Incremental read: as snapshot(), but keeps only samples with
+  /// seq >= min_seq.  A consumer (the adaptive Advisor warm-starting a
+  /// key, a poller) remembers the last seq it saw and asks only for what
+  /// is new; produced/dropped totals are still the ring-lifetime values.
+  MetricsSnapshot snapshot_since(std::uint64_t min_seq) const;
 
   /// Drop retained samples and zero the produced/dropped totals.
   void reset();

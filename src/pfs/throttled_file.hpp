@@ -46,6 +46,16 @@ class ThrottledFile final : public FileBackend {
   /// Total wall time injected by the throttle so far (seconds).
   double simulated_time() const;
 
+  /// Current throttle parameters (a snapshot — the model may be swapped
+  /// concurrently by set_config).
+  ThrottleConfig config() const;
+
+  /// Swap the storage cost model mid-run.  In-flight accesses finish under
+  /// whichever model they snapshotted; later accesses use the new one.
+  /// This is how the adaptive-policy benches flip device speed halfway
+  /// through a measured run.
+  void set_config(const ThrottleConfig& cfg);
+
  protected:
   Off do_pread(Off offset, ByteSpan out) override;
   void do_pwrite(Off offset, ConstByteSpan data) override;
@@ -55,7 +65,7 @@ class ThrottledFile final : public FileBackend {
  private:
   ThrottledFile(FilePtr inner, const ThrottleConfig& cfg);
 
-  void delay(double seconds);
+  void delay(const ThrottleConfig& cfg, double seconds);
 
   FilePtr inner_;
   ThrottleConfig cfg_;

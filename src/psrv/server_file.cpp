@@ -518,7 +518,10 @@ std::shared_ptr<ServerFile> make_server_file(const mpiio::Options& opts,
   PoolConfig cfg = std::move(base);
   if (opts.psrv_servers > 0) cfg.nservers = opts.psrv_servers;
   if (opts.psrv_queue_depth > 0) cfg.queue_depth = opts.psrv_queue_depth;
-  if (!opts.net_model.empty()) cfg.net = sim::named_cost_model(opts.net_model);
+  if (!opts.net_model.empty()) {
+    cfg.net = sim::named_cost_model(opts.net_model);
+    cfg.net_name = opts.net_model;
+  }
   SessionConfig scfg;
   if (opts.psrv_session_weight > 0) scfg.weight = opts.psrv_session_weight;
   scfg.cache = opts.psrv_cache;

@@ -101,6 +101,11 @@ struct PoolConfig {
   /// Interconnect between clients and servers.
   sim::CommCostModel net;
 
+  /// Name of the interconnect model ("shared-mem", "fast", ...).  Pure
+  /// metadata: it becomes the net dimension on obs::Sampler records for
+  /// psrv client-side cache hits, which otherwise never touch the wire.
+  std::string net_name = "shared-mem";
+
   /// Shard store factory; default pfs::MemFile.  Wrap in ThrottledFile to
   /// model slow storage behind the servers.
   std::function<pfs::FilePtr(int server)> make_shard;
@@ -163,6 +168,12 @@ class ServerPool {
 
   int nservers() const noexcept { return cfg_.nservers; }
   const PoolConfig& config() const noexcept { return cfg_; }
+
+  /// Swap the client/server interconnect cost model mid-run (see
+  /// sim::Comm::set_cost_model); `name` is the new net dimension for
+  /// sampler records.  Call with no request in flight.
+  void set_net(const sim::CommCostModel& net, const std::string& name);
+  std::string net_name() const;
 
   /// Shard domains, index = server; the last non-empty domain is
   /// open-ended so every file offset has an owner.
@@ -324,6 +335,8 @@ class ServerPool {
   struct CreditState;
 
   PoolConfig cfg_;
+  mutable std::mutex net_name_mu_;
+  std::string net_name_;
   std::vector<mpiio::Domain> domains_;
   std::unique_ptr<sim::World> world_;
   std::vector<pfs::FilePtr> shards_;

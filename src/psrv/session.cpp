@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/timer.hpp"
+#include "obs/snapshot.hpp"
 #include "psrv/wire.hpp"
 
 namespace llio::psrv {
@@ -489,7 +491,39 @@ void Session::evict_for_capacity(std::vector<DirtyExtent>& flush_out) {
 
 // ---- Session: client-facing ops ------------------------------------------
 
+void Session::sample_cached(std::uint32_t op_id, std::size_t bytes,
+                            long long dur_ns) {
+  // Cache-served ops never reach IoEngine::observe_op (they return before
+  // the wire), so without this the sampler ring has no record of them and
+  // the adaptive Advisor cannot key on the backend/net they ran under.
+  // Called under op_mu_, so the cached dim ids need no extra locking.
+  obs::Sampler& sampler = obs::Sampler::instance();
+  if (!sampler.enabled()) return;
+  if (dims_.engine == 0) {
+    dims_.engine = sampler.intern("psrv-session");
+    dims_.backend = sampler.intern("psrv");
+  }
+  const std::string net = pool_->net_name();
+  if (net != dims_.net_name) {  // re-intern only on a mid-run net flip
+    dims_.net = sampler.intern(net.empty() ? "default" : net);
+    dims_.net_name = net;
+  }
+  obs::OpSample s;
+  s.rank = -1;  // a session is shared by all rank-threads of the handle
+  s.op = op_id;
+  s.engine = dims_.engine;
+  s.backend = dims_.backend;
+  s.net = dims_.net;
+  s.bytes = static_cast<long long>(bytes);
+  s.runs = 0;  // no storage access: that is the point of the cache
+  s.dur_ns = dur_ns;
+  sampler.record(s);
+}
+
 bool Session::cached_read(Off off, ByteSpan out) {
+  static const std::uint32_t kOpId =
+      obs::Sampler::instance().intern("psrv.cached_read");
+  WallTimer timer;
   std::lock_guard<std::mutex> op(op_mu_);
   if (out.empty()) return true;
   const Off B = cfg_.cache_block;
@@ -506,6 +540,7 @@ bool Session::cached_read(Off off, ByteSpan out) {
   std::optional<ServerPool::Endpoint> ep;
   for (int attempt = 0; attempt < 4; ++attempt) {
     std::vector<std::pair<Off, Off>> missing;  // block-aligned runs
+    bool hit = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
       const std::int64_t now = pool_->now();
@@ -527,8 +562,13 @@ bool Session::cached_read(Off off, ByteSpan out) {
         copy_out(off, out);
         for (Off b = a0; b < a1; b += B) blocks_[b].lru = ++lru_;
         ++stats_.hits;
-        return true;
+        hit = true;
       }
+    }
+    if (hit) {
+      sample_cached(kOpId, out.size(),
+                    static_cast<long long>(timer.seconds() * 1e9));
+      return true;
     }
 
     if (!ep) ep.emplace(pool_->checkout());
@@ -616,6 +656,9 @@ bool Session::cached_read(Off off, ByteSpan out) {
 }
 
 bool Session::cached_write(Off off, ConstByteSpan data) {
+  static const std::uint32_t kOpId =
+      obs::Sampler::instance().intern("psrv.cached_write");
+  WallTimer timer;
   std::lock_guard<std::mutex> op(op_mu_);
   if (data.empty()) return true;
   const Off B = cfg_.cache_block;
@@ -723,6 +766,8 @@ bool Session::cached_write(Off off, ConstByteSpan data) {
     return false;
   }
   write_back(ep.comm(), evict_flush);
+  sample_cached(kOpId, data.size(),
+                static_cast<long long>(timer.seconds() * 1e9));
   return true;
 }
 

@@ -230,6 +230,12 @@ class Session {
   void flush_with(sim::Comm& comm);
   void bypass_with(sim::Comm& comm, Off lo, Off hi, bool writing);
 
+  /// Record an obs::Sampler sample for an op served from the client
+  /// cache (never reaches the wire or IoEngine::observe_op).  Caller
+  /// holds op_mu_.
+  void sample_cached(std::uint32_t op_id, std::size_t bytes,
+                     long long dur_ns);
+
   // Cache internals (mu_ held by caller).
   bool lease_live(const ClientLease& l, std::int64_t now) const;
   bool block_valid(const Block& b, std::int64_t now) const;
@@ -260,6 +266,14 @@ class Session {
   std::uint64_t lru_ = 0;
   bool closed_ = false;
   CacheStats stats_;
+
+  /// Interned sampler dims for cache-served ops; touched under op_mu_.
+  struct {
+    std::uint32_t engine = 0;
+    std::uint32_t backend = 0;
+    std::uint32_t net = 0;
+    std::string net_name;
+  } dims_;
 
   std::optional<ServerPool::SessionSlot> slot_;  ///< recall channel
   std::thread listener_;

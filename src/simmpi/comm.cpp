@@ -37,6 +37,16 @@ class Context {
 
   int size() const noexcept { return nprocs_; }
 
+  CommCostModel net() const {
+    std::lock_guard<std::mutex> lock(net_mu_);
+    return net_;
+  }
+
+  void set_net(const CommCostModel& net) {
+    std::lock_guard<std::mutex> lock(net_mu_);
+    net_ = net;
+  }
+
   void abort() {
     aborted_.store(true, std::memory_order_release);
     for (auto& mb : mailboxes_) {
@@ -95,9 +105,10 @@ class Context {
       if (it != mb.queue.end()) {
         ByteVec out = std::move(it->data);
         mb.queue.erase(it);
-        if (!net_.free()) {
+        const CommCostModel nm = net();
+        if (!nm.free()) {
           lock.unlock();
-          charge_network(out.size());
+          charge_network(nm, out.size());
         }
         return out;
       }
@@ -116,9 +127,10 @@ class Context {
         const int src = it->src;
         ByteVec out = std::move(it->data);
         mb.queue.erase(it);
-        if (!net_.free()) {
+        const CommCostModel nm = net();
+        if (!nm.free()) {
           lock.unlock();
-          charge_network(out.size());
+          charge_network(nm, out.size());
         }
         return {src, std::move(out)};
       }
@@ -136,9 +148,10 @@ class Context {
     const int src = it->src;
     ByteVec out = std::move(it->data);
     mb.queue.erase(it);
-    if (!net_.free()) {
+    const CommCostModel nm = net();
+    if (!nm.free()) {
       lock.unlock();
-      charge_network(out.size());
+      charge_network(nm, out.size());
     }
     return std::make_pair(src, std::move(out));
   }
@@ -159,9 +172,10 @@ class Context {
         const int src = it->src;
         ByteVec out = std::move(it->data);
         mb.queue.erase(it);
-        if (!net_.free()) {
+        const CommCostModel nm = net();
+        if (!nm.free()) {
           lock.unlock();
-          charge_network(out.size());
+          charge_network(nm, out.size());
         }
         return std::make_pair(src, std::move(out));
       }
@@ -171,10 +185,10 @@ class Context {
   }
 
   /// Burn wall time per the interconnect cost model.
-  void charge_network(std::size_t bytes) const {
-    double s = net_.latency_s;
-    if (net_.bandwidth_bps > 0)
-      s += static_cast<double>(bytes) / net_.bandwidth_bps;
+  static void charge_network(const CommCostModel& net, std::size_t bytes) {
+    double s = net.latency_s;
+    if (net.bandwidth_bps > 0)
+      s += static_cast<double>(bytes) / net.bandwidth_bps;
     if (s <= 0) return;
     if (s < 50e-6) {
       const auto until =
@@ -206,6 +220,7 @@ class Context {
 
  private:
   int nprocs_;
+  mutable std::mutex net_mu_;
   CommCostModel net_;
   std::vector<Mailbox> mailboxes_;
   std::vector<CommStats> stats_;
@@ -255,6 +270,10 @@ void scatter_payload(ConstByteSpan payload, std::span<const ByteSpan> runs) {
 }  // namespace
 
 int Comm::size() const noexcept { return ctx_->size(); }
+
+CommCostModel Comm::cost_model() const { return ctx_->net(); }
+
+void Comm::set_cost_model(const CommCostModel& net) { ctx_->set_net(net); }
 
 void Comm::send(int dst, int tag, ConstByteSpan data, MsgClass cls) {
   ctx_->send(rank_, dst, tag, data, cls);
@@ -590,6 +609,8 @@ Comm World::comm(int slot) {
 }
 
 void World::abort() { ctx_->abort(); }
+
+void World::set_cost_model(const CommCostModel& net) { ctx_->set_net(net); }
 
 CommStats World::total_stats() const {
   CommStats total;

@@ -173,6 +173,16 @@ class Comm {
   /// (rank 0 receives 0).
   Off exscan_sum(Off v);
 
+  /// Interconnect cost model currently charged on receives.  The model is
+  /// shared by the whole communication domain: set_cost_model swaps it for
+  /// every rank, taking effect on the next receive.  Mid-run swaps model a
+  /// changing interconnect (the adaptive-policy ablation flips fast→slow
+  /// halfway through a bench); call it from one rank with the domain
+  /// otherwise quiescent, or accept that in-flight receives may be charged
+  /// under either model.
+  CommCostModel cost_model() const;
+  void set_cost_model(const CommCostModel& net);
+
   /// This rank's send-side statistics.
   const CommStats& stats() const;
   void reset_stats();
@@ -209,6 +219,10 @@ class World {
 
   /// Wake every blocked receiver with Errc::Protocol (failure shutdown).
   void abort();
+
+  /// Swap the interconnect cost model for the whole domain (see
+  /// Comm::set_cost_model).
+  void set_cost_model(const CommCostModel& net);
 
   /// Sum of all slots' send statistics.  Unlike Comm::global_stats() this
   /// does not barrier — the caller must know the domain is quiescent.

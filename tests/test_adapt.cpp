@@ -1,0 +1,643 @@
+// Adaptive policy layer tests: arm codec roundtrip, deterministic
+// epsilon-probe bounds, hysteresis no-flap under noisy alternating costs
+// vs greedy tracking, a synthetic cost-model regression fixture (exact
+// EWMA evolution and switch point), config plumbing from hints, and the
+// end-to-end guarantees — llio_adaptive=off is byte-identical to the
+// unhinted baseline and llio_adaptive=auto stays data-correct across
+// {list, listless} x {mem, throttled, psrv view} under a fuzzed
+// collective schedule, with the decision trail landing in the JobReport.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "adapt/advisor.hpp"
+#include "io_test_util.hpp"
+#include "mpiio/file.hpp"
+#include "mpiio/info.hpp"
+#include "obs/agg.hpp"
+#include "obs/snapshot.hpp"
+#include "pfs/mem_file.hpp"
+#include "pfs/throttled_file.hpp"
+#include "simmpi/comm.hpp"
+
+namespace llio::adapt {
+namespace {
+
+OpContext test_ctx() {
+  OpContext ctx;
+  ctx.op = 7;
+  ctx.backend = 3;
+  ctx.net = 4;
+  ctx.view_sig = 0xfeedULL;
+  ctx.nbytes = 1024;
+  ctx.writing = true;
+  ctx.view_io = true;
+  ctx.nprocs = 2;
+  return ctx;
+}
+
+/// Drive one advise/observe cycle with a per-arm cost schedule (ns/byte).
+Decision step(Advisor& a, const OpContext& ctx, double cost_ns_per_byte) {
+  const Decision d = a.advise(ctx);
+  Outcome out;
+  out.nbytes = ctx.nbytes;
+  out.seconds = cost_ns_per_byte * static_cast<double>(ctx.nbytes) / 1e9;
+  a.observe(ctx, d, out);
+  return d;
+}
+
+// ---- arm codec -----------------------------------------------------------
+
+TEST(ArmCodec, RoundtripsEveryKnobCombination) {
+  AdaptConfig cfg;
+  cfg.depths = {0, 2, 4};
+  cfg.threads = {1, 2, 4};
+  cfg.windows = {1 << 20, 4 << 20};
+  auto a = make_advisor(cfg);
+  for (mpiio::Method m : {mpiio::Method::Listless, mpiio::Method::ListBased})
+    for (bool tp : {true, false})
+      for (mpiio::Zerocopy zc : {mpiio::Zerocopy::Auto, mpiio::Zerocopy::Off})
+        for (int depth : {0, 2, 4})
+          for (int threads : {1, 2, 4})
+            for (Off window : {Off{1} << 20, Off{4} << 20}) {
+              Tuning t;
+              t.method = m;
+              t.two_phase = tp;
+              t.zerocopy = zc;
+              t.pipeline_depth = depth;
+              t.pack_threads = threads;
+              t.window = window;
+              EXPECT_EQ(a->decode(a->encode(t)), t) << a->arm_label(a->encode(t));
+            }
+  // Labels are unique per distinct toggle combination (the trail keys on
+  // them): bits 0-2 are method/route/zerocopy, bit 3 is unused padding.
+  std::set<std::string> labels;
+  for (int arm = 0; arm < (1 << 3); ++arm)
+    labels.insert(a->arm_label(static_cast<std::uint16_t>(arm)));
+  EXPECT_EQ(labels.size(), 8u);
+}
+
+TEST(ArmCodec, SanitizerKeepsBaseExpressible) {
+  AdaptConfig cfg;
+  cfg.base.pipeline_depth = 7;   // not in the candidate list
+  cfg.base.pack_threads = 3;     // not in the candidate list
+  cfg.base.window = 12345;       // not in the candidate list
+  auto a = make_advisor(cfg);
+  EXPECT_EQ(a->decode(a->encode(cfg.base)), cfg.base);
+  // The static policy always returns exactly the base arm.
+  AdaptConfig st = cfg;
+  st.policy = AdaptConfig::Policy::Static;
+  auto s = make_advisor(st);
+  const OpContext ctx = test_ctx();
+  for (int i = 0; i < 10; ++i) {
+    const Decision d = s->advise(ctx);
+    EXPECT_EQ(d.tuning, cfg.base);
+    EXPECT_FALSE(d.probe);
+  }
+}
+
+TEST(Config, ValidatesAndMapsFromOptions) {
+  AdaptConfig bad;
+  bad.epsilon = 0.9;
+  EXPECT_THROW(make_advisor(bad), Error);
+  bad = AdaptConfig{};
+  bad.window = 0;
+  EXPECT_THROW(make_advisor(bad), Error);
+  bad = AdaptConfig{};
+  bad.alpha = 0;
+  EXPECT_THROW(make_advisor(bad), Error);
+
+  mpiio::Options o;
+  o.method = mpiio::Method::ListBased;
+  o.adaptive = mpiio::Adaptive::Auto;
+  o.adaptive_epsilon = 0.25;
+  o.adaptive_window = 5;
+  AdaptConfig cfg = config_from_options(o);
+  EXPECT_EQ(cfg.policy, AdaptConfig::Policy::Hysteresis);
+  EXPECT_DOUBLE_EQ(cfg.epsilon, 0.25);
+  EXPECT_EQ(cfg.window, 5);
+  EXPECT_EQ(cfg.base.method, mpiio::Method::ListBased);
+  o.adaptive = mpiio::Adaptive::Force;
+  EXPECT_EQ(config_from_options(o).policy, AdaptConfig::Policy::Greedy);
+  o.adaptive_policy = "static";
+  EXPECT_EQ(config_from_options(o).policy, AdaptConfig::Policy::Static);
+}
+
+// ---- epsilon probing -----------------------------------------------------
+
+/// A config whose only explorable knob is the engine method, so every
+/// probe lands on exactly one, known neighbor arm.
+AdaptConfig single_neighbor_config() {
+  AdaptConfig cfg;
+  cfg.depths = {0};
+  cfg.threads = {1};
+  cfg.windows = {4 << 20};
+  cfg.explore_route = false;
+  cfg.explore_zerocopy = false;
+  cfg.explore_method = true;
+  return cfg;
+}
+
+TEST(Probing, DeterministicEpsilonBounds) {
+  AdaptConfig cfg = single_neighbor_config();
+  cfg.epsilon = 0.25;         // period 4: ops 4, 8, 12, ... probe
+  cfg.probe_backoff_max = 0;  // keep the cadence exact for the bound
+  auto a = make_advisor(cfg);
+  const OpContext ctx = test_ctx();
+  int probes = 0;
+  const int kOps = 100;
+  for (int i = 0; i < kOps; ++i) {
+    const Decision d = step(*a, ctx, 1.0);
+    if (d.probe) {
+      ++probes;
+      // A probe differs from the incumbent by exactly one knob.
+      const Tuning inc = a->decode(a->encode(cfg.base));
+      const Tuning probe = d.tuning;
+      int diffs = 0;
+      diffs += probe.method != inc.method;
+      diffs += probe.two_phase != inc.two_phase;
+      diffs += probe.zerocopy != inc.zerocopy;
+      diffs += probe.pipeline_depth != inc.pipeline_depth;
+      diffs += probe.pack_threads != inc.pack_threads;
+      diffs += probe.window != inc.window;
+      EXPECT_EQ(diffs, 1);
+    }
+  }
+  EXPECT_EQ(probes, kOps / 4);  // exactly epsilon of the ops, no drift
+
+  // epsilon = 0 never probes.
+  AdaptConfig none = single_neighbor_config();
+  none.epsilon = 0;
+  auto quiet = make_advisor(none);
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(step(*quiet, ctx, 1.0).probe);
+}
+
+// Exploration backoff: a key whose probes keep losing doubles its probe
+// period after every completed neighbor cycle (capped), so a converged
+// key stops paying steady-state probe drag.  With one neighbor and
+// period 4 the probe ops are 4, 8, 16, 32, 64 — five probes where the
+// flat cadence would spend 25.
+TEST(Probing, BackoffDecaysProbeRateOnConvergedKey) {
+  AdaptConfig cfg = single_neighbor_config();
+  cfg.epsilon = 0.25;
+  cfg.probe_backoff_max = 4;
+  auto a = make_advisor(cfg);
+  const OpContext ctx = test_ctx();
+  std::vector<int> probe_ops;
+  for (int i = 1; i <= 100; ++i)
+    if (step(*a, ctx, 1.0).probe) probe_ops.push_back(i);
+  EXPECT_EQ(probe_ops, (std::vector<int>{4, 8, 16, 32, 64}));
+}
+
+// A switch resets the backoff: after the challenger takes over, probing
+// resumes at the base cadence around the new incumbent.
+TEST(Probing, SwitchResetsBackoff) {
+  AdaptConfig cfg = single_neighbor_config();
+  cfg.epsilon = 0.25;
+  cfg.window = 2;
+  cfg.probe_backoff_max = 4;
+  cfg.alpha = 1.0;  // no EWMA memory: isolate the probe scheduling
+  auto a = make_advisor(cfg);
+  const OpContext ctx = test_ctx();
+  const std::uint16_t base_arm = a->encode(cfg.base);
+  // Converge: incumbent at 1.0, neighbor probes lose at 2.0 until the
+  // backoff reaches the cap (past op 64, period is 64).
+  int last_probe = 0;
+  for (int i = 1; i <= 70; ++i) {
+    const Decision d = a->advise(ctx);
+    Outcome out;
+    out.nbytes = ctx.nbytes;
+    out.seconds = (d.arm == base_arm ? 1.0 : 2.0) * 1024 / 1e9;
+    a->observe(ctx, d, out);
+    if (d.probe) last_probe = i;
+  }
+  EXPECT_EQ(last_probe, 64);
+  // Now the neighbor wins decisively.  The op-64 probe already seeded a
+  // streak?  No: it lost.  The next probe (op 128) wins, confirmation
+  // re-probes at the base cadence (op 132) and switches — after which
+  // probing runs at period 4 again around the new incumbent.
+  std::vector<int> probes_after;
+  bool switched = false;
+  for (int i = 71; i <= 150; ++i) {
+    const Decision d = a->advise(ctx);
+    Outcome out;
+    out.nbytes = ctx.nbytes;
+    out.seconds = (d.arm == base_arm ? 1.0 : 0.2) * 1024 / 1e9;
+    a->observe(ctx, d, out);
+    if (d.probe) probes_after.push_back(i);
+    if (d.probe && !switched) switched = true;
+  }
+  ASSERT_GE(probes_after.size(), 3u);
+  EXPECT_EQ(probes_after[0], 128);  // backed-off round-robin probe (wins)
+  EXPECT_EQ(probes_after[1], 132);  // confirmation at base cadence -> switch
+  EXPECT_EQ(probes_after[2], 136);  // fresh cycle at base cadence
+}
+
+// Confirmation probing: once a challenger beats the margin, probe slots
+// re-test it back-to-back instead of walking the rest of the neighbor
+// ring, so the hysteresis window fills in window*period ops.
+TEST(Probing, ChallengerConfirmedBackToBack) {
+  AdaptConfig cfg;  // full neighbor ring: 6 arms to cycle through
+  cfg.epsilon = 0.25;
+  cfg.window = 2;
+  auto a = make_advisor(cfg);
+  const OpContext ctx = test_ctx();
+  const std::uint16_t base_arm = a->encode(cfg.base);
+  const Tuning base = a->decode(base_arm);
+  int switch_op = 0;
+  for (int i = 1; i <= 40 && switch_op == 0; ++i) {
+    const Decision d = a->advise(ctx);
+    // Only the route flip is genuinely better; everything else loses.
+    const bool route_flip = d.tuning.two_phase != base.two_phase;
+    Outcome out;
+    out.nbytes = ctx.nbytes;
+    out.seconds = (route_flip ? 0.2 : d.arm == base_arm ? 1.0 : 2.0) *
+                  1024 / 1e9;
+    a->observe(ctx, d, out);
+    const auto trail = a->trail();
+    if (!trail.empty() && trail.back().switched) switch_op = i;
+  }
+  // First route probe lands within the first neighbor cycle; the
+  // confirmation follows one base period later — not a full ring later.
+  EXPECT_GT(switch_op, 0);
+  EXPECT_LE(switch_op, 12) << "confirmation must not wait out the ring";
+}
+
+// The independent route degrades to plain per-rank accesses on backends
+// without pfs::ViewIo, so the toggle stays probe-eligible either way —
+// whether leaving the exchange pays (slow client net, fast storage wire)
+// is for the cost model to learn, not a structural gate.  With route
+// exploration off there is no legal neighbor at all and probing is dead.
+TEST(Probing, RouteNeighborAvailableWithoutViewIo) {
+  AdaptConfig cfg;
+  cfg.depths = {0};
+  cfg.threads = {1};
+  cfg.windows = {4 << 20};
+  cfg.explore_method = false;
+  cfg.explore_zerocopy = false;
+  cfg.explore_route = false;
+  cfg.epsilon = 0.5;  // probe every 2nd op
+  auto a = make_advisor(cfg);
+  OpContext ctx = test_ctx();
+  ctx.view_io = false;
+  for (int i = 0; i < 20; ++i)
+    EXPECT_FALSE(step(*a, ctx, 1.0).probe)
+        << "no probes possible without a single legal neighbor";
+  cfg.explore_route = true;
+  a = make_advisor(cfg);
+  for (const bool view_io : {false, true}) {
+    ctx.view_io = view_io;
+    bool probed_route = false;
+    for (int i = 0; i < 20; ++i) {
+      const Decision d = step(*a, ctx, 1.0);
+      if (d.probe && !d.tuning.two_phase) probed_route = true;
+    }
+    EXPECT_TRUE(probed_route) << "view_io=" << view_io;
+  }
+}
+
+// ---- hysteresis vs greedy ------------------------------------------------
+
+// The challenger alternates 0.5 / 2.0 ns/B against a steady 1.0 incumbent:
+// spiky-good, bad on average.  Greedy (margin 0, window 1) takes the bait
+// on the first lucky probe; hysteresis with window 2 requires two
+// consecutive challenger wins, which the alternation never produces.
+TEST(Hysteresis, NoFlapUnderNoisyAlternatingCosts) {
+  const OpContext ctx = test_ctx();
+  auto run = [&](AdaptConfig::Policy policy, int window) {
+    AdaptConfig cfg = single_neighbor_config();
+    cfg.policy = policy;
+    cfg.window = window;
+    cfg.margin = 0.1;
+    cfg.epsilon = 0.5;  // probe every 2nd op
+    auto a = make_advisor(cfg);
+    const std::uint16_t base_arm = a->encode(cfg.base);
+    int probe_no = 0;
+    int switches = 0;
+    for (int i = 0; i < 60; ++i) {
+      const Decision d = a->advise(ctx);
+      const bool is_base = d.arm == base_arm;
+      const double cost = is_base ? 1.0 : (probe_no++ % 2 == 0 ? 0.5 : 2.0);
+      Outcome out;
+      out.nbytes = ctx.nbytes;
+      out.seconds = cost * static_cast<double>(ctx.nbytes) / 1e9;
+      a->observe(ctx, d, out);
+    }
+    for (const obs::AdaptDecision& rec : a->trail())
+      if (rec.switched) ++switches;
+    return switches;
+  };
+  EXPECT_EQ(run(AdaptConfig::Policy::Hysteresis, 2), 0)
+      << "hysteresis must not flap on a spiky challenger";
+  EXPECT_GE(run(AdaptConfig::Policy::Greedy, 1), 1)
+      << "greedy takes the first win (the contrast that proves the "
+         "hysteresis guard is doing the work)";
+}
+
+// A genuinely better challenger must take over — hysteresis delays the
+// switch by `window` consecutive wins, it does not block it.
+TEST(Hysteresis, ConsistentWinnerEventuallySwitches) {
+  AdaptConfig cfg = single_neighbor_config();
+  cfg.policy = AdaptConfig::Policy::Hysteresis;
+  cfg.window = 2;
+  cfg.margin = 0.1;
+  cfg.epsilon = 0.5;
+  auto a = make_advisor(cfg);
+  const OpContext ctx = test_ctx();
+  const std::uint16_t base_arm = a->encode(cfg.base);
+  bool switched = false;
+  for (int i = 0; i < 40 && !switched; ++i) {
+    const Decision d = a->advise(ctx);
+    const double cost = d.arm == base_arm ? 2.0 : 0.5;  // challenger 4x better
+    Outcome out;
+    out.nbytes = ctx.nbytes;
+    out.seconds = cost * static_cast<double>(ctx.nbytes) / 1e9;
+    a->observe(ctx, d, out);
+    for (const obs::AdaptDecision& rec : a->trail())
+      if (rec.switched) switched = true;
+  }
+  EXPECT_TRUE(switched);
+  // After the switch the incumbent (non-probe advice) is the new arm.
+  Decision d = a->advise(ctx);
+  while (d.probe) {
+    Outcome out;
+    out.nbytes = ctx.nbytes;
+    out.seconds = 0.5 * static_cast<double>(ctx.nbytes) / 1e9;
+    a->observe(ctx, d, out);
+    d = a->advise(ctx);
+  }
+  EXPECT_NE(d.arm, base_arm);
+}
+
+// ---- synthetic cost-model regression fixture -----------------------------
+
+// Scripted observations with hand-computed EWMA evolution: pins down the
+// exact cost-model arithmetic (alpha weighting, ns/byte normalization)
+// and the exact op index greedy switches at.  Any change to the model
+// must consciously update these numbers.
+TEST(CostModel, RegressionFixture) {
+  AdaptConfig cfg = single_neighbor_config();
+  cfg.policy = AdaptConfig::Policy::Greedy;
+  cfg.alpha = 0.5;     // easy arithmetic
+  cfg.epsilon = 0.25;  // probe on ops 4, 8, ...
+  auto a = make_advisor(cfg);
+  const OpContext ctx = test_ctx();
+
+  // Ops 1-3 observe the incumbent at 2.0 ns/B; op 4 probes the method
+  // neighbor at 1.0 ns/B and greedy switches immediately.
+  const double costs[] = {2.0, 2.0, 2.0, 1.0};
+  std::vector<Decision> ds;
+  for (double c : costs) ds.push_back(step(*a, ctx, c));
+  EXPECT_FALSE(ds[0].probe);
+  EXPECT_FALSE(ds[1].probe);
+  EXPECT_FALSE(ds[2].probe);
+  EXPECT_TRUE(ds[3].probe);
+
+  const std::vector<obs::AdaptDecision> trail = a->trail();
+  ASSERT_EQ(trail.size(), 4u);
+  // EWMA of the incumbent: 2.0, then 0.5*2 + 0.5*2 = 2.0 throughout.
+  EXPECT_DOUBLE_EQ(trail[0].cost_ns_per_byte, 2.0);
+  EXPECT_LT(trail[0].incumbent_ns_per_byte, 0) << "no estimate before op 1";
+  EXPECT_DOUBLE_EQ(trail[1].incumbent_ns_per_byte, 2.0);
+  EXPECT_DOUBLE_EQ(trail[2].incumbent_ns_per_byte, 2.0);
+  // The probe observed 1.0 < 2.0: greedy switches on the spot.
+  EXPECT_TRUE(trail[3].probe);
+  EXPECT_TRUE(trail[3].switched);
+  EXPECT_DOUBLE_EQ(trail[3].cost_ns_per_byte, 1.0);
+
+  // Op 5: the new incumbent is the method neighbor.
+  const Decision d5 = a->advise(ctx);
+  EXPECT_FALSE(d5.probe);
+  EXPECT_NE(d5.tuning.method, cfg.base.method);
+  EXPECT_DOUBLE_EQ(d5.incumbent_cost, 1.0);
+
+  // Sequence numbers are dense and the trail is bounded.
+  for (std::size_t i = 0; i < trail.size(); ++i)
+    EXPECT_EQ(trail[i].seq, i + 1);
+}
+
+TEST(CostModel, TrailRingIsBounded) {
+  AdaptConfig cfg = single_neighbor_config();
+  cfg.trail_capacity = 8;
+  auto a = make_advisor(cfg);
+  const OpContext ctx = test_ctx();
+  for (int i = 0; i < 50; ++i) step(*a, ctx, 1.0);
+  const auto trail = a->trail();
+  ASSERT_EQ(trail.size(), 8u);
+  EXPECT_EQ(trail.front().seq, 43u);  // oldest surviving decision
+  EXPECT_EQ(trail.back().seq, 50u);
+}
+
+TEST(CostModel, FollowMirrorsAdvise) {
+  AdaptConfig cfg = single_neighbor_config();
+  auto root = make_advisor(cfg);
+  auto follower = make_advisor(cfg);
+  const OpContext ctx = test_ctx();
+  for (int i = 0; i < 30; ++i) {
+    const Decision d = root->advise(ctx);
+    const Decision f = follower->follow(ctx, d.arm, d.probe);
+    EXPECT_EQ(f.arm, d.arm);
+    EXPECT_EQ(f.tuning, d.tuning);
+    EXPECT_EQ(f.probe, d.probe);
+    Outcome out;
+    out.nbytes = ctx.nbytes;
+    out.seconds = (d.arm == root->encode(cfg.base) ? 2.0 : 0.5) *
+                  static_cast<double>(ctx.nbytes) / 1e9;
+    root->observe(ctx, d, out);
+    follower->observe(ctx, f, out);
+  }
+  // Identical observe() streams leave identical trails.
+  const auto rt = root->trail();
+  const auto ft = follower->trail();
+  ASSERT_EQ(rt.size(), ft.size());
+  for (std::size_t i = 0; i < rt.size(); ++i) {
+    EXPECT_EQ(rt[i].arm, ft[i].arm);
+    EXPECT_EQ(rt[i].switched, ft[i].switched);
+    EXPECT_DOUBLE_EQ(rt[i].cost_ns_per_byte, ft[i].cost_ns_per_byte);
+  }
+}
+
+}  // namespace
+}  // namespace llio::adapt
+
+// ---- end-to-end through mpiio::File --------------------------------------
+
+namespace llio {
+namespace {
+
+/// The Fig.-4 style interleaved vector view, local to this test.
+dt::Type bench_view(Off nblock, Off sblock, int nprocs, int rank) {
+  const dt::Type v =
+      dt::hvector(nblock, sblock, Off{nprocs} * sblock, dt::byte());
+  const Off bls[] = {1};
+  const Off ds[] = {Off{rank} * sblock};
+  return dt::resized(dt::hindexed(bls, ds, v), 0,
+                     nblock * Off{nprocs} * sblock);
+}
+
+/// One fuzzed collective schedule against one (method, backend, hints)
+/// configuration; returns the final file image.
+ByteVec run_schedule(unsigned seed, mpiio::Method method,
+                     iotest::Backend backend, const mpiio::Info& hints) {
+  std::mt19937 rng(seed);
+  const int nprocs = 2;
+  const Off nblock = 4 + rng() % 8;
+  const Off sblock = 4 + rng() % 16;
+  const int ops = 3 + static_cast<int>(rng() % 4);
+  std::vector<Off> offsets;
+  std::vector<unsigned> fills;
+  for (int i = 0; i < ops; ++i) {
+    offsets.push_back(static_cast<Off>(rng() % 3));
+    fills.push_back(rng() % 251);
+  }
+
+  pfs::FilePtr fs = iotest::make_backend(backend);
+  sim::Runtime::run(nprocs, [&](sim::Comm& comm) {
+    mpiio::Options o;
+    o.method = method;
+    mpiio::File f = mpiio::File::open(comm, fs, hints, o);
+    f.set_view(0, dt::byte(),
+               bench_view(nblock, sblock, nprocs, comm.rank()));
+    const Off count = nblock * sblock;
+    ByteVec buf(to_size(count));
+    for (int i = 0; i < ops; ++i) {
+      for (std::size_t b = 0; b < buf.size(); ++b)
+        buf[b] = static_cast<Byte>(
+            (fills[static_cast<std::size_t>(i)] + b + comm.rank() * 31) % 251);
+      f.write_at_all(offsets[static_cast<std::size_t>(i)] * count, buf.data(),
+                     count, dt::byte());
+      ByteVec back(buf.size());
+      f.read_at_all(offsets[static_cast<std::size_t>(i)] * count, back.data(),
+                    count, dt::byte());
+      // Read-back through the (possibly adaptive) collective path sees
+      // exactly what this rank wrote.
+      ASSERT_EQ(back, buf) << "seed " << seed;
+    }
+  });
+  return iotest::backend_image(fs);
+}
+
+TEST(AdaptiveFile, OffIsByteIdenticalAndAutoStaysCorrect) {
+  obs::Sampler::instance().set_enabled(true);
+  for (iotest::Backend backend :
+       {iotest::Backend::Mem, iotest::Backend::PsrvView}) {
+    for (mpiio::Method method :
+         {mpiio::Method::ListBased, mpiio::Method::Listless}) {
+      for (unsigned seed = 1; seed <= 4; ++seed) {
+        const ByteVec baseline =
+            run_schedule(seed, method, backend, mpiio::Info{});
+        mpiio::Info off;
+        off.set("llio_adaptive", "off");
+        EXPECT_EQ(run_schedule(seed, method, backend, off), baseline)
+            << "llio_adaptive=off must be bit-identical to no hint at all";
+        for (const char* mode : {"auto", "force"}) {
+          mpiio::Info on;
+          on.set("llio_adaptive", mode);
+          on.set("llio_adaptive_epsilon", "0.25");
+          EXPECT_EQ(run_schedule(seed, method, backend, on), baseline)
+              << "adaptive mode " << mode
+              << " changed file contents (method "
+              << mpiio::method_name(method) << ", seed " << seed << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(AdaptiveFile, ThrottledBackendStaysCorrect) {
+  // Throttled wrap of shared memory: the adaptive route/method switches
+  // must not change the bytes that land.
+  for (unsigned seed = 10; seed <= 12; ++seed) {
+    const int nprocs = 2;
+    auto run = [&](const mpiio::Info& hints) {
+      auto inner = pfs::MemFile::create();
+      pfs::ThrottleConfig tc;
+      tc.op_latency_s = 1e-5;
+      pfs::FilePtr fs = pfs::ThrottledFile::wrap(inner, tc);
+      std::mt19937 rng(seed);
+      const Off nblock = 4 + rng() % 4;
+      const Off sblock = 8;
+      sim::Runtime::run(nprocs, [&](sim::Comm& comm) {
+        mpiio::Options o;
+        mpiio::File f = mpiio::File::open(comm, fs, hints, o);
+        f.set_view(0, dt::byte(),
+                   bench_view(nblock, sblock, nprocs, comm.rank()));
+        const Off count = nblock * sblock;
+        ByteVec buf(to_size(count));
+        for (int i = 0; i < 3; ++i) {
+          for (std::size_t b = 0; b < buf.size(); ++b)
+            buf[b] = static_cast<Byte>((seed + i + b) % 251);
+          f.write_at_all(0, buf.data(), count, dt::byte());
+        }
+      });
+      return iotest::backend_image(fs);
+    };
+    mpiio::Info off;
+    off.set("llio_adaptive", "off");
+    mpiio::Info on;
+    on.set("llio_adaptive", "auto");
+    EXPECT_EQ(run(on), run(off)) << "seed " << seed;
+  }
+}
+
+TEST(AdaptiveFile, DecisionTrailLandsInJobReport) {
+  obs::Sampler::instance().set_enabled(true);
+  auto fs = pfs::MemFile::create();
+  std::mutex mu;
+  std::vector<obs::JobReport> reports;
+  sim::Runtime::run(2, [&](sim::Comm& comm) {
+    mpiio::Options o;
+    mpiio::Info hints;
+    hints.set("llio_adaptive", "auto");
+    hints.set("llio_adaptive_epsilon", "0.25");
+    mpiio::File f = mpiio::File::open(comm, fs, hints, o);
+    f.set_view(0, dt::byte(), bench_view(8, 8, 2, comm.rank()));
+    ByteVec buf(64, Byte{0x7e});
+    for (int i = 0; i < 9; ++i)
+      f.write_at_all(0, buf.data(), 64, dt::byte());
+    const obs::JobReport r = f.close();
+    std::lock_guard lock(mu);
+    reports.push_back(r);
+  });
+  ASSERT_EQ(reports.size(), 2u);
+  for (const obs::JobReport& r : reports) {
+    EXPECT_EQ(r.adapt_policy, "hysteresis");
+    EXPECT_EQ(r.adapt_decisions, 9u);
+    EXPECT_GT(r.adapt_probes, 0u);
+    ASSERT_EQ(r.adapt_trail.size(), 9u);
+    EXPECT_FALSE(r.adapt_dims.empty());
+    for (const obs::AdaptDecision& d : r.adapt_trail) {
+      // Every referenced dim resolves in the interned table the report
+      // carries (what tools/check_report.py validates offline).
+      EXPECT_LT(d.op, r.adapt_dims.size());
+      EXPECT_LT(d.backend, r.adapt_dims.size());
+      EXPECT_LT(d.net, r.adapt_dims.size());
+      EXPECT_FALSE(d.arm.empty());
+    }
+    const std::string json = r.to_json();
+    EXPECT_NE(json.find("\"adapt\""), std::string::npos);
+    EXPECT_NE(json.find("\"policy\":\"hysteresis\""), std::string::npos);
+    EXPECT_NE(json.find("\"trail\""), std::string::npos);
+  }
+
+  // Without the hint the report has no adapt section at all.
+  auto fs2 = pfs::MemFile::create();
+  sim::Runtime::run(2, [&](sim::Comm& comm) {
+    mpiio::File f = mpiio::File::open(comm, fs2, mpiio::Options{});
+    ByteVec buf(16, Byte{1});
+    f.write_at_all(comm.rank() * 16, buf.data(), 16, dt::byte());
+    const obs::JobReport r = f.close();
+    EXPECT_TRUE(r.adapt_policy.empty());
+    EXPECT_EQ(r.to_json().find("\"adapt\""), std::string::npos);
+  });
+}
+
+}  // namespace
+}  // namespace llio

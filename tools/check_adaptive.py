@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Gate a bench_ablation_adaptive run: adaptive must survive the flip.
+
+Usage:
+    check_adaptive.py CURRENT [--best-floor 0.9] [--worst-floor 1.15]
+
+CURRENT holds one JSON object per line (the `sed -n 's/^json://p'`
+extraction of the bench output; a leading schema line is tolerated).
+All gates compare rows within the same run, so machine speed cancels
+out:
+
+  * the scenario premise must hold — in the pure "slow" regime the
+    independent route (ll:ix) beats two-phase (ll:tp), and in the pure
+    "shared-mem" regime two-phase beats independent.  If the crossing
+    ever drifts away, the flip scenario stops testing adaptation and
+    the gate must say so rather than pass vacuously;
+  * every adaptive net-recovery row must reach at least --best-floor x
+    the best static row and --worst-floor x the worst static row, and
+    must have actually explored (probes > 0) and reacted to the flip
+    (switches >= 1) — a policy that silently never probes would
+    otherwise coast through on its base arm;
+  * the hysteresis (llio_adaptive=auto) row must strictly beat every
+    static configuration: riding ix through the congestion and
+    switching to tp after the recovery beats any fixed choice
+    end-to-end, which is the point of the layer.
+
+Exit status: 0 when the gate holds, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    rows = []
+    with open(path) as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line or not line.startswith("{"):
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as e:
+                print(f"error: {path}:{lineno}: invalid JSON record: {e.msg}",
+                      file=sys.stderr)
+                raise SystemExit(1)
+            if not isinstance(row, dict) or row.get("bench") != "ablation_adaptive":
+                continue
+            for field in ("scenario", "config", "adaptive", "policy",
+                          "mbps_pp", "probes", "switches"):
+                if field not in row:
+                    print(f"error: {path}:{lineno}: row missing required "
+                          f"field {field!r}", file=sys.stderr)
+                    raise SystemExit(1)
+            rows.append(row)
+    return rows
+
+
+def pure_row(rows, scenario, config):
+    for r in rows:
+        if r["scenario"] == scenario and r["config"] == config:
+            return r
+    print(f"error: missing pure-regime row {scenario}/{config}",
+          file=sys.stderr)
+    raise SystemExit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("current")
+    ap.add_argument("--best-floor", type=float, default=0.9,
+                    help="adaptive floor vs the best static (default 0.9)")
+    ap.add_argument("--worst-floor", type=float, default=1.15,
+                    help="adaptive floor vs the worst static (default 1.15)")
+    args = ap.parse_args()
+
+    rows = load_rows(args.current)
+    failures = []
+
+    # 1. The crossing premise: no single route wins both pure regimes.
+    slow_tp = pure_row(rows, "slow", "ll:tp")["mbps_pp"]
+    slow_ix = pure_row(rows, "slow", "ll:ix")["mbps_pp"]
+    fast_tp = pure_row(rows, "shared-mem", "ll:tp")["mbps_pp"]
+    fast_ix = pure_row(rows, "shared-mem", "ll:ix")["mbps_pp"]
+    if slow_ix <= slow_tp:
+        failures.append(
+            f"premise: slow regime ix ({slow_ix:.1f}) must beat tp "
+            f"({slow_tp:.1f}) — the congested-fabric half no longer favors "
+            f"the exchange-free route")
+    if fast_tp <= fast_ix:
+        failures.append(
+            f"premise: shared-mem regime tp ({fast_tp:.1f}) must beat ix "
+            f"({fast_ix:.1f}) — the recovered-fabric half no longer favors "
+            f"two-phase")
+    print(f"premise: slow ix/tp = {slow_ix:.1f}/{slow_tp:.1f}, "
+          f"shared-mem tp/ix = {fast_tp:.1f}/{fast_ix:.1f}")
+
+    # 2. The flip scenario.
+    flips = [r for r in rows if r["scenario"] == "net-recovery"]
+    statics = [r for r in flips if r["adaptive"] == "off"]
+    adaptives = [r for r in flips if r["adaptive"] != "off"]
+    if not statics or not adaptives:
+        print("error: no net-recovery static/adaptive rows found",
+              file=sys.stderr)
+        raise SystemExit(1)
+
+    best = max(statics, key=lambda r: r["mbps_pp"])
+    worst = min(statics, key=lambda r: r["mbps_pp"])
+    print(f"statics: best {best['config']} {best['mbps_pp']:.1f} MB/s/proc, "
+          f"worst {worst['config']} {worst['mbps_pp']:.1f}")
+
+    for r in adaptives:
+        name = f"{r['config']} ({r['policy']})"
+        vs_best = r["mbps_pp"] / best["mbps_pp"]
+        vs_worst = r["mbps_pp"] / worst["mbps_pp"]
+        verdict = "ok"
+        if vs_best < args.best_floor:
+            failures.append(
+                f"{name}: {r['mbps_pp']:.1f} MB/s/proc is {vs_best:.2f}x the "
+                f"best static ({best['config']} {best['mbps_pp']:.1f}), "
+                f"floor {args.best_floor}")
+            verdict = "FAIL"
+        if vs_worst < args.worst_floor:
+            failures.append(
+                f"{name}: {r['mbps_pp']:.1f} MB/s/proc is {vs_worst:.2f}x the "
+                f"worst static ({worst['config']} {worst['mbps_pp']:.1f}), "
+                f"floor {args.worst_floor}")
+            verdict = "FAIL"
+        if r["probes"] < 1:
+            failures.append(f"{name}: never probed — exploration is dead")
+            verdict = "FAIL"
+        if r["switches"] < 1:
+            failures.append(f"{name}: never switched — the flip went "
+                            f"unnoticed")
+            verdict = "FAIL"
+        if r["policy"] == "hysteresis" and vs_best <= 1.0:
+            failures.append(
+                f"{name}: {r['mbps_pp']:.1f} MB/s/proc does not beat the "
+                f"best static ({best['config']} {best['mbps_pp']:.1f}) — "
+                f"adaptation must win the flip scenario outright")
+            verdict = "FAIL"
+        print(f"{verdict}: {name} {r['mbps_pp']:.1f} MB/s/proc "
+              f"({vs_best:.2f}x best, {vs_worst:.2f}x worst, "
+              f"{r['probes']} probes, {r['switches']} switches)")
+
+    if failures:
+        print(f"\n{len(failures)} adaptive gate failure(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("adaptive gates hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
